@@ -1,0 +1,47 @@
+// E9 — §1/§3.4/§6: the centralized Garg-Waldecker checker does the same
+// O(n^2 m) total work as the token algorithm, but ALL of it in one process;
+// the token algorithm's contribution is the distribution: max work per
+// process drops from O(n^2 m) to O(nm) "without increasing the total number
+// of messages, or increasing (except possibly by a constant factor) the
+// total amount of work performed" (§6).
+//
+// Counters:
+//   checker_work         all of it on one process
+//   token_max_work       busiest monitor of the distributed algorithm
+//   distribution_gain    checker_work / token_max_work — grows with n
+//   work_ratio           token_total / checker_total — the §6 "constant"
+#include "bench_common.h"
+#include "detect/centralized.h"
+#include "detect/token_vc.h"
+
+namespace wcp::bench {
+namespace {
+
+void BM_Centralized_VsToken(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto& comp = cached_worstcase(n, /*rounds=*/10, /*seed=*/41 + n);
+  const double m = static_cast<double>(comp.max_messages_per_process());
+
+  detect::DetectionResult checker, token;
+  for (auto _ : state) {
+    checker = detect::run_centralized(comp, default_opts());
+    token = detect::run_token_vc(comp, default_opts());
+    benchmark::DoNotOptimize(checker.detected);
+  }
+
+  const double cw = static_cast<double>(checker.monitor_metrics.total_work());
+  const double tw = static_cast<double>(token.monitor_metrics.total_work());
+  const double tmax =
+      static_cast<double>(token.monitor_metrics.max_work_per_process());
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["m"] = m;
+  state.counters["checker_work"] = cw;
+  state.counters["token_total_work"] = tw;
+  state.counters["token_max_work"] = tmax;
+  state.counters["distribution_gain"] = tmax > 0 ? cw / tmax : 0;
+  state.counters["work_ratio"] = cw > 0 ? tw / cw : 0;
+}
+BENCHMARK(BM_Centralized_VsToken)->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+}  // namespace
+}  // namespace wcp::bench

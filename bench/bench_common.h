@@ -1,0 +1,83 @@
+// Shared helpers for the experiment benches (E1-E10, see DESIGN.md §3).
+//
+// Every bench regenerates one of the paper's evaluation claims: it sweeps
+// the relevant parameter, runs the detector(s) on the simulator, and
+// reports measured costs as benchmark counters next to the paper's
+// asymptotic bound, so the ratio column should stay roughly flat if the
+// implementation matches the claimed complexity.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <mutex>
+
+#include "detect/result.h"
+#include "trace/computation.h"
+#include "workload/mutex_workload.h"
+#include "workload/random_workload.h"
+
+namespace wcp::bench {
+
+/// Deterministic, cached random computation for a (N, n, m, seed) shape so
+/// repeated benchmark iterations measure detection, not generation.
+inline const Computation& cached_random(std::size_t N, std::size_t n,
+                                        std::int64_t events,
+                                        std::uint64_t seed,
+                                        double pred_prob = 0.3,
+                                        bool ensure_detectable = true) {
+  static std::map<std::tuple<std::size_t, std::size_t, std::int64_t,
+                             std::uint64_t, int, bool>,
+                  Computation>
+      cache;
+  static std::mutex mu;
+  const auto key = std::make_tuple(N, n, events, seed,
+                                   static_cast<int>(pred_prob * 1000),
+                                   ensure_detectable);
+  std::lock_guard lock(mu);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    workload::RandomSpec spec;
+    spec.num_processes = N;
+    spec.num_predicate = n;
+    spec.events_per_process = events;
+    spec.local_pred_prob = pred_prob;
+    spec.ensure_detectable = ensure_detectable;
+    spec.seed = seed;
+    it = cache.emplace(key, workload::make_random(spec)).first;
+  }
+  return it->second;
+}
+
+/// Worst-case detection workload: serialized mutual exclusion with the
+/// violation forced into the LAST round, so every earlier candidate state
+/// must be examined and eliminated. n = clients, m ~ 3*rounds per client.
+inline const Computation& cached_worstcase(std::size_t clients,
+                                           std::int64_t rounds,
+                                           std::uint64_t seed = 1) {
+  static std::map<std::tuple<std::size_t, std::int64_t, std::uint64_t>,
+                  Computation>
+      cache;
+  static std::mutex mu;
+  const auto key = std::make_tuple(clients, rounds, seed);
+  std::lock_guard lock(mu);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    workload::MutexSpec spec;
+    spec.num_clients = clients;
+    spec.rounds_per_client = rounds;
+    spec.force_final_violation = true;
+    spec.seed = seed;
+    it = cache.emplace(key, workload::make_mutex(spec).computation).first;
+  }
+  return it->second;
+}
+
+inline detect::RunOptions default_opts(std::uint64_t seed = 1) {
+  detect::RunOptions o;
+  o.seed = seed;
+  o.latency = sim::LatencyModel::uniform(1, 4);
+  return o;
+}
+
+}  // namespace wcp::bench

@@ -1,0 +1,49 @@
+// E11 (ablation) — piggybacked-clock cost. The §3 algorithm attaches an
+// n-component vector clock to every application message; the §4 algorithm
+// attaches one integer. Differential (Singhal-Kshemkalyani) compression is
+// the classic middle ground: only the components that changed since the
+// previous message on that channel travel.
+//
+// Counters:
+//   plain_app_bits     vector-clock piggyback, uncompressed
+//   packed_app_bits    compressed piggyback
+//   dd_app_bits        the direct-dependence scalar piggyback
+//   compression_ratio  plain / packed — grows with n for sparse channels
+#include "bench_common.h"
+#include "detect/direct_dep.h"
+#include "detect/token_vc.h"
+
+namespace wcp::bench {
+namespace {
+
+void BM_ClockCompression(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto& comp = cached_random(n, n, /*events=*/30, /*seed=*/13 + n,
+                                   /*pred_prob=*/0.25);
+
+  detect::DetectionResult plain, packed, dd;
+  for (auto _ : state) {
+    auto o = default_opts();
+    plain = detect::run_token_vc(comp, o);
+    o.compress_clocks = true;
+    packed = detect::run_token_vc(comp, o);
+    dd = detect::run_direct_dep(comp, default_opts());
+    benchmark::DoNotOptimize(plain.detected);
+  }
+
+  const double pb = static_cast<double>(
+      plain.app_metrics.total_bits(MsgKind::kApplication));
+  const double kb = static_cast<double>(
+      packed.app_metrics.total_bits(MsgKind::kApplication));
+  const double db = static_cast<double>(
+      dd.app_metrics.total_bits(MsgKind::kApplication));
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["plain_app_bits"] = pb;
+  state.counters["packed_app_bits"] = kb;
+  state.counters["dd_app_bits"] = db;
+  state.counters["compression_ratio"] = pb / kb;
+}
+BENCHMARK(BM_ClockCompression)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace wcp::bench

@@ -1,0 +1,64 @@
+// E5 — the paper's central comparison (§1, §4, §6): the vector-clock token
+// algorithm costs ~n^2 m while the direct-dependence algorithm costs ~N m.
+// "The relative values of n and N determine which algorithm is more
+// efficient": direct-dependence wins when n^2 >> N, token-VC wins when the
+// predicate touches only a few of many processes (n^2 << N).
+//
+// Sweeps n at fixed N over the same computations and reports both
+// algorithms' measured work and monitor traffic; the `token_over_dd` ratio
+// crosses 1 near n ~ sqrt(N).
+#include "bench_common.h"
+#include "detect/direct_dep.h"
+#include "detect/token_vc.h"
+
+namespace wcp::bench {
+namespace {
+
+void BM_Crossover_SweepPredicateWidth(benchmark::State& state) {
+  const std::size_t N = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  const auto& comp = cached_random(N, n, /*events=*/30, /*seed=*/17,
+                                   /*pred_prob=*/0.3);
+  const double m = static_cast<double>(comp.max_messages_per_process());
+
+  detect::DetectionResult token, dd;
+  for (auto _ : state) {
+    token = detect::run_token_vc(comp, default_opts());
+    dd = detect::run_direct_dep(comp, default_opts());
+    benchmark::DoNotOptimize(token.detected);
+  }
+
+  const double tw = static_cast<double>(token.monitor_metrics.total_work());
+  const double dw = static_cast<double>(dd.monitor_metrics.total_work());
+  const double tbits =
+      static_cast<double>(token.monitor_metrics.total_bits() +
+                          token.app_metrics.total_bits(MsgKind::kSnapshot));
+  const double dbits =
+      static_cast<double>(dd.monitor_metrics.total_bits() +
+                          dd.app_metrics.total_bits(MsgKind::kSnapshot));
+  state.counters["N"] = static_cast<double>(N);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["m"] = m;
+  state.counters["n2_over_N"] =
+      static_cast<double>(n) * static_cast<double>(n) / static_cast<double>(N);
+  state.counters["token_work"] = tw;
+  state.counters["dd_work"] = dw;
+  state.counters["token_over_dd_work"] = tw / dw;
+  state.counters["token_over_dd_bits"] = tbits / dbits;
+}
+BENCHMARK(BM_Crossover_SweepPredicateWidth)
+    ->Args({24, 2})
+    ->Args({24, 3})
+    ->Args({24, 5})
+    ->Args({24, 8})
+    ->Args({24, 12})
+    ->Args({24, 18})
+    ->Args({24, 24})
+    ->Args({48, 3})
+    ->Args({48, 7})
+    ->Args({48, 14})
+    ->Args({48, 28})
+    ->Args({48, 48});
+
+}  // namespace
+}  // namespace wcp::bench

@@ -1,0 +1,57 @@
+// E4 — §4.4 claim: the direct-dependence algorithm needs O(Nm) total work,
+// messages and bits, and only O(m) work/space per process, independent of n.
+//
+// Sweeps N (at fixed m) and m (at fixed N). Counters:
+//   total_work       all-monitor work units
+//   work_per_Nm      total_work / (N m)   — should stay ~flat
+//   maxwork_per_m    busiest monitor / m  — should stay ~flat (O(m)/proc)
+//   msgs_per_3Nm     (token+poll+reply) / (3 N m)
+#include "bench_common.h"
+#include "detect/direct_dep.h"
+
+namespace wcp::bench {
+namespace {
+
+void run_case(benchmark::State& state, std::size_t clients,
+              std::int64_t rounds) {
+  // Worst case (violation in the final round): every process's candidates
+  // get eliminated all the way to the end. N = clients + server.
+  const auto& comp = cached_worstcase(clients, rounds, /*seed=*/5 + clients);
+  const std::size_t N = comp.num_processes();
+  const double m = static_cast<double>(comp.max_messages_per_process());
+  const double Nd = static_cast<double>(N);
+
+  detect::DetectionResult last;
+  for (auto _ : state) {
+    last = detect::run_direct_dep(comp, default_opts());
+    benchmark::DoNotOptimize(last.detected);
+  }
+
+  const double total = static_cast<double>(last.monitor_metrics.total_work());
+  const double mx =
+      static_cast<double>(last.monitor_metrics.max_work_per_process());
+  const double msgs = static_cast<double>(
+      last.monitor_metrics.total_messages(MsgKind::kToken) +
+      last.monitor_metrics.total_messages(MsgKind::kPoll) +
+      last.monitor_metrics.total_messages(MsgKind::kPollReply));
+  state.counters["N"] = Nd;
+  state.counters["m"] = m;
+  state.counters["detected"] = last.detected ? 1 : 0;
+  state.counters["total_work"] = total;
+  state.counters["work_per_Nm"] = total / (Nd * m);
+  state.counters["maxwork_per_m"] = mx / m;
+  state.counters["msgs_per_3Nm"] = msgs / (3.0 * Nd * m);
+}
+
+void BM_DirectDep_SweepN(benchmark::State& state) {
+  run_case(state, static_cast<std::size_t>(state.range(0)), /*rounds=*/10);
+}
+BENCHMARK(BM_DirectDep_SweepN)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_DirectDep_SweepM(benchmark::State& state) {
+  run_case(state, /*clients=*/8, /*rounds=*/state.range(0));
+}
+BENCHMARK(BM_DirectDep_SweepM)->Arg(5)->Arg(10)->Arg(20)->Arg(40)->Arg(80);
+
+}  // namespace
+}  // namespace wcp::bench

@@ -1,0 +1,46 @@
+// E8 — §5 / Theorem 5.1: against the adversary, ANY comparison-based
+// online detection algorithm needs at least nm - n sequential deletions
+// (hence Ω(nm) steps) before it can answer.
+//
+// Plays the adversary game with the natural greedy player over a grid of
+// (n, m). Counters:
+//   deletions        measured deletions until a queue emptied
+//   bound            nm - n from the theorem
+//   deletions_per_bound   >= 1.0 always (the theorem), ~1.0 here
+#include <benchmark/benchmark.h>
+
+#include "detect/lower_bound.h"
+
+namespace wcp::bench {
+namespace {
+
+void BM_LowerBound_AdversaryGame(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::int64_t m = state.range(1);
+
+  detect::GameOutcome out;
+  for (auto _ : state) {
+    out = detect::play_greedy(n, m);
+    benchmark::DoNotOptimize(out.steps);
+  }
+
+  state.counters["n"] = n;
+  state.counters["m"] = static_cast<double>(m);
+  state.counters["steps"] = static_cast<double>(out.steps);
+  state.counters["deletions"] = static_cast<double>(out.deletions);
+  state.counters["bound_nm_minus_n"] = static_cast<double>(out.bound);
+  state.counters["deletions_per_bound"] =
+      static_cast<double>(out.deletions) / static_cast<double>(out.bound);
+}
+BENCHMARK(BM_LowerBound_AdversaryGame)
+    ->Args({2, 100})
+    ->Args({4, 100})
+    ->Args({8, 100})
+    ->Args({16, 100})
+    ->Args({8, 25})
+    ->Args({8, 400})
+    ->Args({8, 1600})
+    ->Args({32, 1000});
+
+}  // namespace
+}  // namespace wcp::bench

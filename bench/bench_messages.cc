@@ -1,0 +1,58 @@
+// E2 — §3.4 claim: the token algorithm sends at most 2mn monitor-layer
+// messages (mn token moves + mn snapshots) of O(n) size each, i.e. O(n^2 m)
+// bits in total.
+//
+// Counters:
+//   tokens, snapshots     measured message counts
+//   msgs_per_2mn          (tokens + snapshots) / (2 m n)    <= ~1
+//   bits_per_n2m          monitor+snapshot bits / (n^2 m * 64)
+#include <algorithm>
+
+#include "bench_common.h"
+#include "detect/token_vc.h"
+
+namespace wcp::bench {
+namespace {
+
+void BM_TokenVc_Messages(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::int64_t rounds = state.range(1);
+  // Worst-case workload (violation only at the end) so the token really
+  // travels and every candidate is shipped to a monitor.
+  const auto& comp = cached_worstcase(n, rounds, /*seed=*/7 + n);
+  double m = 0;
+  for (ProcessId p : comp.predicate_processes())
+    m = std::max(m, static_cast<double>(comp.events(p).size()));
+  const double nd = static_cast<double>(n);
+
+  detect::DetectionResult last;
+  for (auto _ : state) {
+    last = detect::run_token_vc(comp, default_opts());
+    benchmark::DoNotOptimize(last.detected);
+  }
+
+  const double tokens =
+      static_cast<double>(last.monitor_metrics.total_messages(MsgKind::kToken));
+  const double snaps =
+      static_cast<double>(last.app_metrics.total_messages(MsgKind::kSnapshot));
+  const double bits =
+      static_cast<double>(last.monitor_metrics.total_bits(MsgKind::kToken) +
+                          last.app_metrics.total_bits(MsgKind::kSnapshot));
+  state.counters["n"] = nd;
+  state.counters["m"] = m;
+  state.counters["tokens"] = tokens;
+  state.counters["snapshots"] = snaps;
+  state.counters["msgs_per_2mn"] = (tokens + snaps) / (2.0 * m * nd);
+  state.counters["bits_per_n2m"] = bits / (nd * nd * m * 64.0);
+}
+BENCHMARK(BM_TokenVc_Messages)
+    ->Args({2, 20})
+    ->Args({4, 20})
+    ->Args({8, 20})
+    ->Args({12, 20})
+    ->Args({8, 10})
+    ->Args({8, 40})
+    ->Args({8, 80});
+
+}  // namespace
+}  // namespace wcp::bench

@@ -1,0 +1,66 @@
+// E6 — §3.5 claim: partitioning the monitors into g groups with one token
+// each introduces concurrency: "a monitor process is active only if it has
+// the token" is the single-token drawback this removes.
+//
+// Sweeps g at fixed (n, m). Virtual detection time (the simulator clock at
+// detect) is the concurrency metric: more tokens => group work overlaps.
+// Counters also report the coordination overhead (token hops include the
+// leader round-trips).
+#include "bench_common.h"
+#include "detect/multi_token.h"
+#include "detect/token_vc.h"
+
+namespace wcp::bench {
+namespace {
+
+void BM_MultiToken_SweepGroups(benchmark::State& state) {
+  const int g = static_cast<int>(state.range(0));
+  const std::size_t n = 12;
+  const auto& comp = cached_worstcase(n, /*rounds=*/12, /*seed=*/23);
+  const double m = static_cast<double>(comp.max_messages_per_process());
+
+  // Make token travel the dominant cost (fast application interconnect,
+  // slow detection overlay): this is the regime where the g tokens'
+  // concurrent group walks pay off.
+  detect::RunOptions opts = default_opts();
+  opts.latency = sim::LatencyModel::fixed_delay(1);
+  opts.monitor_latency = sim::LatencyModel::fixed_delay(50);
+  opts.step_delay = 1;
+
+  detect::DetectionResult last;
+  for (auto _ : state) {
+    if (g == 0) {
+      last = detect::run_token_vc(comp, opts);
+    } else {
+      detect::MultiTokenOptions mt;
+      mt.num_groups = g;
+      last = detect::run_multi_token(comp, opts, mt);
+    }
+    benchmark::DoNotOptimize(last.detected);
+  }
+
+  state.counters["g"] = g == 0 ? 1 : static_cast<double>(g);
+  state.counters["single_token"] = g == 0 ? 1 : 0;
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["m"] = m;
+  state.counters["detected"] = last.detected ? 1 : 0;
+  state.counters["virtual_detect_time"] =
+      static_cast<double>(last.detect_time);
+  state.counters["token_hops"] = static_cast<double>(last.token_hops);
+  state.counters["total_work"] =
+      static_cast<double>(last.monitor_metrics.total_work());
+  state.counters["max_work_proc"] =
+      static_cast<double>(last.monitor_metrics.max_work_per_process());
+}
+// g == 0 encodes the plain single-token algorithm as the baseline row.
+BENCHMARK(BM_MultiToken_SweepGroups)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(12);
+
+}  // namespace
+}  // namespace wcp::bench

@@ -1,0 +1,64 @@
+// E3 — §3.4 claim: the distributed token algorithm needs only O(nm) buffer
+// space on any single monitor, while the centralized checker concentrates
+// O(n^2 m) at one process.
+//
+// Uses an undetectable workload (one predicate process never satisfies its
+// predicate) so that queues reach their high-water marks. Counters:
+//   monitor_peak_bytes   busiest token-algorithm monitor buffer
+//   checker_peak_bytes   the checker's buffer
+//   concentration        checker / monitor  — should grow ~linearly with n
+#include "bench_common.h"
+#include "detect/centralized.h"
+#include "detect/token_vc.h"
+
+namespace wcp::bench {
+namespace {
+
+Computation starvation_workload(std::size_t n, std::int64_t rounds) {
+  // P0's predicate never holds; every other process is true in all states
+  // and keeps messaging P0, so all their candidates stay buffered forever.
+  ComputationBuilder b(n);
+  for (std::size_t p = 1; p < n; ++p)
+    b.set_default_pred(ProcessId(static_cast<int>(p)), true);
+  for (std::int64_t round = 0; round < rounds; ++round)
+    for (std::size_t p = 1; p < n; ++p)
+      b.transfer(ProcessId(static_cast<int>(p)), ProcessId(0));
+  return b.build();
+}
+
+void BM_Space_TokenVsChecker(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::int64_t rounds = state.range(1);
+  const auto comp = starvation_workload(n, rounds);
+  const double m = static_cast<double>(comp.max_messages_per_process());
+
+  detect::DetectionResult token, checker;
+  for (auto _ : state) {
+    token = detect::run_token_vc(comp, default_opts());
+    checker = detect::run_centralized(comp, default_opts());
+    benchmark::DoNotOptimize(token.detected);
+  }
+
+  const double mon_peak =
+      static_cast<double>(token.monitor_metrics.max_peak_buffered_bytes());
+  const double chk_peak = static_cast<double>(
+      checker.monitor_metrics.at(ProcessId(static_cast<int>(n)))
+          .peak_buffered_bytes);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["m"] = m;
+  state.counters["monitor_peak_bytes"] = mon_peak;
+  state.counters["checker_peak_bytes"] = chk_peak;
+  state.counters["concentration"] = chk_peak / mon_peak;
+  state.counters["monitor_per_nm"] =
+      mon_peak / (static_cast<double>(n) * m * 8.0);
+}
+BENCHMARK(BM_Space_TokenVsChecker)
+    ->Args({4, 20})
+    ->Args({8, 20})
+    ->Args({12, 20})
+    ->Args({16, 20})
+    ->Args({8, 40})
+    ->Args({8, 80});
+
+}  // namespace
+}  // namespace wcp::bench

@@ -1,0 +1,58 @@
+// E1 — §3.4 claim: the single-token vector-clock algorithm performs
+// O(n^2 m) total work, with at most O(nm) work on any single monitor.
+//
+// Sweeps n (at fixed m) and m (at fixed n) over random detectable
+// computations. Counters:
+//   total_work        measured comparison/elimination units, all monitors
+//   max_work_proc     the busiest monitor's share
+//   work_per_n2m      total_work / (n^2 m)   — should stay ~flat in n and m
+//   maxwork_per_nm    max_work_proc / (n m)  — should stay ~flat
+#include <algorithm>
+
+#include "bench_common.h"
+#include "detect/token_vc.h"
+
+namespace wcp::bench {
+namespace {
+
+void run_case(benchmark::State& state, std::size_t n, std::int64_t rounds) {
+  // Worst case: serialized mutex, violation only in the final round, so the
+  // token must eliminate every earlier candidate.
+  const auto& comp = cached_worstcase(n, rounds, /*seed=*/91 + n);
+  // m over the *predicate* processes (clients do 3 events per round).
+  double m = 0;
+  for (ProcessId p : comp.predicate_processes())
+    m = std::max(m, static_cast<double>(comp.events(p).size()));
+  const double nd = static_cast<double>(n);
+
+  detect::DetectionResult last;
+  for (auto _ : state) {
+    last = detect::run_token_vc(comp, default_opts());
+    benchmark::DoNotOptimize(last.detected);
+  }
+
+  const double total = static_cast<double>(last.monitor_metrics.total_work());
+  const double mx =
+      static_cast<double>(last.monitor_metrics.max_work_per_process());
+  state.counters["n"] = nd;
+  state.counters["m"] = m;
+  state.counters["detected"] = last.detected ? 1 : 0;
+  state.counters["total_work"] = total;
+  state.counters["max_work_proc"] = mx;
+  state.counters["work_per_n2m"] = total / (nd * nd * m);
+  state.counters["maxwork_per_nm"] = mx / (nd * m);
+  state.counters["token_hops"] = static_cast<double>(last.token_hops);
+}
+
+void BM_TokenVc_SweepN(benchmark::State& state) {
+  run_case(state, static_cast<std::size_t>(state.range(0)), /*rounds=*/10);
+}
+BENCHMARK(BM_TokenVc_SweepN)->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_TokenVc_SweepM(benchmark::State& state) {
+  run_case(state, /*n=*/6, /*rounds=*/state.range(0));
+}
+BENCHMARK(BM_TokenVc_SweepM)->Arg(5)->Arg(10)->Arg(20)->Arg(40)->Arg(80);
+
+}  // namespace
+}  // namespace wcp::bench

@@ -1,0 +1,76 @@
+// Detecting a two-phase-locking compatibility bug (the paper's §2
+// example 2): "P_reader holds a read lock" ∧ "P_writer holds a write lock"
+// on the same item.
+//
+// This example also demonstrates the paper's n-vs-N trade-off: the
+// predicate involves only 2 processes while the system has many, so the
+// vector-clock algorithm runs 2 monitors while the direct-dependence
+// algorithm must involve all N. The printed message counts show the
+// crossover the paper's §4.4 discusses.
+//
+//   $ ./db_locking [readers] [writers] [rounds] [violation_prob] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "detect/direct_dep.h"
+#include "detect/token_vc.h"
+#include "workload/db_workload.h"
+
+int main(int argc, char** argv) {
+  using namespace wcp;
+
+  workload::DbSpec spec;
+  spec.num_readers = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
+  spec.num_writers = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 3;
+  spec.rounds = argc > 3 ? std::strtol(argv[3], nullptr, 10) : 8;
+  spec.violation_prob = argc > 4 ? std::strtod(argv[4], nullptr) : 0.2;
+  spec.seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 7;
+
+  const auto db = workload::make_db(spec);
+  const auto& comp = db.computation;
+  const std::size_t N = comp.num_processes();
+  const std::size_t n = comp.predicate_processes().size();
+
+  std::cout << "2PL run: " << spec.num_readers << " readers, "
+            << spec.num_writers << " writers, " << spec.rounds
+            << " rounds (N=" << N << ", n=" << n << ")\n";
+  std::cout << "ground truth: incompatible grant "
+            << (db.violation_injected ? "INJECTED" : "absent") << "\n\n";
+
+  detect::RunOptions opts;
+  opts.seed = spec.seed;
+  opts.latency = sim::LatencyModel::uniform(1, 6);
+
+  const auto token = detect::run_token_vc(comp, opts);
+  const auto direct = detect::run_direct_dep(comp, opts);
+
+  std::cout << "token-VC  (n=" << n << " monitors): " << token << "\n"
+            << "  monitor traffic: " << token.monitor_metrics.summary()
+            << "\n";
+  std::cout << "direct-dep (N=" << N << " monitors): " << direct << "\n"
+            << "  monitor traffic: " << direct.monitor_metrics.summary()
+            << "\n\n";
+
+  if (token.detected != db.violation_injected ||
+      direct.detected != db.violation_injected) {
+    std::cout << "ERROR: detection disagrees with ground truth!\n";
+    return 1;
+  }
+
+  if (token.detected) {
+    std::cout << "2PL VIOLATED: reader P0 held its read lock in state "
+              << token.cut[0] << " while writer held its write lock in state "
+              << token.cut[1] << " — a lost-update hazard.\n";
+  } else {
+    std::cout << "lock compatibility respected in this run\n";
+  }
+
+  std::cout << "\nn-vs-N trade-off on this run:\n"
+            << "  token-VC monitor messages:   "
+            << token.monitor_metrics.total_messages() << " (predicate "
+            << "processes only)\n"
+            << "  direct-dep monitor messages: "
+            << direct.monitor_metrics.total_messages() << " (all " << N
+            << " processes participate)\n";
+  return 0;
+}

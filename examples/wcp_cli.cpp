@@ -1,0 +1,245 @@
+// wcp_cli — command-line front end for the library.
+//
+// Subcommands:
+//   generate <out.trace> [--N k] [--n k] [--events k] [--pred-prob p] [--seed s]
+//       Generate a random computation and save it as a wcp-trace file.
+//   detect <in.trace> [--algo token|multi|dd|dd-par|checker|lattice|oracle]
+//          [--groups g] [--seed s]
+//       Run one detector on a trace and print the result + cost metrics.
+//   info <in.trace>
+//       Print the trace's shape and the oracle's first WCP cut.
+//
+// Example:
+//   $ wcp_cli generate /tmp/run.trace --N 8 --n 4 --events 30
+//   $ wcp_cli detect /tmp/run.trace --algo dd
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "detect/centralized.h"
+#include "detect/lattice_online.h"
+#include "detect/direct_dep.h"
+#include "detect/lattice.h"
+#include "detect/multi_token.h"
+#include "detect/token_vc.h"
+#include "trace/diagram.h"
+#include "trace/dot_export.h"
+#include "trace/trace_io.h"
+#include "workload/random_workload.h"
+
+namespace {
+
+using namespace wcp;
+
+struct Args {
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    std::string s = argv[i];
+    if (s.rfind("--", 0) == 0) {
+      const std::string key = s.substr(2);
+      if (i + 1 < argc) {
+        a.flags[key] = argv[++i];
+      } else {
+        a.flags[key] = "";
+      }
+    } else {
+      a.positional.push_back(std::move(s));
+    }
+  }
+  return a;
+}
+
+std::int64_t flag_int(const Args& a, const std::string& key,
+                      std::int64_t def) {
+  auto it = a.flags.find(key);
+  return it == a.flags.end() ? def : std::strtoll(it->second.c_str(),
+                                                  nullptr, 10);
+}
+
+double flag_double(const Args& a, const std::string& key, double def) {
+  auto it = a.flags.find(key);
+  return it == a.flags.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string flag_str(const Args& a, const std::string& key,
+                     const std::string& def) {
+  auto it = a.flags.find(key);
+  return it == a.flags.end() ? def : it->second;
+}
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  wcp_cli generate <out.trace> [--N k] [--n k] [--events k]\n"
+      "                   [--pred-prob p] [--seed s] [--detectable 0|1]\n"
+      "  wcp_cli detect   <in.trace> [--algo token|multi|dd|dd-par|checker|"
+      "lattice|lattice-online|oracle]\n"
+      "                   [--groups g] [--seed s] [--halt 0|1]\n"
+      "  wcp_cli info     <in.trace>\n"
+      "  wcp_cli diagram  <in.trace> [--max-states k]\n"
+      "  wcp_cli dot      <in.trace>\n";
+  return 2;
+}
+
+void print_cut(const std::vector<StateIndex>& cut) {
+  std::cout << '[';
+  for (std::size_t s = 0; s < cut.size(); ++s)
+    std::cout << (s ? "," : "") << cut[s];
+  std::cout << ']';
+}
+
+int cmd_generate(const Args& a) {
+  if (a.positional.size() < 2) return usage();
+  workload::RandomSpec spec;
+  spec.num_processes = static_cast<std::size_t>(flag_int(a, "N", 8));
+  spec.num_predicate = static_cast<std::size_t>(flag_int(a, "n", 4));
+  spec.events_per_process = flag_int(a, "events", 20);
+  spec.local_pred_prob = flag_double(a, "pred-prob", 0.3);
+  spec.ensure_detectable = flag_int(a, "detectable", 0) != 0;
+  spec.seed = static_cast<std::uint64_t>(flag_int(a, "seed", 42));
+  const auto comp = workload::make_random(spec);
+  save_trace_file(a.positional[1], comp);
+  std::cout << "wrote " << a.positional[1] << ": " << comp << "\n";
+  return 0;
+}
+
+int cmd_info(const Args& a) {
+  if (a.positional.size() < 2) return usage();
+  const auto comp = load_trace_file(a.positional[1]);
+  std::cout << comp << "\n";
+  std::cout << "m (max events/process): " << comp.max_messages_per_process()
+            << "\n";
+  if (const auto cut = comp.first_wcp_cut()) {
+    std::cout << "first WCP cut: ";
+    print_cut(*cut);
+    std::cout << "\n";
+  } else {
+    std::cout << "the WCP never holds in this run\n";
+  }
+  return 0;
+}
+
+int cmd_diagram(const Args& a) {
+  if (a.positional.size() < 2) return usage();
+  const auto comp = load_trace_file(a.positional[1]);
+  DiagramOptions opts;
+  opts.max_states = flag_int(a, "max-states", 0);
+  opts.message_table = true;
+  if (const auto cut = comp.first_wcp_cut()) {
+    opts.cut_procs.assign(comp.predicate_processes().begin(),
+                          comp.predicate_processes().end());
+    opts.cut = *cut;
+  }
+  std::cout << render_diagram(comp, opts);
+  return 0;
+}
+
+int cmd_dot(const Args& a) {
+  if (a.positional.size() < 2) return usage();
+  const auto comp = load_trace_file(a.positional[1]);
+  DotOptions opts;
+  if (const auto cut = comp.first_wcp_cut()) {
+    opts.cut_procs.assign(comp.predicate_processes().begin(),
+                          comp.predicate_processes().end());
+    opts.cut = *cut;
+  }
+  export_dot(std::cout, comp, opts);
+  return 0;
+}
+
+int cmd_detect(const Args& a) {
+  if (a.positional.size() < 2) return usage();
+  const auto comp = load_trace_file(a.positional[1]);
+  const std::string algo = flag_str(a, "algo", "token");
+
+  detect::RunOptions opts;
+  opts.seed = static_cast<std::uint64_t>(flag_int(a, "seed", 1));
+  opts.latency = sim::LatencyModel::uniform(1, 6);
+  opts.halt_on_detect = flag_int(a, "halt", 0) != 0;
+
+  if (algo == "oracle") {
+    if (const auto cut = comp.first_wcp_cut()) {
+      std::cout << "oracle: DETECTED cut=";
+      print_cut(*cut);
+      std::cout << "\n";
+    } else {
+      std::cout << "oracle: not-detected\n";
+    }
+    return 0;
+  }
+  if (algo == "lattice-online") {
+    const auto r = detect::run_lattice_online(comp, opts, 10'000'000);
+    std::cout << "lattice-online: "
+              << (r.detected ? "DETECTED" : "not-detected");
+    if (r.detected) {
+      std::cout << " cut=";
+      print_cut(r.cut);
+    }
+    std::cout << " cuts_explored=" << r.cuts_explored
+              << (r.truncated ? " (truncated)" : "") << "\n";
+    return 0;
+  }
+  if (algo == "lattice") {
+    const auto r = detect::detect_lattice(comp, 10'000'000);
+    std::cout << "lattice: " << (r.detected ? "DETECTED" : "not-detected");
+    if (r.detected) {
+      std::cout << " cut=";
+      print_cut(r.cut);
+    }
+    std::cout << " cuts_explored=" << r.cuts_explored
+              << (r.truncated ? " (truncated)" : "") << "\n";
+    return 0;
+  }
+
+  detect::DetectionResult r;
+  if (algo == "token") {
+    r = detect::run_token_vc(comp, opts);
+  } else if (algo == "multi") {
+    detect::MultiTokenOptions mt;
+    mt.num_groups = static_cast<int>(flag_int(a, "groups", 2));
+    r = detect::run_multi_token(comp, opts, mt);
+  } else if (algo == "dd" || algo == "dd-par") {
+    detect::DdRunOptions dd;
+    dd.parallel = (algo == "dd-par");
+    r = detect::run_direct_dep(comp, opts, dd);
+  } else if (algo == "checker") {
+    r = detect::run_centralized(comp, opts);
+  } else {
+    std::cerr << "unknown --algo '" << algo << "'\n";
+    return usage();
+  }
+  std::cout << algo << ": " << r << "\n";
+  if (!r.frozen_cut.empty()) {
+    std::cout << "  frozen at: ";
+    print_cut(r.frozen_cut);
+    std::cout << "\n";
+  }
+  std::cout << "  app:     " << r.app_metrics.summary() << "\n";
+  std::cout << "  monitor: " << r.monitor_metrics.summary() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse_args(argc, argv);
+  if (a.positional.empty()) return usage();
+  try {
+    const std::string& cmd = a.positional[0];
+    if (cmd == "generate") return cmd_generate(a);
+    if (cmd == "detect") return cmd_detect(a);
+    if (cmd == "info") return cmd_info(a);
+    if (cmd == "diagram") return cmd_diagram(a);
+    if (cmd == "dot") return cmd_dot(a);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

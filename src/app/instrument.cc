@@ -1,0 +1,86 @@
+#include "app/instrument.h"
+
+#include "common/error.h"
+
+namespace wcp::app {
+
+Instrument::Instrument(sim::Network& net, ProcessId self, Config cfg)
+    : net_(net), self_(self), cfg_(std::move(cfg)) {
+  if (cfg_.vector_clock_mode) {
+    WCP_REQUIRE(cfg_.predicate_width >= 1, "predicate width must be >= 1");
+    vclock_ = in_predicate()
+                  ? VectorClock::initial(cfg_.predicate_width,
+                                         ProcessId(cfg_.pred_slot))
+                  : VectorClock(cfg_.predicate_width);
+  }
+}
+
+ClockHeader Instrument::on_send(ProcessId to) {
+  ClockHeader hdr;
+  if (cfg_.vector_clock_mode) {
+    hdr.vclock = vclock_;
+    if (in_predicate()) vclock_.tick(ProcessId(cfg_.pred_slot));
+  } else {
+    hdr.clock = clock_;
+    ++clock_;
+  }
+  if (cfg_.recorder) hdr.rec_id = cfg_.recorder->record_send(self_, to);
+  entered_new_state();
+  return hdr;
+}
+
+void Instrument::on_receive(ProcessId from, const ClockHeader& hdr) {
+  if (cfg_.vector_clock_mode) {
+    vclock_.merge(hdr.vclock);
+    if (in_predicate()) vclock_.tick(ProcessId(cfg_.pred_slot));
+  } else {
+    deps_.add(from, hdr.clock);
+    ++clock_;
+  }
+  if (cfg_.recorder) {
+    WCP_REQUIRE(hdr.rec_id >= 0,
+                "received header carries no recorder id (mixed recording?)");
+    cfg_.recorder->record_receive(hdr.rec_id);
+  }
+  entered_new_state();
+}
+
+void Instrument::entered_new_state() {
+  snapshot_sent_for_state_ = false;  // Fig. 2: firstflag := true
+  maybe_snapshot();
+}
+
+void Instrument::set_predicate(bool holds) {
+  pred_value_ = holds;
+  if (cfg_.recorder && in_predicate() && holds)
+    cfg_.recorder->record_pred(self_, true);
+  maybe_snapshot();
+}
+
+void Instrument::maybe_snapshot() {
+  // Direct-dependence relays run with the identically-true predicate.
+  const bool effective_pred =
+      (!cfg_.vector_clock_mode && !in_predicate()) || pred_value_;
+  if (!effective_pred || snapshot_sent_for_state_) return;
+  if (cfg_.vector_clock_mode && !in_predicate()) return;  // VC relays: none
+  snapshot_sent_for_state_ = true;
+
+  if (cfg_.recorder && in_predicate())
+    cfg_.recorder->record_pred(self_, true);
+
+  if (cfg_.vector_clock_mode) {
+    VcSnapshot snap;
+    snap.vclock = vclock_;
+    const std::int64_t bits = snap.bits();
+    net_.send(sim::NodeAddr::app(self_), cfg_.monitor, MsgKind::kSnapshot,
+              std::move(snap), bits);
+  } else {
+    DdSnapshot snap{clock_, deps_};
+    deps_.clear();
+    const std::int64_t bits = snap.bits();
+    net_.send(sim::NodeAddr::app(self_), cfg_.monitor, MsgKind::kSnapshot,
+              std::move(snap), bits);
+  }
+}
+
+}  // namespace wcp::app

@@ -1,0 +1,110 @@
+// Live instrumentation for user-written application processes.
+//
+// The replay driver (app_driver.h) re-executes a recorded Computation; this
+// header is the adoption path for *live* programs: a user's sim::Node owns
+// an Instrument, stamps outgoing messages with ClockHeader, feeds incoming
+// headers back, and reports its local-predicate value. The Instrument
+// maintains the Fig. 2 vector clock (or the §4.1 scalar clock and
+// dependence list), applies the firstflag snapshot rule, and sends local
+// snapshots to the process's monitor — so any detector harness (token-VC,
+// multi-token, direct-dependence, checker) works on live runs unchanged.
+//
+// An optional shared Recorder reconstructs the run's Computation as it
+// happens, which gives live runs the same offline oracle the replay tests
+// use (and free trace dumps via trace_io).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "app/snapshot.h"
+#include "clock/dependence.h"
+#include "clock/vector_clock.h"
+#include "sim/network.h"
+#include "trace/computation.h"
+
+namespace wcp::app {
+
+/// Piggybacked on every application message of an instrumented process.
+struct ClockHeader {
+  VectorClock vclock;      // vector-clock mode (width n)
+  LamportTime clock = 0;   // direct-dependence mode
+  std::int64_t rec_id = -1;  // recorder message id (bookkeeping only)
+
+  [[nodiscard]] std::int64_t bits() const {
+    return vclock.empty() ? 64 : vclock.bits();
+  }
+};
+
+/// Reconstructs the Computation of a live run. One Recorder is shared by
+/// all Instruments of a run (the simulator is single-threaded).
+class Recorder {
+ public:
+  explicit Recorder(std::size_t num_processes) : b_(num_processes) {}
+
+  void set_predicate_processes(std::vector<ProcessId> procs) {
+    b_.set_predicate_processes(std::move(procs));
+  }
+
+  [[nodiscard]] std::int64_t record_send(ProcessId from, ProcessId to) {
+    return b_.send(from, to);
+  }
+  void record_receive(std::int64_t rec_id) { b_.receive(rec_id); }
+  void record_pred(ProcessId p, bool value) { b_.mark_pred(p, value); }
+
+  /// Finalize; the recorder is single-use.
+  Computation build() { return b_.build(); }
+
+ private:
+  ComputationBuilder b_;
+};
+
+class Instrument {
+ public:
+  struct Config {
+    /// Vector-clock mode when true (n-wide clocks; only predicate
+    /// processes snapshot); direct-dependence mode when false (scalar
+    /// clock; every process snapshots, relays with l ≡ true).
+    bool vector_clock_mode = true;
+    std::size_t predicate_width = 0;  ///< n (vector-clock mode)
+    int pred_slot = -1;               ///< this process's slot, -1 for relays
+    sim::NodeAddr monitor;            ///< snapshot destination
+    std::shared_ptr<Recorder> recorder;  ///< optional
+  };
+
+  /// `net`/`self` identify the owning application node.
+  Instrument(sim::Network& net, ProcessId self, Config cfg);
+
+  /// Call immediately before sending an application message to `to`;
+  /// embed the returned header in the message payload.
+  ClockHeader on_send(ProcessId to);
+
+  /// Call when an application message (from `from`, carrying `hdr`) is
+  /// consumed.
+  void on_receive(ProcessId from, const ClockHeader& hdr);
+
+  /// Report the local predicate's current value. The Instrument applies the
+  /// Fig. 2 firstflag rule: a snapshot is emitted when the predicate is
+  /// true and none has been sent for the current state; state changes
+  /// (send/receive) re-arm it automatically while the value stays true.
+  void set_predicate(bool holds);
+
+  [[nodiscard]] const VectorClock& vclock() const { return vclock_; }
+  [[nodiscard]] LamportTime clock() const { return clock_; }
+
+ private:
+  void entered_new_state();
+  void maybe_snapshot();
+  [[nodiscard]] bool in_predicate() const { return cfg_.pred_slot >= 0; }
+
+  sim::Network& net_;
+  ProcessId self_;
+  Config cfg_;
+  VectorClock vclock_;
+  LamportTime clock_ = 1;
+  DependenceList deps_;
+  bool pred_value_ = false;
+  bool snapshot_sent_for_state_ = false;
+};
+
+}  // namespace wcp::app

@@ -1,0 +1,22 @@
+#include "clock/dependence.h"
+
+#include <ostream>
+
+namespace wcp {
+
+std::ostream& operator<<(std::ostream& os, const Dependence& d) {
+  return os << '(' << d.source << ',' << d.clock << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const DependenceList& dl) {
+  os << '{';
+  bool first = true;
+  for (const auto& d : dl) {
+    if (!first) os << ' ';
+    os << d;
+    first = false;
+  }
+  return os << '}';
+}
+
+}  // namespace wcp

@@ -1,0 +1,65 @@
+// Direct-dependence tracking for the §4 algorithm.
+//
+// The direct-dependence algorithm replaces O(n)-sized vector clocks with a
+// scalar Lamport-style counter plus, per receive, one recorded dependence
+// (j, k): "a message sent by P_j at clock k was received here". A local
+// snapshot carries the dependences accumulated since the previous snapshot.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wcp {
+
+/// One direct dependence: the local states following the recording receive
+/// depend on P_source's state with clock value `clock`.
+struct Dependence {
+  ProcessId source;
+  LamportTime clock = 0;
+
+  friend bool operator==(const Dependence&, const Dependence&) = default;
+  friend auto operator<=>(const Dependence&, const Dependence&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Dependence& d);
+
+/// The per-snapshot dependence list (§4.1). Order is arrival order; the
+/// monitor polls dependences in this order.
+class DependenceList {
+ public:
+  DependenceList() = default;
+
+  void add(ProcessId source, LamportTime clock) {
+    deps_.push_back(Dependence{source, clock});
+  }
+
+  void clear() { deps_.clear(); }
+  [[nodiscard]] bool empty() const { return deps_.empty(); }
+  [[nodiscard]] std::size_t size() const { return deps_.size(); }
+
+  [[nodiscard]] auto begin() const { return deps_.begin(); }
+  [[nodiscard]] auto end() const { return deps_.end(); }
+
+  void append(const DependenceList& other) {
+    deps_.insert(deps_.end(), other.deps_.begin(), other.deps_.end());
+  }
+
+  [[nodiscard]] const std::vector<Dependence>& items() const { return deps_; }
+
+  /// Wire size in bits: a dependence is a pair of integers (§4.4).
+  [[nodiscard]] std::int64_t bits() const {
+    return static_cast<std::int64_t>(deps_.size()) * 2 * 64;
+  }
+
+  friend bool operator==(const DependenceList&, const DependenceList&) = default;
+
+ private:
+  std::vector<Dependence> deps_;
+};
+
+std::ostream& operator<<(std::ostream& os, const DependenceList& dl);
+
+}  // namespace wcp

@@ -1,0 +1,55 @@
+#include "clock/vector_clock.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace wcp {
+
+VectorClock VectorClock::initial(std::size_t width, ProcessId owner) {
+  WCP_REQUIRE(owner.valid() && owner.idx() < width,
+              "initial clock owner " << owner << " out of width " << width);
+  VectorClock vc(width);
+  vc.c_[owner.idx()] = 1;
+  return vc;
+}
+
+void VectorClock::tick(ProcessId owner) {
+  WCP_CHECK(owner.valid() && owner.idx() < c_.size());
+  ++c_[owner.idx()];
+}
+
+void VectorClock::merge(const VectorClock& other) {
+  WCP_CHECK_MSG(other.c_.size() == c_.size(),
+                "merging clocks of widths " << c_.size() << " and "
+                                            << other.c_.size());
+  for (std::size_t j = 0; j < c_.size(); ++j)
+    c_[j] = std::max(c_[j], other.c_[j]);
+}
+
+bool VectorClock::happened_before(const VectorClock& other) const {
+  WCP_CHECK(other.c_.size() == c_.size());
+  bool strictly_less = false;
+  for (std::size_t j = 0; j < c_.size(); ++j) {
+    if (c_[j] > other.c_[j]) return false;
+    if (c_[j] < other.c_[j]) strictly_less = true;
+  }
+  return strictly_less;
+}
+
+std::string VectorClock::to_string() const {
+  std::ostringstream oss;
+  oss << *this;
+  return oss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const VectorClock& vc) {
+  os << '[';
+  for (std::size_t j = 0; j < vc.width(); ++j) {
+    if (j > 0) os << ',';
+    os << vc[j];
+  }
+  return os << ']';
+}
+
+}  // namespace wcp

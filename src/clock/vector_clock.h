@@ -1,0 +1,80 @@
+// Fidge/Mattern vector clocks over the n predicate processes (§3.1).
+//
+// Component semantics follow the paper's application-process algorithm
+// (Fig. 2): vclock[i] numbers the local *states* of P_i starting at 1, and
+// is incremented after every send and after every receive, so each value of
+// vclock[i] names one communication-free state interval. The two vector
+// clock properties the correctness proof relies on are exposed directly:
+//
+//   1. a -> b        iff  a.v < b.v                        (happened_before)
+//   2. (j, v[j]) -> (i, v[i]) for any clock v held by P_i  (by construction)
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace wcp {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  /// Zero clock of the given width (all components 0).
+  explicit VectorClock(std::size_t width) : c_(width, 0) {}
+
+  /// Clock with explicit components.
+  explicit VectorClock(std::vector<StateIndex> components)
+      : c_(std::move(components)) {}
+
+  /// The clock P_i starts with: own component 1, all others 0 (Fig. 2 init).
+  static VectorClock initial(std::size_t width, ProcessId owner);
+
+  [[nodiscard]] std::size_t width() const { return c_.size(); }
+  [[nodiscard]] bool empty() const { return c_.empty(); }
+
+  [[nodiscard]] StateIndex operator[](std::size_t j) const { return c_[j]; }
+  [[nodiscard]] StateIndex at(ProcessId j) const { return c_.at(j.idx()); }
+
+  [[nodiscard]] std::span<const StateIndex> components() const { return c_; }
+
+  /// Increment the owner component (performed after send/receive in Fig. 2).
+  void tick(ProcessId owner);
+
+  /// Component-wise max with a received message's clock (receive rule).
+  void merge(const VectorClock& other);
+
+  void set(ProcessId j, StateIndex v) { c_.at(j.idx()) = v; }
+
+  /// True iff the state stamped `*this` happened before the state stamped
+  /// `other` (strictly less in every... i.e. <= everywhere and < somewhere).
+  [[nodiscard]] bool happened_before(const VectorClock& other) const;
+
+  [[nodiscard]] bool concurrent_with(const VectorClock& other) const {
+    return !happened_before(other) && !other.happened_before(*this) &&
+           c_ != other.c_;
+  }
+
+  friend bool operator==(const VectorClock&, const VectorClock&) = default;
+
+  /// Wire size in bits (for the §3.4 bit-complexity accounting):
+  /// width × 64-bit components.
+  [[nodiscard]] std::int64_t bits() const {
+    return static_cast<std::int64_t>(c_.size()) * 64;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<StateIndex> c_;
+};
+
+std::ostream& operator<<(std::ostream& os, const VectorClock& vc);
+
+}  // namespace wcp

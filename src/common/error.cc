@@ -1,0 +1,20 @@
+#include "common/error.h"
+
+namespace wcp::internal {
+
+void fail_check(const char* cond, const char* file, int line,
+                const std::string& msg) {
+  std::ostringstream oss;
+  oss << "invariant violation: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw InvariantViolation(oss.str());
+}
+
+void fail_require(const char* cond, const std::string& msg) {
+  std::ostringstream oss;
+  oss << "requirement failed: (" << cond << ")";
+  if (!msg.empty()) oss << " — " << msg;
+  throw std::invalid_argument(oss.str());
+}
+
+}  // namespace wcp::internal

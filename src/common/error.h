@@ -1,0 +1,55 @@
+// Error handling helpers.
+//
+// Library invariants are checked with WCP_CHECK (always on) which throws
+// InvariantViolation; user-facing argument validation throws
+// std::invalid_argument via WCP_REQUIRE.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace wcp {
+
+/// Thrown when an internal invariant of a detection algorithm or substrate
+/// is violated. Indicates a bug in this library, never user error.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace internal {
+[[noreturn]] void fail_check(const char* cond, const char* file, int line,
+                             const std::string& msg);
+[[noreturn]] void fail_require(const char* cond, const std::string& msg);
+}  // namespace internal
+
+}  // namespace wcp
+
+/// Always-on invariant check; throws wcp::InvariantViolation on failure.
+#define WCP_CHECK(cond)                                               \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::wcp::internal::fail_check(#cond, __FILE__, __LINE__, "");     \
+  } while (0)
+
+/// Invariant check with a streamed message: WCP_CHECK_MSG(x>0, "x=" << x).
+#define WCP_CHECK_MSG(cond, stream_expr)                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream wcp_oss__;                                         \
+      wcp_oss__ << stream_expr;                                             \
+      ::wcp::internal::fail_check(#cond, __FILE__, __LINE__, wcp_oss__.str()); \
+    }                                                                       \
+  } while (0)
+
+/// Precondition on user-supplied arguments; throws std::invalid_argument.
+#define WCP_REQUIRE(cond, stream_expr)                        \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      std::ostringstream wcp_oss__;                           \
+      wcp_oss__ << stream_expr;                               \
+      ::wcp::internal::fail_require(#cond, wcp_oss__.str());  \
+    }                                                         \
+  } while (0)

@@ -1,0 +1,23 @@
+#include "common/logging.h"
+
+#include <iostream>
+
+namespace wcp {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& msg) {
+  const char* tag = "";
+  switch (level) {
+    case LogLevel::kInfo: tag = "I"; break;
+    case LogLevel::kDebug: tag = "D"; break;
+    case LogLevel::kTrace: tag = "T"; break;
+    case LogLevel::kOff: return;
+  }
+  std::cerr << "[wcp:" << tag << "] " << msg << '\n';
+}
+
+}  // namespace wcp

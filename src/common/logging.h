@@ -1,0 +1,43 @@
+// Minimal leveled logging used by examples and debugging runs.
+//
+// Off by default; tests and benches keep it silent. Not thread-safe by
+// design: the simulator is single-threaded and deterministic.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace wcp {
+
+enum class LogLevel : int { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level <= level_; }
+
+  void write(LogLevel level, const std::string& msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kOff;
+};
+
+}  // namespace wcp
+
+#define WCP_LOG(level, stream_expr)                                     \
+  do {                                                                  \
+    if (::wcp::Logger::instance().enabled(level)) {                     \
+      std::ostringstream wcp_log_oss__;                                 \
+      wcp_log_oss__ << stream_expr;                                     \
+      ::wcp::Logger::instance().write(level, wcp_log_oss__.str());      \
+    }                                                                   \
+  } while (0)
+
+#define WCP_INFO(stream_expr) WCP_LOG(::wcp::LogLevel::kInfo, stream_expr)
+#define WCP_DEBUG(stream_expr) WCP_LOG(::wcp::LogLevel::kDebug, stream_expr)
+#define WCP_TRACE(stream_expr) WCP_LOG(::wcp::LogLevel::kTrace, stream_expr)

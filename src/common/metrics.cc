@@ -1,0 +1,132 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace wcp {
+
+const char* to_string(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kSnapshot: return "snapshot";
+    case MsgKind::kToken: return "token";
+    case MsgKind::kPoll: return "poll";
+    case MsgKind::kPollReply: return "poll_reply";
+    case MsgKind::kApplication: return "application";
+    case MsgKind::kControl: return "control";
+  }
+  return "?";
+}
+
+std::int64_t ProcessMetrics::total_messages() const {
+  return std::accumulate(std::begin(messages_sent), std::end(messages_sent),
+                         std::int64_t{0});
+}
+
+std::int64_t ProcessMetrics::total_bits() const {
+  return std::accumulate(std::begin(bits_sent), std::end(bits_sent),
+                         std::int64_t{0});
+}
+
+void Metrics::record_send(ProcessId from, MsgKind kind, std::int64_t bits) {
+  auto& pm = at(from);
+  ++pm.messages_sent[static_cast<std::size_t>(kind)];
+  pm.bits_sent[static_cast<std::size_t>(kind)] += bits;
+}
+
+void Metrics::add_work(ProcessId p, std::int64_t units) {
+  at(p).work_units += units;
+}
+
+void Metrics::buffer_change(ProcessId p, std::int64_t delta_bytes,
+                            std::int64_t delta_count) {
+  auto& pm = at(p);
+  pm.buffered_bytes += delta_bytes;
+  pm.snapshots_buffered += delta_count;
+  WCP_CHECK(pm.buffered_bytes >= 0);
+  pm.peak_buffered_bytes = std::max(pm.peak_buffered_bytes, pm.buffered_bytes);
+}
+
+std::int64_t Metrics::total_messages(MsgKind kind) const {
+  std::int64_t sum = 0;
+  for (const auto& pm : per_process_)
+    sum += pm.messages_sent[static_cast<std::size_t>(kind)];
+  return sum;
+}
+
+std::int64_t Metrics::total_messages() const {
+  std::int64_t sum = 0;
+  for (const auto& pm : per_process_) sum += pm.total_messages();
+  return sum;
+}
+
+std::int64_t Metrics::total_bits(MsgKind kind) const {
+  std::int64_t sum = 0;
+  for (const auto& pm : per_process_)
+    sum += pm.bits_sent[static_cast<std::size_t>(kind)];
+  return sum;
+}
+
+std::int64_t Metrics::total_bits() const {
+  std::int64_t sum = 0;
+  for (const auto& pm : per_process_) sum += pm.total_bits();
+  return sum;
+}
+
+std::int64_t Metrics::total_work() const {
+  std::int64_t sum = 0;
+  for (const auto& pm : per_process_) sum += pm.work_units;
+  return sum;
+}
+
+std::int64_t Metrics::max_work_per_process() const {
+  std::int64_t mx = 0;
+  for (const auto& pm : per_process_) mx = std::max(mx, pm.work_units);
+  return mx;
+}
+
+std::int64_t Metrics::max_peak_buffered_bytes() const {
+  std::int64_t mx = 0;
+  for (const auto& pm : per_process_) mx = std::max(mx, pm.peak_buffered_bytes);
+  return mx;
+}
+
+void Metrics::merge(const Metrics& other) {
+  if (per_process_.size() < other.per_process_.size())
+    per_process_.resize(other.per_process_.size());
+  for (std::size_t i = 0; i < other.per_process_.size(); ++i) {
+    auto& dst = per_process_[i];
+    const auto& src = other.per_process_[i];
+    for (std::size_t k = 0; k < kNumMsgKinds; ++k) {
+      dst.messages_sent[k] += src.messages_sent[k];
+      dst.bits_sent[k] += src.bits_sent[k];
+    }
+    dst.work_units += src.work_units;
+    dst.peak_buffered_bytes =
+        std::max(dst.peak_buffered_bytes, src.peak_buffered_bytes);
+  }
+  token_hops_ += other.token_hops_;
+}
+
+std::string Metrics::summary() const {
+  std::ostringstream oss;
+  oss << "messages=" << total_messages() << " (snapshot="
+      << total_messages(MsgKind::kSnapshot)
+      << " token=" << total_messages(MsgKind::kToken)
+      << " poll=" << total_messages(MsgKind::kPoll)
+      << " reply=" << total_messages(MsgKind::kPollReply) << ")"
+      << " bits=" << total_bits() << " work=" << total_work()
+      << " max_work/proc=" << max_work_per_process()
+      << " token_hops=" << token_hops_
+      << " peak_buf_bytes=" << max_peak_buffered_bytes();
+  return oss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Metrics& m) {
+  return os << m.summary();
+}
+
+}  // namespace wcp

@@ -1,0 +1,89 @@
+// Measurement counters for detection experiments.
+//
+// Every online detector runs on the simulator and accounts its costs here,
+// so the complexity claims of §3.4 / §4.4 of the paper are *measured*:
+//   - messages & bits sent, split by kind (snapshot / token / poll / reply),
+//   - abstract "work units" (one unit per state comparison or list op),
+//   - token hops,
+//   - peak buffered snapshot bytes per monitor (space claim).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wcp {
+
+/// Classification of monitor-layer traffic, mirroring the paper's counting
+/// argument (snapshots from application processes; token; polls; replies).
+enum class MsgKind : std::uint8_t {
+  kSnapshot = 0,
+  kToken = 1,
+  kPoll = 2,
+  kPollReply = 3,
+  kApplication = 4,
+  kControl = 5,  // end-of-stream markers and other bookkeeping (extension)
+};
+
+inline constexpr std::size_t kNumMsgKinds = 6;
+
+const char* to_string(MsgKind kind);
+
+/// Per-process cost counters.
+struct ProcessMetrics {
+  std::int64_t messages_sent[kNumMsgKinds] = {};
+  std::int64_t bits_sent[kNumMsgKinds] = {};
+  std::int64_t work_units = 0;          ///< state comparisons + list ops
+  std::int64_t snapshots_buffered = 0;  ///< currently queued snapshots
+  std::int64_t peak_buffered_bytes = 0; ///< high-water mark of queue bytes
+  std::int64_t buffered_bytes = 0;
+
+  [[nodiscard]] std::int64_t total_messages() const;
+  [[nodiscard]] std::int64_t total_bits() const;
+};
+
+/// Aggregated metrics for one detection run.
+class Metrics {
+ public:
+  Metrics() = default;
+  explicit Metrics(std::size_t num_processes) : per_process_(num_processes) {}
+
+  void resize(std::size_t num_processes) { per_process_.resize(num_processes); }
+
+  [[nodiscard]] std::size_t num_processes() const { return per_process_.size(); }
+
+  ProcessMetrics& at(ProcessId p) { return per_process_.at(p.idx()); }
+  const ProcessMetrics& at(ProcessId p) const { return per_process_.at(p.idx()); }
+
+  void record_send(ProcessId from, MsgKind kind, std::int64_t bits);
+  void add_work(ProcessId p, std::int64_t units);
+  void buffer_change(ProcessId p, std::int64_t delta_bytes, std::int64_t delta_count);
+
+  void bump_token_hops() { ++token_hops_; }
+  [[nodiscard]] std::int64_t token_hops() const { return token_hops_; }
+
+  [[nodiscard]] std::int64_t total_messages(MsgKind kind) const;
+  [[nodiscard]] std::int64_t total_messages() const;
+  [[nodiscard]] std::int64_t total_bits(MsgKind kind) const;
+  [[nodiscard]] std::int64_t total_bits() const;
+  [[nodiscard]] std::int64_t total_work() const;
+  [[nodiscard]] std::int64_t max_work_per_process() const;
+  [[nodiscard]] std::int64_t max_peak_buffered_bytes() const;
+
+  /// Merge another run's counters into this one (used by sweep harnesses).
+  void merge(const Metrics& other);
+
+  /// Human-readable one-run summary table.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<ProcessMetrics> per_process_;
+  std::int64_t token_hops_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Metrics& m);
+
+}  // namespace wcp

@@ -1,0 +1,15 @@
+#include "common/types.h"
+
+#include <ostream>
+
+namespace wcp {
+
+std::ostream& operator<<(std::ostream& os, ProcessId id) {
+  return os << 'P' << id.value();
+}
+
+std::ostream& operator<<(std::ostream& os, Color c) {
+  return os << (c == Color::kRed ? "red" : "green");
+}
+
+}  // namespace wcp

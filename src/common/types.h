@@ -1,0 +1,69 @@
+// Core scalar types shared by every wcp module.
+//
+// Terminology follows Garg & Chase (ICDCS'95):
+//   - N   : total number of application processes in the system.
+//   - n   : number of processes over which the WCP is defined (n <= N).
+//   - m   : maximum number of messages sent or received by any process.
+//   - (i,k): the k-th local state on process P_i (k starts at 1; k == 0 is
+//            the fictitious pre-initial state used by the token algorithms).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+
+namespace wcp {
+
+/// Strongly-typed process identifier. Values are dense indices 0..N-1 so a
+/// ProcessId can directly index per-process arrays via idx().
+class ProcessId {
+ public:
+  constexpr ProcessId() = default;
+  constexpr explicit ProcessId(std::int32_t v) : v_(v) {}
+
+  /// Numeric value; -1 for an invalid/unset id.
+  [[nodiscard]] constexpr std::int32_t value() const { return v_; }
+  /// Value as a size_t index into per-process containers.
+  [[nodiscard]] constexpr std::size_t idx() const {
+    return static_cast<std::size_t>(v_);
+  }
+  [[nodiscard]] constexpr bool valid() const { return v_ >= 0; }
+
+  friend constexpr bool operator==(ProcessId, ProcessId) = default;
+  friend constexpr auto operator<=>(ProcessId, ProcessId) = default;
+
+  static constexpr ProcessId invalid() { return ProcessId{-1}; }
+
+ private:
+  std::int32_t v_ = -1;
+};
+
+std::ostream& operator<<(std::ostream& os, ProcessId id);
+
+/// Index of a local state within one process: 1-based; 0 denotes the
+/// pre-initial placeholder used to initialize candidate cuts.
+using StateIndex = std::int64_t;
+
+/// Scalar logical (Lamport-style) clock value used by the direct-dependence
+/// algorithm. Starts at 1 and is incremented on every send/receive.
+using LamportTime = std::int64_t;
+
+/// Color of a candidate state in the token algorithms.
+enum class Color : std::uint8_t { kRed, kGreen };
+
+std::ostream& operator<<(std::ostream& os, Color c);
+
+/// Virtual time in the discrete-event simulator (arbitrary units).
+using SimTime = std::int64_t;
+
+constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+}  // namespace wcp
+
+template <>
+struct std::hash<wcp::ProcessId> {
+  std::size_t operator()(wcp::ProcessId id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};

@@ -1,0 +1,83 @@
+#include "detect/boolean.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace wcp::detect {
+
+namespace {
+
+// Advance-candidate first-cut search restricted to the given processes and
+// admissible-state lists (same strategy as Computation::first_wcp_cut).
+std::optional<std::vector<StateIndex>> first_cut(
+    const Computation& comp, std::span<const ProcessId> procs,
+    const std::vector<std::vector<StateIndex>>& cand) {
+  const std::size_t w = procs.size();
+  std::vector<std::size_t> pos(w, 0);
+  for (std::size_t s = 0; s < w; ++s)
+    if (cand[s].empty()) return std::nullopt;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t s = 0; s < w && !changed; ++s) {
+      for (std::size_t t = 0; t < w; ++t) {
+        if (s == t) continue;
+        if (comp.happened_before(procs[s], cand[s][pos[s]], procs[t],
+                                 cand[t][pos[t]])) {
+          if (++pos[s] >= cand[s].size()) return std::nullopt;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  std::vector<StateIndex> cut(w);
+  for (std::size_t s = 0; s < w; ++s) cut[s] = cand[s][pos[s]];
+  return cut;
+}
+
+}  // namespace
+
+DnfResult detect_dnf(const Computation& comp,
+                     std::span<const Conjunct> disjuncts) {
+  const auto preds = comp.predicate_processes();
+  DnfResult res;
+  res.satisfiable.assign(disjuncts.size(), false);
+
+  for (std::size_t d = 0; d < disjuncts.size(); ++d) {
+    const Conjunct& conj = disjuncts[d];
+    WCP_REQUIRE(!conj.empty(), "empty conjunct " << d);
+
+    std::vector<ProcessId> procs;
+    std::vector<std::vector<StateIndex>> cand;
+    std::vector<bool> seen(preds.size(), false);
+    for (const Literal& lit : conj) {
+      WCP_REQUIRE(lit.slot >= 0 &&
+                      static_cast<std::size_t>(lit.slot) < preds.size(),
+                  "literal slot " << lit.slot << " out of range");
+      WCP_REQUIRE(!seen[static_cast<std::size_t>(lit.slot)],
+                  "slot " << lit.slot << " repeated in conjunct " << d);
+      seen[static_cast<std::size_t>(lit.slot)] = true;
+      const ProcessId p = preds[static_cast<std::size_t>(lit.slot)];
+      procs.push_back(p);
+      std::vector<StateIndex> states;
+      for (StateIndex k = 1; k <= comp.num_states(p); ++k)
+        if (comp.local_pred(p, k) != lit.negated) states.push_back(k);
+      cand.push_back(std::move(states));
+    }
+
+    const auto cut = first_cut(comp, procs, cand);
+    res.satisfiable[d] = cut.has_value();
+    if (cut && !res.detected) {
+      res.detected = true;
+      res.disjunct = static_cast<int>(d);
+      res.procs = std::move(procs);
+      res.cut = *cut;
+    }
+  }
+  return res;
+}
+
+}  // namespace wcp::detect

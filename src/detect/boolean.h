@@ -1,0 +1,48 @@
+// Boolean combinations of local predicates — the §2 reduction:
+// "any boolean predicate can be detected using an algorithm that detects
+// conjunctive predicates [7]".
+//
+// A boolean global predicate over local predicates l_1..l_n is put in
+// disjunctive normal form; each disjunct is a conjunction of literals
+// (l_i or ¬l_i over a subset of the slots) and is detected independently
+// with the WCP machinery (a literal just flips which local states are
+// admissible candidates). possibly(B) holds iff some disjunct has a
+// consistent satisfying cut.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/computation.h"
+
+namespace wcp::detect {
+
+/// One literal of a conjunct: predicate slot `slot` of the computation,
+/// possibly negated.
+struct Literal {
+  int slot = 0;
+  bool negated = false;
+};
+
+/// A conjunction of literals (at least one). Slots may not repeat.
+using Conjunct = std::vector<Literal>;
+
+struct DnfResult {
+  bool detected = false;
+  /// Index of the first satisfiable disjunct (in argument order), or -1.
+  int disjunct = -1;
+  /// Its minimal satisfying cut, over the processes of that disjunct's
+  /// slots in `procs` order.
+  std::vector<ProcessId> procs;
+  std::vector<StateIndex> cut;
+  /// Per-disjunct satisfiability (same size as the input).
+  std::vector<bool> satisfiable;
+};
+
+/// possibly(D_0 ∨ D_1 ∨ ...): runs first-cut detection for every disjunct.
+DnfResult detect_dnf(const Computation& comp,
+                     std::span<const Conjunct> disjuncts);
+
+}  // namespace wcp::detect

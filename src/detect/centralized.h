@@ -1,0 +1,56 @@
+// Centralized WCP checker — the Garg & Waldecker (TPDS'94) baseline the
+// paper compares against (§1, §3.4).
+//
+// Every predicate process streams its candidate vector clocks to a single
+// checker process, which keeps one FIFO queue per slot and repeatedly
+// eliminates dominated queue heads: head_s is eliminated when it happened
+// before some other head, i.e. head_t.vc[s] >= head_s.vc[s] for some t
+// (an O(1) own-component test; the paper's two vector-clock properties).
+// When all n heads are present and pairwise concurrent they form the first
+// WCP cut.
+//
+// Cost profile (E9): same O(n^2 m) total time as the token algorithm, but
+// concentrated in one process, with O(n^2 m) buffer space at the checker.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "app/snapshot.h"
+#include "detect/result.h"
+#include "sim/network.h"
+#include "trace/computation.h"
+
+namespace wcp::detect {
+
+class CentralizedChecker final : public sim::Node {
+ public:
+  struct Config {
+    std::vector<ProcessId> slot_to_pid;
+    std::shared_ptr<SharedDetection> shared;
+  };
+
+  explicit CentralizedChecker(Config cfg);
+
+  void on_packet(sim::Packet&& p) override;
+
+  [[nodiscard]] std::int64_t eliminations() const { return eliminations_; }
+
+ private:
+  void process();
+  void pop_head(std::size_t s);
+  [[nodiscard]] std::size_t n() const { return cfg_.slot_to_pid.size(); }
+
+  Config cfg_;
+  std::vector<std::deque<app::VcSnapshot>> queues_;
+  std::deque<std::size_t> dirty_;  // slots whose head needs cross-comparison
+  std::vector<bool> in_dirty_;
+  std::int64_t eliminations_ = 0;
+};
+
+/// Runs the centralized checker online over a replay of `comp`.
+DetectionResult run_centralized(const Computation& comp,
+                                const RunOptions& opts);
+
+}  // namespace wcp::detect

@@ -1,0 +1,144 @@
+// Direct-dependence based WCP detection — §4 of the paper (Figs. 4 & 5) —
+// plus the §4.5 parallel variant.
+//
+// No vector clocks: every application process numbers its states with a
+// scalar counter and records one (source, clock) dependence per receive.
+// All N monitor processes participate. The candidate cut is fully
+// distributed: each monitor holds its own color and G. Monitors whose
+// candidate is eliminated form a linked "red chain" threaded through their
+// next_red pointers; the (empty) token always sits at the head of the
+// chain. The token holder advances its candidate, polls the source of every
+// collected dependence (inserting monitors that turn red into the chain
+// right behind itself), and passes the token down the chain. An empty chain
+// means every monitor is green: the G values form the first consistent cut
+// satisfying the WCP (Theorems 4.3/4.4).
+//
+// Paper-fidelity notes:
+//  * Fig. 4 omits "G := candidate.clock" after acceptance; the correctness
+//    lemmas require it, so we commit it (DESIGN.md §2.1).
+//  * In the parallel variant a monitor keeps its color red until the token
+//    actually leaves it. This is what keeps the chain unbroken ("the token
+//    must visit a process before that process can be removed from the red
+//    chain", §4.5): a poll can then never overwrite the next_red pointer of
+//    a chain member, because Fig. 5 only overwrites next_red on a
+//    green->red transition. In the serial algorithm the two orders are
+//    indistinguishable (only the holder polls).
+//
+// Complexity (measured by E4): O(Nm) total work, messages and bits; O(m)
+// work and space per process.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "app/snapshot.h"
+#include "clock/dependence.h"
+#include "detect/result.h"
+#include "sim/network.h"
+#include "trace/computation.h"
+
+namespace wcp::detect {
+
+/// The token of §4.2 carries no data.
+struct DdToken {};
+
+/// Poll message (Fig. 4): the dependence's clock value plus the poller's
+/// current next_red pointer (-1 encodes NULL).
+struct DdPoll {
+  LamportTime clock = 0;
+  int next_red = -1;
+};
+
+/// Poll response (Fig. 5).
+struct DdPollReply {
+  bool became_red = false;
+};
+
+/// Fired each time the token is handed off (new_holder == -1 on detection);
+/// the test suite uses it to verify the red-chain invariant (Lemma 4.2.3).
+using DdHandoffObserver = std::function<void(ProcessId from, int new_holder)>;
+
+class DdMonitor final : public sim::Node {
+ public:
+  struct Config {
+    std::size_t num_processes = 1;  // N
+    bool parallel = false;          // §4.5 proactive mode
+    bool starts_with_token = false;
+    int initial_next_red = -1;      // initial chain: i -> i+1 -> ... -> NULL
+    bool halt_apps = false;         // distributed breakpoint on detection
+    std::shared_ptr<SharedDetection> shared;
+    DdHandoffObserver on_handoff;   // may be empty
+  };
+
+  explicit DdMonitor(Config cfg);
+
+  void on_start() override;
+  void on_packet(sim::Packet&& p) override;
+
+  // Introspection for the run harness and the invariant tests.
+  [[nodiscard]] Color color() const { return color_; }
+  [[nodiscard]] LamportTime G() const { return G_; }
+  [[nodiscard]] int next_red() const { return next_red_; }
+  [[nodiscard]] bool holding_token() const { return has_token_; }
+
+ private:
+  void drive();
+  void send_next_poll();
+  void commit_and_handoff();
+  void handle_poll(ProcessId from, const DdPoll& poll);
+
+  Config cfg_;
+
+  // Distributed token state (Table 1 of the paper: token.color[i] and
+  // token.G[i] live here as M_i.color and M_i.G).
+  Color color_ = Color::kRed;
+  LamportTime G_ = 0;
+  int next_red_ = -1;
+
+  std::deque<app::DdSnapshot> inbox_;
+  bool has_token_ = false;
+  bool waiting_candidate_ = false;
+  bool poll_outstanding_ = false;
+  LamportTime tentative_ = 0;  // accepted-but-uncommitted candidate (0: none)
+  std::vector<Dependence> poll_queue_;
+  std::size_t poll_cursor_ = 0;
+  bool eos_ = false;
+};
+
+struct DdRunOptions {
+  bool parallel = false;
+};
+
+/// Run-level observation hook: fired at every token handoff with access to
+/// every monitor's live state (valid only during the callback). Used by the
+/// invariant tests to verify the red chain (Lemma 4.2.3).
+using DdInspector = std::function<void(const std::vector<DdMonitor*>& monitors,
+                                       ProcessId from, int new_holder)>;
+
+/// A set of installed direct-dependence monitors (one per process, the
+/// initial red chain threaded 0 -> 1 -> ... -> N-1, token at monitor 0).
+/// Monitor pointers stay valid while the network lives; after detection
+/// their G() values form the cut.
+struct DdInstallation {
+  std::shared_ptr<SharedDetection> shared;
+  std::vector<DdMonitor*> monitors;
+};
+
+/// Installs direct-dependence monitors into an existing network — the live
+/// (non-replay) entry point; pair with app::Instrument in direct-dependence
+/// mode on every application process.
+DdInstallation install_dd_monitors(sim::Network& net, std::size_t N,
+                                   const DdRunOptions& dd = {},
+                                   bool halt_apps = false,
+                                   const DdHandoffObserver& observer = {});
+
+/// Runs the direct-dependence algorithm online over a replay of `comp`.
+/// All N processes participate; processes outside the predicate set run
+/// with the identically-true local predicate (§4's requirement).
+DetectionResult run_direct_dep(const Computation& comp, const RunOptions& opts,
+                               const DdRunOptions& dd = {},
+                               const DdInspector& inspector = {});
+
+}  // namespace wcp::detect

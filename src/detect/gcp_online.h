@@ -1,0 +1,61 @@
+// Online centralized GCP checker — the detection architecture of
+// reference [6] (Garg, Chase, Mitchell & Kilgore): every predicate process
+// streams vector-clock snapshots extended with per-peer message counters to
+// one checker, which advances the candidate cut by eliminating queue heads
+// that violate either consistency (as in the WCP checker) or a linear
+// channel predicate (empty / at-most-k eliminate the receiver's head,
+// at-least-k the sender's).
+//
+// Channel endpoints must be predicate processes of the computation (their
+// local predicate may be identically true); this keeps the piggybacked
+// vector clocks wide enough to order every cut component.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "app/snapshot.h"
+#include "detect/gcp.h"
+#include "detect/result.h"
+#include "sim/network.h"
+#include "trace/computation.h"
+
+namespace wcp::detect {
+
+class GcpChecker final : public sim::Node {
+ public:
+  struct Config {
+    std::vector<ProcessId> slot_to_pid;
+    std::vector<ChannelPredicate> channels;
+    std::shared_ptr<SharedDetection> shared;
+  };
+
+  explicit GcpChecker(Config cfg);
+
+  void on_packet(sim::Packet&& p) override;
+
+  [[nodiscard]] std::int64_t eliminations() const { return eliminations_; }
+  [[nodiscard]] std::int64_t channel_evals() const { return channel_evals_; }
+
+ private:
+  void process();
+  void pop_head(std::size_t s);
+  [[nodiscard]] std::size_t n() const { return cfg_.slot_to_pid.size(); }
+
+  Config cfg_;
+  std::vector<std::deque<app::VcSnapshot>> queues_;
+  std::deque<std::size_t> dirty_;
+  std::vector<bool> in_dirty_;
+  std::vector<int> slot_of_pid_;  // process idx -> slot (or -1)
+  std::int64_t eliminations_ = 0;
+  std::int64_t channel_evals_ = 0;
+};
+
+/// Runs the online centralized GCP checker over a replay of `comp`.
+/// Requires every channel endpoint to be a predicate process.
+DetectionResult run_gcp_centralized(const Computation& comp,
+                                    std::span<const ChannelPredicate> channels,
+                                    const RunOptions& opts);
+
+}  // namespace wcp::detect

@@ -1,0 +1,156 @@
+#include "detect/lattice.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace wcp::detect {
+
+namespace {
+
+struct CutHash {
+  std::size_t operator()(const std::vector<StateIndex>& cut) const noexcept {
+    std::size_t h = 0xcbf29ce484222325ULL;
+    for (StateIndex k : cut) {
+      h ^= static_cast<std::size_t>(k);
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+LatticeResult detect_lattice(const Computation& comp, std::int64_t max_cuts) {
+  const auto procs = comp.predicate_processes();
+  const std::size_t n = procs.size();
+  WCP_REQUIRE(n >= 1, "empty predicate");
+
+  LatticeResult res;
+
+  auto satisfies = [&](const std::vector<StateIndex>& cut) {
+    for (std::size_t s = 0; s < n; ++s)
+      if (!comp.local_pred(procs[s], cut[s])) return false;
+    return true;
+  };
+
+  // The initial cut (all 1s) is always consistent: state 1 has no receives
+  // before it, so nothing happened before it on another process.
+  std::vector<StateIndex> initial(n, 1);
+
+  std::queue<std::vector<StateIndex>> frontier;
+  std::unordered_set<std::vector<StateIndex>, CutHash> visited;
+  frontier.push(initial);
+  visited.insert(initial);
+
+  while (!frontier.empty()) {
+    res.max_frontier = std::max(
+        res.max_frontier, static_cast<std::int64_t>(frontier.size()));
+    std::vector<StateIndex> cut = std::move(frontier.front());
+    frontier.pop();
+    ++res.cuts_explored;
+
+    if (satisfies(cut)) {
+      res.detected = true;
+      res.cut = std::move(cut);
+      return res;
+    }
+    if (max_cuts >= 0 && res.cuts_explored >= max_cuts) {
+      res.truncated = true;
+      return res;
+    }
+
+    // Successors: advance one component; the result is a consistent cut iff
+    // no current component happened before the advanced state's successor
+    // ... i.e. the advanced state is not happened-after-excluded. Full
+    // pairwise check against the advanced component suffices because the
+    // rest of the cut was already consistent.
+    for (std::size_t s = 0; s < n; ++s) {
+      if (cut[s] + 1 > comp.num_states(procs[s])) continue;
+      std::vector<StateIndex> next = cut;
+      next[s] += 1;
+      bool consistent = true;
+      for (std::size_t t = 0; t < n && consistent; ++t) {
+        if (t == s) continue;
+        if (comp.happened_before(procs[s], next[s], procs[t], next[t]) ||
+            comp.happened_before(procs[t], next[t], procs[s], next[s]))
+          consistent = false;
+      }
+      if (!consistent) continue;
+      if (visited.insert(next).second) frontier.push(std::move(next));
+    }
+  }
+  return res;
+}
+
+DefinitelyResult detect_definitely(const Computation& comp,
+                                   std::int64_t max_cuts) {
+  const auto procs = comp.predicate_processes();
+  const std::size_t n = procs.size();
+  WCP_REQUIRE(n >= 1, "empty predicate");
+
+  DefinitelyResult res;
+
+  auto satisfies = [&](const std::vector<StateIndex>& cut) {
+    for (std::size_t s = 0; s < n; ++s)
+      if (!comp.local_pred(procs[s], cut[s])) return false;
+    return true;
+  };
+
+  std::vector<StateIndex> top(n);
+  for (std::size_t s = 0; s < n; ++s) top[s] = comp.num_states(procs[s]);
+
+  // Search for an observation that AVOIDS the predicate: BFS through
+  // non-satisfying consistent cuts. If the top cut is reachable (or is
+  // itself non-satisfying while reachable), some observation misses the
+  // predicate => not definitely.
+  std::vector<StateIndex> initial(n, 1);
+  if (satisfies(initial)) {
+    // Every observation starts at the bottom cut.
+    res.definitely = true;
+    res.cuts_explored = 1;
+    return res;
+  }
+
+  std::queue<std::vector<StateIndex>> frontier;
+  std::unordered_set<std::vector<StateIndex>, CutHash> visited;
+  frontier.push(initial);
+  visited.insert(initial);
+
+  while (!frontier.empty()) {
+    std::vector<StateIndex> cut = std::move(frontier.front());
+    frontier.pop();
+    ++res.cuts_explored;
+    if (cut == top) {
+      res.definitely = false;  // an observation avoided the predicate
+      return res;
+    }
+    if (max_cuts >= 0 && res.cuts_explored >= max_cuts) {
+      res.truncated = true;
+      return res;
+    }
+
+    for (std::size_t s = 0; s < n; ++s) {
+      if (cut[s] + 1 > comp.num_states(procs[s])) continue;
+      std::vector<StateIndex> next = cut;
+      next[s] += 1;
+      bool consistent = true;
+      for (std::size_t t = 0; t < n && consistent; ++t) {
+        if (t == s) continue;
+        if (comp.happened_before(procs[s], next[s], procs[t], next[t]) ||
+            comp.happened_before(procs[t], next[t], procs[s], next[s]))
+          consistent = false;
+      }
+      if (!consistent || satisfies(next)) continue;  // blocked by the WCP
+      if (visited.insert(next).second) frontier.push(std::move(next));
+    }
+  }
+  // Every avoiding path got stuck before the top: all observations hit the
+  // predicate.
+  res.definitely = true;
+  return res;
+}
+
+}  // namespace wcp::detect

@@ -1,0 +1,50 @@
+// Cooper–Marzullo style global-state lattice detection — the general
+// baseline discussed in §1 of the paper.
+//
+// Enumerates the lattice of consistent cuts over the predicate processes in
+// level (breadth-first) order until a cut satisfying the WCP is found. This
+// detects *possibly(phi)* for arbitrary phi; for a WCP the first satisfying
+// cut found at the minimal level is exactly the pointwise-minimal cut the
+// token algorithms return (satisfying cuts of a conjunction are closed
+// under pointwise meet), which the tests exploit.
+//
+// The number of cuts explored can grow as O(m^n) — the cost that motivates
+// the paper's algorithms; bench E10 measures the blowup.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/computation.h"
+
+namespace wcp::detect {
+
+struct LatticeResult {
+  bool detected = false;
+  /// Reached the exploration cap before finding a satisfying cut.
+  bool truncated = false;
+  std::vector<StateIndex> cut;       // width n, predicate-slot order
+  std::int64_t cuts_explored = 0;    // distinct consistent cuts visited
+  std::int64_t max_frontier = 0;     // peak BFS frontier size
+};
+
+/// Explores at most `max_cuts` consistent cuts (<0: unbounded).
+LatticeResult detect_lattice(const Computation& comp,
+                             std::int64_t max_cuts = -1);
+
+/// Cooper-Marzullo definitely(WCP): true iff EVERY observation (every
+/// maximal path through the lattice of consistent cuts) passes through a
+/// cut satisfying the WCP. Computed as the complement of reachability of
+/// the top cut through non-satisfying cuts only.
+struct DefinitelyResult {
+  bool definitely = false;
+  bool truncated = false;
+  std::int64_t cuts_explored = 0;
+};
+
+DefinitelyResult detect_definitely(const Computation& comp,
+                                   std::int64_t max_cuts = -1);
+
+}  // namespace wcp::detect

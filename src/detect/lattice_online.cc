@@ -1,0 +1,194 @@
+#include "detect/lattice_online.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "app/app_driver.h"
+#include "common/error.h"
+
+namespace wcp::detect {
+
+LatticeChecker::LatticeChecker(Config cfg) : cfg_(std::move(cfg)) {
+  WCP_REQUIRE(cfg_.shared != nullptr, "checker needs shared detection state");
+  states_.resize(n());
+  // Seed the search with the bottom cut (always consistent).
+  std::vector<StateIndex> bottom(n(), 1);
+  visited_.insert(bottom);
+  enqueue(std::move(bottom));
+}
+
+void LatticeChecker::enqueue(std::vector<StateIndex> cut) {
+  StateIndex level = 0;
+  for (StateIndex k : cut) level += k;
+  ready_.push(Entry{level, seq_++, std::move(cut)});
+}
+
+void LatticeChecker::on_packet(sim::Packet&& p) {
+  WCP_CHECK_MSG(p.kind == MsgKind::kSnapshot || p.kind == MsgKind::kControl,
+                "lattice checker got unexpected " << to_string(p.kind));
+  if (p.kind == MsgKind::kControl || gave_up_) return;
+
+  auto snap = std::any_cast<app::VcSnapshot>(std::move(p.payload));
+  const ProcessId coord(static_cast<int>(net().num_processes()));
+  net().monitor_buffer_change(coord, snap.bytes(), +1);
+
+  if (slot_of_pid_.empty()) {
+    slot_of_pid_.assign(net().num_processes(), -1);
+    for (std::size_t s = 0; s < n(); ++s)
+      slot_of_pid_[cfg_.slot_to_pid[s].idx()] = static_cast<int>(s);
+  }
+  const int slot = slot_of_pid_.at(p.from.pid.idx());
+  WCP_CHECK_MSG(slot >= 0, "snapshot from non-predicate process " << p.from);
+  const auto su = static_cast<std::size_t>(slot);
+
+  // FIFO app->checker gives states in order; index == own clock component.
+  const StateIndex k = snap.vclock[su];
+  WCP_CHECK_MSG(k == static_cast<StateIndex>(states_[su].size()) + 1,
+                "state stream gap at slot " << slot);
+  states_[su].push_back(std::move(snap));
+
+  // Wake every cut that was waiting for exactly this state.
+  auto it = parked_.find({su, k});
+  if (it != parked_.end()) {
+    for (auto& cut : it->second) enqueue(std::move(cut));
+    parked_.erase(it);
+  }
+  drain();
+}
+
+bool LatticeChecker::available(const std::vector<StateIndex>& cut) const {
+  for (std::size_t s = 0; s < n(); ++s)
+    if (cut[s] > static_cast<StateIndex>(states_[s].size())) return false;
+  return true;
+}
+
+void LatticeChecker::drain() {
+  const ProcessId coord(static_cast<int>(net().num_processes()));
+
+  while (!ready_.empty()) {
+    std::vector<StateIndex> cut = ready_.top().cut;
+    ready_.pop();
+
+    if (!available(cut)) {
+      // Park on the first missing component.
+      for (std::size_t s = 0; s < n(); ++s) {
+        if (cut[s] > static_cast<StateIndex>(states_[s].size())) {
+          parked_[{s, cut[s]}].push_back(std::move(cut));
+          break;
+        }
+      }
+      continue;
+    }
+
+    // Cuts that travelled through the parked path were generated before
+    // their advanced state's clock was known, so consistency could not be
+    // checked then; validate every popped cut here.
+    {
+      bool consistent = true;
+      for (std::size_t s = 0; s < n() && consistent; ++s) {
+        const VectorClock& vs = snap(s, cut[s]).vclock;
+        for (std::size_t t = s + 1; t < n() && consistent; ++t) {
+          net().add_monitor_work(coord, 1);
+          const VectorClock& vt = snap(t, cut[t]).vclock;
+          if (vs[t] >= cut[t] || vt[s] >= cut[s]) consistent = false;
+        }
+      }
+      if (!consistent) continue;
+    }
+
+    ++cuts_explored_;
+    max_frontier_ = std::max(
+        max_frontier_,
+        static_cast<std::int64_t>(ready_.size() + parked_.size()));
+    if (cfg_.max_cuts >= 0 && cuts_explored_ > cfg_.max_cuts) {
+      gave_up_ = true;
+      return;
+    }
+
+    bool satisfies = true;
+    for (std::size_t s = 0; s < n() && satisfies; ++s)
+      if (!snap(s, cut[s]).pred) satisfies = false;
+    if (satisfies) {
+      auto& shared = *cfg_.shared;
+      shared.detected = true;
+      shared.cut = cut;
+      shared.detect_time = net().simulator().now();
+      net().simulator().stop();
+      return;
+    }
+
+    // Expand consistent successors. Consistency of (s advanced by one)
+    // against component t: neither state happened before the other, via
+    // the own-component vector-clock test.
+    for (std::size_t s = 0; s < n(); ++s) {
+      std::vector<StateIndex> next = cut;
+      next[s] += 1;
+      if (visited_.contains(next)) continue;
+      // The advanced state may not have arrived yet; consistency can only
+      // be decided with its clock. Park the candidate until it arrives.
+      if (next[s] > static_cast<StateIndex>(states_[s].size())) {
+        if (visited_.insert(next).second)
+          parked_[{s, next[s]}].push_back(std::move(next));
+        continue;
+      }
+      const VectorClock& vs = snap(s, next[s]).vclock;
+      bool consistent = true;
+      for (std::size_t t = 0; t < n() && consistent; ++t) {
+        if (t == s) continue;
+        net().add_monitor_work(coord, 1);
+        const VectorClock& vt = snap(t, next[t]).vclock;
+        // (t, next[t]) -> (s, next[s]) iff vs[t] >= next[t]; and vice versa.
+        if (vs[t] >= next[t] || vt[s] >= next[s]) consistent = false;
+      }
+      if (consistent && visited_.insert(next).second)
+        enqueue(std::move(next));
+    }
+  }
+}
+
+LatticeOnlineResult run_lattice_online(const Computation& comp,
+                                       const RunOptions& opts,
+                                       std::int64_t max_cuts) {
+  const auto preds = comp.predicate_processes();
+  WCP_REQUIRE(!preds.empty(), "empty predicate");
+
+  sim::NetworkConfig ncfg;
+  ncfg.num_processes = comp.num_processes();
+  ncfg.latency = opts.latency;
+  ncfg.monitor_latency = opts.monitor_latency;
+  ncfg.fifo_all = opts.fifo_all;
+  ncfg.seed = opts.seed;
+  sim::Network net(ncfg);
+
+  auto shared = std::make_shared<SharedDetection>();
+  LatticeChecker::Config lc;
+  lc.slot_to_pid.assign(preds.begin(), preds.end());
+  lc.shared = shared;
+  lc.max_cuts = max_cuts;
+  auto checker = std::make_unique<LatticeChecker>(std::move(lc));
+  auto* checker_ptr = checker.get();
+  net.add_node(sim::NodeAddr::coordinator(), std::move(checker));
+
+  app::AppDriverOptions drv;
+  drv.mode = app::Instrumentation::kVectorClock;
+  drv.step_delay = opts.step_delay;
+  drv.snapshot_all_states = true;
+  app::install_app_drivers(
+      net, comp, drv, [](ProcessId) { return sim::NodeAddr::coordinator(); });
+
+  net.start_and_run(opts.max_events);
+
+  LatticeOnlineResult r;
+  r.detected = shared->detected;
+  r.cut = shared->cut;
+  r.truncated = !shared->detected && max_cuts >= 0 &&
+                checker_ptr->cuts_explored() > max_cuts;
+  r.cuts_explored = checker_ptr->cuts_explored();
+  r.max_frontier = checker_ptr->max_frontier();
+  r.detect_time = shared->detect_time;
+  r.app_metrics = net.app_metrics();
+  r.monitor_metrics = net.monitor_metrics();
+  return r;
+}
+
+}  // namespace wcp::detect

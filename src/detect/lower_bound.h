@@ -1,0 +1,105 @@
+// The §5 lower-bound adversary, as an executable game.
+//
+// Model: a poset of n chains ("queues") of m abstract states each, accessed
+// online — only queue heads are visible, deleted heads are lost. A detection
+// algorithm may, per step:
+//   S1  compare all current heads (the adversary answers with the
+//       comparabilities among them), or
+//   S2  delete the heads of any set of queues.
+// A deletion is only *justified* for a head the adversary has declared
+// smaller than some other current head — otherwise the adversary could
+// realize a poset in which the deleted head belongs to the size-n
+// anti-chain and the algorithm would be wrong.
+//
+// The adversary implements the strategy from the proof of Theorem 5.1: it
+// declares all heads concurrent except that the head of the longest queue
+// is smaller than the current head of the last-deleted queue, so at most
+// one deletion per step can be justified. The game ends when some queue is
+// empty; by then at least nm - n states have been deleted one at a time.
+//
+// The game additionally records every answer and can verify *realizability*
+// (invariant I7 of DESIGN.md): the declared relations, closed under the
+// chain orders, form a partial order in which every pair declared
+// concurrent really is incomparable.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace wcp::detect {
+
+class AdversaryGame {
+ public:
+  AdversaryGame(int num_queues, std::int64_t chain_length);
+
+  /// S1: compare all current heads. Returns the (single, per the strategy)
+  /// ordered pair (j, i) meaning "head of queue j < head of queue i", or
+  /// (-1, -1) once a queue is empty. Deterministic: repeating the query
+  /// without an intervening deletion returns the same answer.
+  [[nodiscard]] std::pair<int, int> compare_heads();
+
+  /// S2: delete the heads of the given queues. Every deleted head must be
+  /// justified (declared smaller than some current head); throws otherwise.
+  void delete_heads(const std::vector<int>& queues);
+
+  [[nodiscard]] bool some_queue_empty() const;
+  [[nodiscard]] std::int64_t head_of(int queue) const {
+    return heads_.at(static_cast<std::size_t>(queue));
+  }
+  [[nodiscard]] std::int64_t remaining(int queue) const {
+    return m_ - heads_.at(static_cast<std::size_t>(queue));
+  }
+
+  [[nodiscard]] std::int64_t steps() const { return steps_; }
+  [[nodiscard]] std::int64_t deletions() const { return deletions_; }
+
+  /// Verifies that the adversary's full answer history is realizable by an
+  /// actual poset (builds the DAG of declared edges + chain edges and
+  /// checks every concurrent-declared pair is incomparable). O((nm)^2 · E);
+  /// intended for test-sized games.
+  [[nodiscard]] bool verify_realizable() const;
+
+ private:
+  struct Declared {
+    // (queue, index) < (queue', index'), indices are 0-based positions in
+    // the original chains.
+    int from_q, to_q;
+    std::int64_t from_idx, to_idx;
+  };
+
+  void refresh_answer();
+  [[nodiscard]] std::int64_t node_id(int q, std::int64_t idx) const {
+    return static_cast<std::int64_t>(q) * m_ + idx;
+  }
+
+  int n_;
+  std::int64_t m_;
+  std::vector<std::int64_t> heads_;  // index of current head per queue
+  int last_deleted_ = -1;            // queue whose head was deleted last
+  std::pair<int, int> answer_{-1, -1};
+  bool answer_valid_ = false;
+  std::vector<Declared> history_;    // all declared edges
+  // Pairs of *states* declared concurrent (recorded per distinct answer).
+  std::vector<std::pair<std::int64_t, std::int64_t>> concurrent_claims_;
+  std::int64_t steps_ = 0;
+  std::int64_t deletions_ = 0;
+};
+
+/// Outcome of letting a player play the game to the end.
+struct GameOutcome {
+  std::int64_t steps = 0;
+  std::int64_t deletions = 0;
+  /// nm - n: the bound from Theorem 5.1 (the adversary forces at least
+  /// this many sequential deletions).
+  std::int64_t bound = 0;
+};
+
+/// A natural comparison-based player: compare, delete every justified head
+/// (the strategy makes that exactly one), repeat until a queue empties.
+GameOutcome play_greedy(int num_queues, std::int64_t chain_length,
+                        bool verify = false);
+
+}  // namespace wcp::detect

@@ -1,0 +1,192 @@
+#include "detect/multi_token.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "app/app_driver.h"
+#include "app/snapshot.h"
+#include "common/error.h"
+
+namespace wcp::detect {
+
+MultiTokenLeader::MultiTokenLeader(Config cfg) : cfg_(std::move(cfg)) {
+  WCP_REQUIRE(cfg_.shared != nullptr, "leader needs shared detection state");
+  WCP_REQUIRE(cfg_.num_groups >= 1, "need at least one group");
+  canonical_ = VcToken(n());
+}
+
+void MultiTokenLeader::on_start() {
+  // Every slot starts red, so every group needs a token.
+  cross_check_and_dispatch();
+}
+
+void MultiTokenLeader::on_packet(sim::Packet&& p) {
+  WCP_CHECK_MSG(p.kind == MsgKind::kToken,
+                "leader got unexpected " << to_string(p.kind));
+  auto tok = std::any_cast<VcToken>(std::move(p.payload));
+  net().bump_token_hops();
+  merge(tok);
+  --outstanding_;
+  WCP_CHECK(outstanding_ >= 0);
+  if (outstanding_ == 0) cross_check_and_dispatch();
+}
+
+void MultiTokenLeader::merge(const VcToken& tok) {
+  // A group token only ever *advances* information: member slots may change
+  // arbitrarily under the single-token rules; non-member slots may only be
+  // marked red with a raised G (an elimination). Merge keeps, per slot, the
+  // furthest-advanced view; at equal G a red mark wins because it records a
+  // proof that the candidate state is eliminated.
+  for (std::size_t s = 0; s < n(); ++s) {
+    net().add_monitor_work(ProcessId(static_cast<int>(net().num_processes())),
+                           1);
+    if (tok.G[s] > canonical_.G[s]) {
+      canonical_.G[s] = tok.G[s];
+      canonical_.color[s] = tok.color[s];
+      canonical_.V[s] = tok.V[s];
+    } else if (tok.G[s] == canonical_.G[s] &&
+               tok.color[s] == Color::kRed) {
+      canonical_.color[s] = Color::kRed;
+    }
+  }
+}
+
+void MultiTokenLeader::cross_check_and_dispatch() {
+  ++rounds_;
+  const ProcessId coord(static_cast<int>(net().num_processes()));
+
+  // Cross-group consistency check: a green slot t carries the vector clock
+  // V[t] of its accepted candidate; V[t][s] >= G[s] proves
+  // (s, G[s]) -> (t, G[t]), eliminating s (same test as Fig. 3's for-loop).
+  // Evidence is frozen before applying eliminations; an eliminated witness
+  // remains sound (its candidate was real and only precedes later ones).
+  std::vector<std::size_t> greens;
+  for (std::size_t t = 0; t < n(); ++t)
+    if (canonical_.color[t] == Color::kGreen) greens.push_back(t);
+
+  for (std::size_t t : greens) {
+    const VectorClock& v = canonical_.V[t];
+    for (std::size_t s = 0; s < n(); ++s) {
+      if (s == t) continue;
+      net().add_monitor_work(coord, 1);
+      if (v[s] >= canonical_.G[s]) {
+        canonical_.G[s] = v[s];
+        canonical_.color[s] = Color::kRed;
+      }
+    }
+  }
+
+  const bool all_green =
+      std::all_of(canonical_.color.begin(), canonical_.color.end(),
+                  [](Color c) { return c == Color::kGreen; });
+  if (all_green) {
+    auto& shared = *cfg_.shared;
+    shared.detected = true;
+    shared.cut = canonical_.G;
+    shared.detect_time = net().simulator().now();
+    if (cfg_.halt_apps) {
+      for (std::size_t p = 0; p < net().num_processes(); ++p)
+        send(sim::NodeAddr::app(ProcessId(static_cast<int>(p))),
+             MsgKind::kControl, app::Halt{}, /*bits=*/1);
+    } else {
+      net().simulator().stop();
+    }
+    return;
+  }
+
+  std::vector<bool> needs(static_cast<std::size_t>(cfg_.num_groups), false);
+  for (std::size_t s = 0; s < n(); ++s)
+    if (canonical_.color[s] == Color::kRed)
+      needs[static_cast<std::size_t>(cfg_.group_of_slot[s])] = true;
+
+  for (int g = 0; g < cfg_.num_groups; ++g)
+    if (needs[static_cast<std::size_t>(g)]) dispatch(g);
+  WCP_CHECK_MSG(outstanding_ > 0, "leader stuck: red slots but no dispatch");
+}
+
+void MultiTokenLeader::dispatch(int group) {
+  int target = -1;
+  for (std::size_t s = 0; s < n(); ++s) {
+    if (cfg_.group_of_slot[s] == group &&
+        canonical_.color[s] == Color::kRed) {
+      target = static_cast<int>(s);
+      break;
+    }
+  }
+  WCP_CHECK(target >= 0);
+  ++outstanding_;
+  VcToken copy = canonical_;
+  const std::int64_t bits = copy.bits(/*with_v=*/true);
+  send(sim::NodeAddr::monitor(
+           cfg_.slot_to_pid[static_cast<std::size_t>(target)]),
+       MsgKind::kToken, std::move(copy), bits);
+}
+
+DetectionResult run_multi_token(const Computation& comp,
+                                const RunOptions& opts,
+                                const MultiTokenOptions& mt) {
+  const auto preds = comp.predicate_processes();
+  const std::size_t n = preds.size();
+  WCP_REQUIRE(n >= 1, "empty predicate");
+  const int g = std::clamp(mt.num_groups, 1, static_cast<int>(n));
+
+  sim::NetworkConfig ncfg;
+  ncfg.num_processes = comp.num_processes();
+  ncfg.latency = opts.latency;
+  ncfg.monitor_latency = opts.monitor_latency;
+  ncfg.fifo_all = opts.fifo_all;
+  ncfg.seed = opts.seed;
+  sim::Network net(ncfg);
+
+  auto shared = std::make_shared<SharedDetection>();
+  std::vector<ProcessId> slot_to_pid(preds.begin(), preds.end());
+  std::vector<int> group_of_slot(n);
+  for (std::size_t s = 0; s < n; ++s)
+    group_of_slot[s] = static_cast<int>(s % static_cast<std::size_t>(g));
+
+  for (std::size_t s = 0; s < n; ++s) {
+    TokenVcMonitor::Config mc;
+    mc.slot = static_cast<int>(s);
+    mc.slot_to_pid = slot_to_pid;
+    mc.starts_with_token = false;  // tokens come from the leader
+    mc.shared = shared;
+    mc.group_of_slot = group_of_slot;
+    mc.leader = sim::NodeAddr::coordinator();
+    net.add_node(sim::NodeAddr::monitor(slot_to_pid[s]),
+                 std::make_unique<TokenVcMonitor>(std::move(mc)));
+  }
+
+  MultiTokenLeader::Config lc;
+  lc.slot_to_pid = slot_to_pid;
+  lc.group_of_slot = group_of_slot;
+  lc.num_groups = g;
+  lc.halt_apps = opts.halt_on_detect;
+  lc.shared = shared;
+  auto leader = std::make_unique<MultiTokenLeader>(std::move(lc));
+  net.add_node(sim::NodeAddr::coordinator(), std::move(leader));
+
+  app::AppDriverOptions drv;
+  drv.mode = app::Instrumentation::kVectorClock;
+  drv.step_delay = opts.step_delay;
+  drv.compress_clocks = opts.compress_clocks;
+  const auto drivers = app::install_app_drivers(net, comp, drv);
+
+  net.start_and_run(opts.max_events);
+
+  DetectionResult r;
+  if (opts.halt_on_detect && shared->detected) {
+    r.frozen_cut.reserve(drivers.size());
+    for (const auto* d : drivers) r.frozen_cut.push_back(d->current_state());
+  }
+  r.detected = shared->detected;
+  r.cut = shared->cut;
+  r.detect_time = shared->detect_time;
+  r.end_time = net.simulator().now();
+  r.sim_events = net.simulator().events_processed();
+  r.token_hops = net.monitor_metrics().token_hops();
+  r.app_metrics = net.app_metrics();
+  r.monitor_metrics = net.monitor_metrics();
+  return r;
+}
+
+}  // namespace wcp::detect

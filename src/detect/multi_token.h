@@ -1,0 +1,65 @@
+// Multi-token (g groups) WCP detection — §3.5 of the paper.
+//
+// The predicate slots are partitioned into g groups, each running the
+// single-token algorithm restricted to its own members. When a group has no
+// red member left, its token is returned to a pre-determined leader. The
+// leader merges the g tokens into a canonical candidate cut, performs the
+// cross-group consistency check (using the accepted candidates' vector
+// clocks carried in VcToken::V — see DESIGN.md §2.3), and either declares
+// detection or re-dispatches tokens into every group that still contains a
+// red slot.
+//
+// With g == 1 this degenerates to the single-token algorithm plus one
+// leader round-trip; with g == n every slot advances independently.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "detect/result.h"
+#include "detect/token_vc.h"
+#include "trace/computation.h"
+
+namespace wcp::detect {
+
+struct MultiTokenOptions {
+  /// Number of groups g (clamped to [1, n]). Slots are partitioned
+  /// round-robin: slot s belongs to group s % g.
+  int num_groups = 2;
+};
+
+class MultiTokenLeader final : public sim::Node {
+ public:
+  struct Config {
+    std::vector<ProcessId> slot_to_pid;
+    std::vector<int> group_of_slot;
+    int num_groups = 1;
+    bool halt_apps = false;  // distributed breakpoint on detection
+    std::shared_ptr<SharedDetection> shared;
+  };
+
+  explicit MultiTokenLeader(Config cfg);
+
+  void on_start() override;
+  void on_packet(sim::Packet&& p) override;
+
+  /// Number of merge rounds performed (for the E6 bench).
+  [[nodiscard]] std::int64_t rounds() const { return rounds_; }
+
+ private:
+  void merge(const VcToken& tok);
+  void cross_check_and_dispatch();
+  void dispatch(int group);
+  [[nodiscard]] std::size_t n() const { return cfg_.slot_to_pid.size(); }
+
+  Config cfg_;
+  VcToken canonical_;
+  int outstanding_ = 0;
+  std::int64_t rounds_ = 0;
+};
+
+DetectionResult run_multi_token(const Computation& comp,
+                                const RunOptions& opts,
+                                const MultiTokenOptions& mt);
+
+}  // namespace wcp::detect

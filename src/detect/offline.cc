@@ -1,0 +1,208 @@
+#include "detect/offline.h"
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "clock/dependence.h"
+#include "clock/vector_clock.h"
+#include "common/error.h"
+
+namespace wcp::detect {
+
+namespace {
+
+// The width-n clock Fig. 2 would stamp on state (p, k) is exactly the
+// ground-truth clock projected onto the predicate processes.
+VectorClock project(const Computation& comp, ProcessId p, StateIndex k) {
+  const auto preds = comp.predicate_processes();
+  const VectorClock& full = comp.ground_truth_clock(p, k);
+  std::vector<StateIndex> c(preds.size());
+  for (std::size_t s = 0; s < preds.size(); ++s) c[s] = full.at(preds[s]);
+  return VectorClock(std::move(c));
+}
+
+}  // namespace
+
+DetectionResult detect_token_vc_offline(const Computation& comp) {
+  const auto preds = comp.predicate_processes();
+  const std::size_t n = preds.size();
+  WCP_REQUIRE(n >= 1, "empty predicate");
+
+  DetectionResult res;
+  res.monitor_metrics.resize(n + 1);
+  res.app_metrics.resize(comp.num_processes());
+
+  // Candidate queue per slot: the snapshot stream of Fig. 2.
+  std::vector<std::deque<VectorClock>> queue(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const ProcessId p = preds[s];
+    for (StateIndex k = 1; k <= comp.num_states(p); ++k)
+      if (comp.local_pred(p, k)) {
+        queue[s].push_back(project(comp, p, k));
+        res.app_metrics.record_send(p, MsgKind::kSnapshot,
+                                    static_cast<std::int64_t>(n) * 64);
+      }
+  }
+
+  std::vector<StateIndex> G(n, 0);
+  std::vector<Color> color(n, Color::kRed);
+  int holder = 0;
+
+  while (true) {
+    const auto s = static_cast<std::size_t>(holder);
+    const ProcessId slot_metric(holder);
+    std::optional<VectorClock> accepted;
+
+    // Fig. 3 while-loop.
+    while (color[s] == Color::kRed) {
+      if (queue[s].empty()) {
+        res.detected = false;  // starved: the stream ended
+        return res;
+      }
+      VectorClock cand = std::move(queue[s].front());
+      queue[s].pop_front();
+      res.monitor_metrics.add_work(slot_metric,
+                                   static_cast<std::int64_t>(n));
+      if (cand[s] > G[s]) {
+        G[s] = cand[s];
+        color[s] = Color::kGreen;
+        accepted = std::move(cand);
+      }
+    }
+    WCP_CHECK(accepted.has_value());
+
+    // Fig. 3 for-loop.
+    res.monitor_metrics.add_work(slot_metric, static_cast<std::int64_t>(n));
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == s) continue;
+      if ((*accepted)[j] >= G[j]) {
+        G[j] = (*accepted)[j];
+        color[j] = Color::kRed;
+      }
+    }
+
+    int next = -1;
+    for (std::size_t j = 0; j < n; ++j)
+      if (color[j] == Color::kRed) {
+        next = static_cast<int>(j);
+        break;
+      }
+    if (next < 0) {
+      res.detected = true;
+      res.cut = G;
+      return res;
+    }
+    res.monitor_metrics.record_send(
+        slot_metric, MsgKind::kToken,
+        static_cast<std::int64_t>(n) * 64 + static_cast<std::int64_t>(n));
+    res.monitor_metrics.bump_token_hops();
+    res.token_hops = res.monitor_metrics.token_hops();
+    holder = next;
+  }
+}
+
+DetectionResult detect_direct_dep_offline(const Computation& comp) {
+  const std::size_t N = comp.num_processes();
+
+  DetectionResult res;
+  res.monitor_metrics.resize(N + 1);
+  res.app_metrics.resize(N);
+
+  // Snapshot stream per process (§4.1): admissible states with the
+  // dependences accumulated since the previous snapshot.
+  struct Snap {
+    LamportTime clock;
+    std::vector<Dependence> deps;
+  };
+  std::vector<std::deque<Snap>> queue(N);
+  for (std::size_t p = 0; p < N; ++p) {
+    const ProcessId pid(static_cast<int>(p));
+    const bool constrained = comp.predicate_slot(pid) >= 0;
+    std::vector<Dependence> pending;
+    for (StateIndex k = 1; k <= comp.num_states(pid); ++k) {
+      if (const auto dep = comp.receive_dependence(pid, k))
+        pending.push_back(*dep);
+      if (!constrained || comp.local_pred(pid, k)) {
+        res.app_metrics.record_send(
+            pid, MsgKind::kSnapshot,
+            64 + static_cast<std::int64_t>(pending.size()) * 2 * 64);
+        queue[p].push_back(Snap{k, std::move(pending)});
+        pending.clear();
+      }
+    }
+  }
+
+  std::vector<Color> color(N, Color::kRed);
+  std::vector<LamportTime> G(N, 0);
+  std::vector<int> next_red(N);
+  for (std::size_t p = 0; p < N; ++p)
+    next_red[p] = p + 1 < N ? static_cast<int>(p + 1) : -1;
+  int holder = 0;
+
+  while (true) {
+    const auto h = static_cast<std::size_t>(holder);
+    const ProcessId hid(holder);
+    WCP_CHECK(color[h] == Color::kRed);
+
+    // Fig. 4 repeat-loop.
+    std::vector<Dependence> deplist;
+    LamportTime accepted = 0;
+    while (true) {
+      if (queue[h].empty()) {
+        res.detected = false;
+        return res;
+      }
+      Snap snap = std::move(queue[h].front());
+      queue[h].pop_front();
+      res.monitor_metrics.add_work(
+          hid, 1 + static_cast<std::int64_t>(snap.deps.size()));
+      deplist.insert(deplist.end(), snap.deps.begin(), snap.deps.end());
+      if (snap.clock > G[h]) {
+        accepted = snap.clock;
+        break;
+      }
+    }
+    G[h] = accepted;
+    color[h] = Color::kGreen;
+
+    // Poll phase (immediate responses).
+    for (const Dependence& dep : deplist) {
+      const auto j = dep.source.idx();
+      WCP_CHECK(j != h);
+      res.monitor_metrics.record_send(hid, MsgKind::kPoll, 2 * 64);
+      // Same units as the online run: poll send + reply receipt at the
+      // holder, poll handling at the target.
+      res.monitor_metrics.add_work(hid, 2);
+      res.monitor_metrics.add_work(dep.source, 1);
+      const Color old = color[j];
+      if (dep.clock >= G[j]) {
+        color[j] = Color::kRed;
+        G[j] = dep.clock;
+      }
+      const bool became_red = color[j] == Color::kRed && old == Color::kGreen;
+      if (became_red) {
+        next_red[j] = next_red[h];
+        next_red[h] = static_cast<int>(j);
+      }
+      res.monitor_metrics.record_send(dep.source, MsgKind::kPollReply, 1);
+    }
+
+    const int next = next_red[h];
+    if (next < 0) {
+      res.detected = true;
+      res.full_cut.assign(G.begin(), G.end());
+      const auto preds = comp.predicate_processes();
+      res.cut.resize(preds.size());
+      for (std::size_t s = 0; s < preds.size(); ++s)
+        res.cut[s] = res.full_cut[preds[s].idx()];
+      return res;
+    }
+    res.monitor_metrics.record_send(hid, MsgKind::kToken, 1);
+    res.monitor_metrics.bump_token_hops();
+    res.token_hops = res.monitor_metrics.token_hops();
+    holder = next;
+  }
+}
+
+}  // namespace wcp::detect

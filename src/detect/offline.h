@@ -1,0 +1,26 @@
+// Offline executions of the paper's algorithms.
+//
+// These run the exact token-passing logic of §3 and §4 directly against the
+// computation's snapshot streams, with message passing replaced by function
+// calls — no simulator, no latency. They detect the same first cut as the
+// online versions (asserted by the differential tests) and are fast enough
+// for large-scale sweeps (hundreds of processes, thousands of states).
+//
+// Costs are still accounted: work units per monitor, token hops, message
+// counts (what the online run *would* send), so the offline detectors also
+// back the complexity experiments at scales where simulating every packet
+// is unnecessary.
+#pragma once
+
+#include "detect/result.h"
+#include "trace/computation.h"
+
+namespace wcp::detect {
+
+/// §3 single-token vector-clock algorithm, offline.
+DetectionResult detect_token_vc_offline(const Computation& comp);
+
+/// §4 direct-dependence algorithm, offline (serial schedule).
+DetectionResult detect_direct_dep_offline(const Computation& comp);
+
+}  // namespace wcp::detect

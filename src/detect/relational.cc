@@ -1,0 +1,78 @@
+#include "detect/relational.h"
+
+#include <queue>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace wcp::detect {
+
+namespace {
+struct CutHash {
+  std::size_t operator()(const std::vector<StateIndex>& cut) const noexcept {
+    std::size_t h = 0xcbf29ce484222325ULL;
+    for (StateIndex k : cut) {
+      h ^= static_cast<std::size_t>(k);
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+}  // namespace
+
+GeneralResult detect_possibly_general(const pred::VarComputation& vc,
+                                      const GlobalPredicate& phi,
+                                      std::int64_t max_cuts) {
+  WCP_REQUIRE(phi != nullptr, "null global predicate");
+  const Computation& comp = vc.computation;
+  const std::size_t N = comp.num_processes();
+
+  GeneralResult res;
+
+  std::vector<pred::Env> envs(N);
+  auto satisfies = [&](const std::vector<StateIndex>& cut) {
+    for (std::size_t p = 0; p < N; ++p)
+      envs[p] = vc.env(ProcessId(static_cast<int>(p)), cut[p]);
+    return phi(envs);
+  };
+
+  std::vector<StateIndex> initial(N, 1);
+  std::queue<std::vector<StateIndex>> frontier;
+  std::unordered_set<std::vector<StateIndex>, CutHash> visited;
+  frontier.push(initial);
+  visited.insert(initial);
+
+  while (!frontier.empty()) {
+    std::vector<StateIndex> cut = std::move(frontier.front());
+    frontier.pop();
+    ++res.cuts_explored;
+    if (satisfies(cut)) {
+      res.detected = true;
+      res.cut = std::move(cut);
+      return res;
+    }
+    if (max_cuts >= 0 && res.cuts_explored >= max_cuts) {
+      res.truncated = true;
+      return res;
+    }
+    for (std::size_t p = 0; p < N; ++p) {
+      const ProcessId pid(static_cast<int>(p));
+      if (cut[p] + 1 > comp.num_states(pid)) continue;
+      std::vector<StateIndex> next = cut;
+      next[p] += 1;
+      bool consistent = true;
+      for (std::size_t t = 0; t < N && consistent; ++t) {
+        if (t == p) continue;
+        const ProcessId tid(static_cast<int>(t));
+        if (comp.happened_before(pid, next[p], tid, next[t]) ||
+            comp.happened_before(tid, next[t], pid, next[p]))
+          consistent = false;
+      }
+      if (consistent && visited.insert(next).second)
+        frontier.push(std::move(next));
+    }
+  }
+  return res;
+}
+
+}  // namespace wcp::detect

@@ -1,0 +1,37 @@
+// General (including relational) global predicates over program variables —
+// the Cooper-Marzullo capability the paper cites ([3]; relational
+// predicates are [13]).
+//
+// The predicate is any callback over the variable bindings of a global
+// state (one Env per process). Detection is possibly(Φ): breadth-first
+// search of the lattice of consistent cuts over all processes — the
+// exponential cost that motivates the paper's WCP-specialized algorithms,
+// but the only general technique for, e.g., x_0 + x_1 + x_2 > K.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "predicate/program.h"
+
+namespace wcp::detect {
+
+/// Evaluated on the cut's bindings: envs[p] is process p's variables.
+using GlobalPredicate = std::function<bool(std::span<const pred::Env> envs)>;
+
+struct GeneralResult {
+  bool detected = false;
+  bool truncated = false;
+  std::vector<StateIndex> cut;  // width N (all processes)
+  std::int64_t cuts_explored = 0;
+};
+
+/// possibly(Φ) over the variable traces. Explores at most `max_cuts`
+/// consistent cuts (<0: unbounded).
+GeneralResult detect_possibly_general(const pred::VarComputation& vc,
+                                      const GlobalPredicate& phi,
+                                      std::int64_t max_cuts = -1);
+
+}  // namespace wcp::detect

@@ -1,0 +1,22 @@
+#include "detect/result.h"
+
+#include <ostream>
+
+namespace wcp::detect {
+
+std::ostream& operator<<(std::ostream& os, const DetectionResult& r) {
+  os << (r.detected ? "DETECTED" : "not-detected");
+  if (r.detected) {
+    os << " cut=[";
+    for (std::size_t s = 0; s < r.cut.size(); ++s) {
+      if (s) os << ',';
+      os << r.cut[s];
+    }
+    os << ']';
+  }
+  os << " t_detect=" << r.detect_time << " t_end=" << r.end_time
+     << " hops=" << r.token_hops;
+  return os;
+}
+
+}  // namespace wcp::detect

@@ -1,0 +1,65 @@
+// Shared result/option types for all detection algorithms.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/types.h"
+#include "sim/latency.h"
+
+namespace wcp::detect {
+
+/// Options common to every online (simulator-hosted) detection run.
+struct RunOptions {
+  std::uint64_t seed = 1;            ///< drives latency + pacing only
+  sim::LatencyModel latency{};       ///< per-message delay distribution
+  /// Separate latency for monitor-layer traffic (token/poll/leader); unset
+  /// means the application latency applies everywhere.
+  std::optional<sim::LatencyModel> monitor_latency;
+  bool fifo_all = false;             ///< FIFO on all channels (default: only app->monitor, the §3.1 requirement)
+  /// Singhal-Kshemkalyani differential compression of piggybacked vector
+  /// clocks (vector-clock algorithms only; ablation E11).
+  bool compress_clocks = false;
+  SimTime step_delay = 2;            ///< application think-time upper bound
+  std::int64_t max_events = -1;      ///< simulator safety valve (<0: none)
+  /// Distributed breakpoint (Miller-Choi [11]): on detection, freeze every
+  /// application process with a Halt message instead of stopping the
+  /// simulation; the run then drains and DetectionResult::frozen_cut holds
+  /// the states the processes froze in.
+  bool halt_on_detect = false;
+};
+
+/// Outcome of one detection run.
+struct DetectionResult {
+  bool detected = false;
+  /// Detected cut over the n predicate processes, in predicate-slot order
+  /// (component s = state index on predicate_processes()[s]).
+  std::vector<StateIndex> cut;
+  /// For direct-dependence runs: the cut over all N processes.
+  std::vector<StateIndex> full_cut;
+  /// For halt_on_detect runs: the state each application process froze in
+  /// (width N; componentwise at or after the detected cut).
+  std::vector<StateIndex> frozen_cut;
+  SimTime detect_time = 0;  ///< virtual time when detect was set
+  SimTime end_time = 0;     ///< virtual time when the run ended
+  std::int64_t token_hops = 0;
+  std::int64_t sim_events = 0;
+  Metrics app_metrics;      ///< per application process
+  Metrics monitor_metrics;  ///< per monitor process (+ one coordinator slot)
+};
+
+std::ostream& operator<<(std::ostream& os, const DetectionResult& r);
+
+/// Mutable state shared between the monitors of one run; the node that sets
+/// `detected` stops the simulator.
+struct SharedDetection {
+  bool detected = false;
+  std::vector<StateIndex> cut;
+  SimTime detect_time = 0;
+};
+
+}  // namespace wcp::detect

@@ -1,0 +1,208 @@
+#include "detect/token_vc.h"
+
+#include <utility>
+
+#include "app/app_driver.h"
+#include "common/error.h"
+
+namespace wcp::detect {
+
+TokenVcMonitor::TokenVcMonitor(Config cfg) : cfg_(std::move(cfg)) {
+  WCP_REQUIRE(cfg_.shared != nullptr, "monitor needs shared detection state");
+  WCP_REQUIRE(cfg_.slot >= 0 &&
+                  static_cast<std::size_t>(cfg_.slot) < cfg_.slot_to_pid.size(),
+              "bad slot " << cfg_.slot);
+}
+
+void TokenVcMonitor::on_start() {
+  if (cfg_.starts_with_token) {
+    token_.emplace(n());
+    process_token();
+  }
+}
+
+void TokenVcMonitor::on_packet(sim::Packet&& p) {
+  switch (p.kind) {
+    case MsgKind::kSnapshot: {
+      auto snap = std::any_cast<app::VcSnapshot>(std::move(p.payload));
+      net().monitor_buffer_change(pid(), snap.bytes(), +1);
+      inbox_.push_back(std::move(snap));
+      if (waiting_) process_token();
+      break;
+    }
+    case MsgKind::kToken: {
+      WCP_CHECK(!token_.has_value());
+      token_ = std::any_cast<VcToken>(std::move(p.payload));
+      net().bump_token_hops();
+      // The token is only ever sent to a red slot (Fig. 3 routing).
+      WCP_CHECK(token_->color[static_cast<std::size_t>(cfg_.slot)] ==
+                Color::kRed);
+      process_token();
+      break;
+    }
+    case MsgKind::kControl:
+      eos_ = true;  // stream ended; if we starve now, the run ends idle
+      break;
+    default:
+      WCP_CHECK_MSG(false, "token-VC monitor got " << to_string(p.kind));
+  }
+}
+
+void TokenVcMonitor::process_token() {
+  auto& tok = *token_;
+  const auto s = static_cast<std::size_t>(cfg_.slot);
+
+  // Fig. 3 while-loop: consume candidates until one survives the current
+  // elimination threshold G[s].
+  while (tok.color[s] == Color::kRed) {
+    if (inbox_.empty()) {
+      waiting_ = true;
+      return;
+    }
+    app::VcSnapshot snap = std::move(inbox_.front());
+    inbox_.pop_front();
+    net().monitor_buffer_change(pid(), -snap.bytes(), -1);
+    // Examining (and possibly eliminating) one candidate is O(n): the
+    // snapshot was received, copied, and its own component compared.
+    net().add_monitor_work(pid(), static_cast<std::int64_t>(n()));
+    if (snap.vclock[s] > tok.G[s]) {
+      tok.G[s] = snap.vclock[s];
+      tok.color[s] = Color::kGreen;
+      accepted_ = std::move(snap);
+    }
+  }
+  waiting_ = false;
+  accept_and_route();
+}
+
+void TokenVcMonitor::accept_and_route() {
+  auto& tok = *token_;
+  const auto s = static_cast<std::size_t>(cfg_.slot);
+  const VectorClock& cand = accepted_.vclock;
+  WCP_CHECK(cand.width() == n() && cand[s] == tok.G[s]);
+
+  tok.V[s] = cand;
+
+  // Fig. 3 for-loop: any j whose candidate state is dominated by ours
+  // ((j, G[j]) happened before (s, G[s])) is eliminated.
+  net().add_monitor_work(pid(), static_cast<std::int64_t>(n()));
+  for (std::size_t j = 0; j < n(); ++j) {
+    if (j == s) continue;
+    if (cand[j] >= tok.G[j]) {
+      tok.G[j] = cand[j];
+      tok.color[j] = Color::kRed;
+    }
+  }
+
+  const bool grouped = !cfg_.group_of_slot.empty();
+  const int my_group = grouped ? cfg_.group_of_slot[s] : 0;
+
+  // Route to the first red slot (own group only in §3.5 mode), or finish.
+  int red = -1;
+  for (std::size_t j = 0; j < n(); ++j) {
+    if (tok.color[j] == Color::kRed &&
+        (!grouped || cfg_.group_of_slot[j] == my_group)) {
+      red = static_cast<int>(j);
+      break;
+    }
+  }
+
+  if (cfg_.observer) cfg_.observer(tok, cfg_.slot, !grouped && red < 0);
+
+  VcToken out = std::move(tok);
+  token_.reset();
+
+  if (red >= 0) {
+    const std::int64_t bits = out.bits(/*with_v=*/grouped);
+    send(sim::NodeAddr::monitor(
+             cfg_.slot_to_pid[static_cast<std::size_t>(red)]),
+         MsgKind::kToken, std::move(out), bits);
+    return;
+  }
+
+  if (grouped) {
+    // No red state left inside this group: return the token to the leader,
+    // which merges it with the other groups' tokens (§3.5).
+    const std::int64_t bits = out.bits(/*with_v=*/true);
+    send(cfg_.leader, MsgKind::kToken, std::move(out), bits);
+    return;
+  }
+
+  // Single-token mode: all slots green => first WCP cut found (Thm 3.2).
+  auto& shared = *cfg_.shared;
+  shared.detected = true;
+  shared.cut = out.G;
+  shared.detect_time = net().simulator().now();
+  if (cfg_.halt_apps) {
+    // Distributed breakpoint: freeze the application and let the run
+    // drain; the harness reads the frozen states afterwards.
+    for (std::size_t p = 0; p < net().num_processes(); ++p)
+      send(sim::NodeAddr::app(ProcessId(static_cast<int>(p))),
+           MsgKind::kControl, app::Halt{}, /*bits=*/1);
+  } else {
+    net().simulator().stop();
+  }
+}
+
+std::shared_ptr<SharedDetection> install_token_vc_monitors(
+    sim::Network& net, const std::vector<ProcessId>& slot_to_pid,
+    const VcTokenObserver& observer, bool halt_apps) {
+  WCP_REQUIRE(!slot_to_pid.empty(), "empty predicate");
+  auto shared = std::make_shared<SharedDetection>();
+  for (std::size_t s = 0; s < slot_to_pid.size(); ++s) {
+    TokenVcMonitor::Config mc;
+    mc.slot = static_cast<int>(s);
+    mc.slot_to_pid = slot_to_pid;
+    mc.starts_with_token = (s == 0);
+    mc.shared = shared;
+    mc.observer = observer;
+    mc.halt_apps = halt_apps;
+    net.add_node(sim::NodeAddr::monitor(slot_to_pid[s]),
+                 std::make_unique<TokenVcMonitor>(std::move(mc)));
+  }
+  return shared;
+}
+
+DetectionResult run_token_vc(const Computation& comp, const RunOptions& opts,
+                             const VcTokenObserver& observer) {
+  const auto preds = comp.predicate_processes();
+  const std::size_t n = preds.size();
+  WCP_REQUIRE(n >= 1, "empty predicate");
+
+  sim::NetworkConfig ncfg;
+  ncfg.num_processes = comp.num_processes();
+  ncfg.latency = opts.latency;
+  ncfg.monitor_latency = opts.monitor_latency;
+  ncfg.fifo_all = opts.fifo_all;
+  ncfg.seed = opts.seed;
+  sim::Network net(ncfg);
+
+  std::vector<ProcessId> slot_to_pid(preds.begin(), preds.end());
+  auto shared = install_token_vc_monitors(net, slot_to_pid, observer,
+                                          opts.halt_on_detect);
+
+  app::AppDriverOptions drv;
+  drv.mode = app::Instrumentation::kVectorClock;
+  drv.step_delay = opts.step_delay;
+  drv.compress_clocks = opts.compress_clocks;
+  const auto drivers = app::install_app_drivers(net, comp, drv);
+
+  net.start_and_run(opts.max_events);
+
+  DetectionResult r;
+  if (opts.halt_on_detect && shared->detected) {
+    r.frozen_cut.reserve(drivers.size());
+    for (const auto* d : drivers) r.frozen_cut.push_back(d->current_state());
+  }
+  r.detected = shared->detected;
+  r.cut = shared->cut;
+  r.detect_time = shared->detect_time;
+  r.end_time = net.simulator().now();
+  r.sim_events = net.simulator().events_processed();
+  r.token_hops = net.monitor_metrics().token_hops();
+  r.app_metrics = net.app_metrics();
+  r.monitor_metrics = net.monitor_metrics();
+  return r;
+}
+
+}  // namespace wcp::detect

@@ -1,0 +1,115 @@
+// Single-token, vector-clock based WCP detection (§3 of the paper).
+//
+// One monitor process per predicate process. A unique token carries the
+// candidate cut G (state index per predicate slot) and a color per slot.
+// The monitor holding the token advances its own slot past eliminated
+// states (candidates whose own component is <= G[slot]), accepts the first
+// survivor (green), marks every slot j whose accepted candidate shows
+// (j, G[j]) -> (self, G[self]) red, and forwards the token to a red slot;
+// when all slots are green, G is the first cut satisfying the WCP
+// (Theorem 3.2).
+//
+// Complexity (measured by the E1-E3 benches): O(n^2 m) total work and
+// messages-bits, O(nm) work and space per monitor.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "app/snapshot.h"
+#include "clock/vector_clock.h"
+#include "detect/result.h"
+#include "sim/network.h"
+#include "trace/computation.h"
+
+namespace wcp::detect {
+
+/// The token of Fig. 3, extended with V: the accepted candidate's full
+/// vector clock per slot. V is required by the multi-token leader merge
+/// (§3.5) and is also what the lemma-invariant test hooks inspect; the
+/// single-token algorithm itself reads only G and color.
+struct VcToken {
+  std::vector<StateIndex> G;     // candidate cut; G[s] = 0 initially
+  std::vector<Color> color;      // all red initially
+  std::vector<VectorClock> V;    // accepted candidate clocks (width n each)
+
+  explicit VcToken(std::size_t n)
+      : G(n, 0), color(n, Color::kRed), V(n, VectorClock(n)) {}
+  VcToken() = default;
+
+  [[nodiscard]] std::size_t width() const { return G.size(); }
+
+  /// Wire size: the paper's token is O(n) (G + color); V adds O(n^2) and is
+  /// only carried for the multi-token variant, so it is costed separately.
+  [[nodiscard]] std::int64_t bits(bool with_v) const {
+    std::int64_t b = static_cast<std::int64_t>(G.size()) * 64 +
+                     static_cast<std::int64_t>(color.size());
+    if (with_v)
+      for (const auto& vc : V) b += vc.bits();
+    return b;
+  }
+};
+
+/// Observation hook fired every time the token is about to be forwarded (or
+/// detection declared). Used by the property-test suite to verify the
+/// Lemma 3.1 invariants online.
+using VcTokenObserver =
+    std::function<void(const VcToken& token, int holder_slot, bool detecting)>;
+
+class TokenVcMonitor final : public sim::Node {
+ public:
+  struct Config {
+    int slot = 0;                              // this monitor's index in the cut
+    std::vector<ProcessId> slot_to_pid;        // predicate slot -> process id
+    bool starts_with_token = false;            // slot 0 creates the token
+    std::shared_ptr<SharedDetection> shared;
+    VcTokenObserver observer;                  // may be empty
+
+    // §3.5 multi-token mode: when group_of_slot is non-empty, the token is
+    // routed only to red slots of this monitor's own group, and returned to
+    // the leader when none remain; detection happens at the leader.
+    std::vector<int> group_of_slot;
+    sim::NodeAddr leader{};
+
+    // Distributed breakpoint: on detection, freeze all application
+    // processes instead of stopping the simulation.
+    bool halt_apps = false;
+  };
+
+  explicit TokenVcMonitor(Config cfg);
+
+  void on_start() override;
+  void on_packet(sim::Packet&& p) override;
+
+  [[nodiscard]] bool holding_token() const { return token_.has_value(); }
+  [[nodiscard]] bool starved() const { return waiting_ && eos_; }
+
+ private:
+  void process_token();
+  void accept_and_route();
+  [[nodiscard]] std::size_t n() const { return cfg_.slot_to_pid.size(); }
+
+  Config cfg_;
+  std::deque<app::VcSnapshot> inbox_;
+  std::optional<VcToken> token_;
+  app::VcSnapshot accepted_{};  // candidate accepted in the current visit
+  bool waiting_ = false;        // holding the token, blocked on a candidate
+  bool eos_ = false;            // application stream ended
+};
+
+/// Installs single-token monitors (one per predicate slot; slot 0 starts
+/// with the token) into an existing network. Use for live instrumented
+/// applications (see app/instrument.h); the replay harness run_token_vc
+/// is built on this.
+std::shared_ptr<SharedDetection> install_token_vc_monitors(
+    sim::Network& net, const std::vector<ProcessId>& slot_to_pid,
+    const VcTokenObserver& observer = {}, bool halt_apps = false);
+
+/// Runs the single-token algorithm online over a replay of `comp`.
+DetectionResult run_token_vc(const Computation& comp, const RunOptions& opts,
+                             const VcTokenObserver& observer = {});
+
+}  // namespace wcp::detect

@@ -1,0 +1,106 @@
+// A small expression language for local predicates.
+//
+// §2 of the paper defines a local predicate as "any boolean-valued formula
+// on a local state", where a local state is the value of the program
+// variables. This module makes that concrete: integer-valued named
+// variables per local state, and boolean/arithmetic expressions over them,
+// buildable either programmatically (operator overloading) or by parsing
+// the textual form ("x > 0 && y == 2"), which the CLI tooling uses.
+//
+// Expressions are immutable value types; evaluation takes an Env mapping
+// variable names to values (missing variables default to 0, matching an
+// uninitialized program variable).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace wcp::pred {
+
+/// Variable bindings of one local state.
+class Env {
+ public:
+  void set(const std::string& name, std::int64_t value) {
+    vars_[name] = value;
+  }
+  [[nodiscard]] std::int64_t get(const std::string& name) const {
+    auto it = vars_.find(name);
+    return it == vars_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] bool has(const std::string& name) const {
+    return vars_.contains(name);
+  }
+  [[nodiscard]] const std::map<std::string, std::int64_t>& vars() const {
+    return vars_;
+  }
+
+ private:
+  std::map<std::string, std::int64_t> vars_;
+};
+
+enum class Op : std::uint8_t {
+  kConst, kVar,
+  kNeg, kNot,
+  kAdd, kSub, kMul,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kAnd, kOr,
+};
+
+/// An immutable expression tree with value semantics (shared immutable
+/// nodes, cheap to copy).
+class Expr {
+ public:
+  Expr() : Expr(lit(0)) {}
+
+  static Expr lit(std::int64_t v);
+  static Expr var(std::string name);
+
+  /// Parses "x + 1 >= 2*y && !(z == 0)". Throws std::invalid_argument with
+  /// a position-annotated message on syntax errors.
+  static Expr parse(std::string_view text);
+
+  /// Integer evaluation (booleans are 0/1).
+  [[nodiscard]] std::int64_t eval(const Env& env) const;
+  /// Boolean view of eval().
+  [[nodiscard]] bool holds(const Env& env) const { return eval(env) != 0; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  // Builder operators.
+  friend Expr operator-(Expr e);
+  friend Expr operator!(Expr e);
+  friend Expr operator+(Expr a, Expr b);
+  friend Expr operator-(Expr a, Expr b);
+  friend Expr operator*(Expr a, Expr b);
+  friend Expr operator<(Expr a, Expr b);
+  friend Expr operator<=(Expr a, Expr b);
+  friend Expr operator>(Expr a, Expr b);
+  friend Expr operator>=(Expr a, Expr b);
+  friend Expr operator==(Expr a, Expr b);
+  friend Expr operator!=(Expr a, Expr b);
+  friend Expr operator&&(Expr a, Expr b);
+  friend Expr operator||(Expr a, Expr b);
+  friend std::ostream& operator<<(std::ostream& os, const Expr& e);
+
+ private:
+  struct Node {
+    Op op;
+    std::int64_t value = 0;   // kConst
+    std::string name;         // kVar
+    std::shared_ptr<const Node> lhs, rhs;
+  };
+
+  explicit Expr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  static Expr unary(Op op, Expr e);
+  static Expr binary(Op op, Expr a, Expr b);
+
+  std::shared_ptr<const Node> node_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Expr& e);
+
+}  // namespace wcp::pred

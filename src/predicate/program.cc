@@ -1,0 +1,89 @@
+#include "predicate/program.h"
+
+#include "common/error.h"
+
+namespace wcp::pred {
+
+ProgramBuilder::ProgramBuilder(std::size_t num_processes)
+    : b_(num_processes),
+      envs_(num_processes),
+      exprs_(num_processes),
+      has_expr_(num_processes, false),
+      history_(num_processes) {}
+
+void ProgramBuilder::close_state(ProcessId p) {
+  history_[p.idx()].push_back(envs_[p.idx()]);
+}
+
+void ProgramBuilder::local_predicate(ProcessId p, Expr expr) {
+  WCP_REQUIRE(p.valid() && p.idx() < envs_.size(), "bad process id " << p);
+  WCP_REQUIRE(!has_expr_[p.idx()],
+              "process " << p << " already has a local predicate");
+  exprs_[p.idx()] = std::move(expr);
+  has_expr_[p.idx()] = true;
+  predicate_order_.push_back(p);
+  reevaluate(p);
+}
+
+void ProgramBuilder::reevaluate(ProcessId p) {
+  // Sticky within a state: once true, the state keeps its mark (the
+  // snapshot for it has conceptually been sent).
+  if (has_expr_[p.idx()] && exprs_[p.idx()].holds(envs_[p.idx()]))
+    b_.mark_pred(p, true);
+}
+
+void ProgramBuilder::enter_state(ProcessId p) {
+  // A fresh state starts with the predicate evaluated on the carried-over
+  // variable values.
+  reevaluate(p);
+}
+
+void ProgramBuilder::set(ProcessId p, const std::string& name,
+                         std::int64_t value) {
+  WCP_REQUIRE(p.valid() && p.idx() < envs_.size(), "bad process id " << p);
+  envs_[p.idx()].set(name, value);
+  reevaluate(p);
+}
+
+std::int64_t ProgramBuilder::get(ProcessId p, const std::string& name) const {
+  WCP_REQUIRE(p.valid() && p.idx() < envs_.size(), "bad process id " << p);
+  return envs_[p.idx()].get(name);
+}
+
+MessageId ProgramBuilder::send(ProcessId from, ProcessId to) {
+  close_state(from);
+  const MessageId id = b_.send(from, to);
+  enter_state(from);
+  return id;
+}
+
+void ProgramBuilder::receive(MessageId msg) {
+  const ProcessId to = b_.message_destination(msg);
+  close_state(to);
+  b_.receive(msg);
+  enter_state(to);
+}
+
+MessageId ProgramBuilder::transfer(ProcessId from, ProcessId to) {
+  const MessageId id = send(from, to);
+  receive(id);
+  return id;
+}
+
+Computation ProgramBuilder::build() {
+  if (!predicate_order_.empty())
+    b_.set_predicate_processes(predicate_order_);
+  return b_.build();
+}
+
+VarComputation ProgramBuilder::build_with_vars() {
+  VarComputation out;
+  // Close the final (still-open) state of every process.
+  for (std::size_t p = 0; p < envs_.size(); ++p)
+    close_state(ProcessId(static_cast<int>(p)));
+  out.state_envs = std::move(history_);
+  out.computation = build();
+  return out;
+}
+
+}  // namespace wcp::pred

@@ -1,0 +1,74 @@
+// ProgramBuilder: the variable-level view of §2's model.
+//
+// A local state is "the value of all program variables" — ProgramBuilder
+// lets workloads and applications express exactly that: assign integer
+// variables per process, communicate, and attach one local-predicate
+// expression per predicate process. It wraps ComputationBuilder, keeps an
+// Env per process, and derives the per-state predicate flags from the
+// expressions, with snapshot-compatible semantics: a state satisfies its
+// local predicate iff the expression held at some point during the state
+// (Fig. 2's "local predicate becomes true").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "predicate/expr.h"
+#include "trace/computation.h"
+
+namespace wcp::pred {
+
+/// A computation together with the variable bindings of every local state
+/// (the §2 "value of all program variables"). Enables detection of general
+/// — including relational — global predicates over the variables
+/// (detect::detect_possibly_general).
+struct VarComputation {
+  Computation computation;
+  /// state_envs[p][k-1] = bindings at the end of state (p, k).
+  std::vector<std::vector<Env>> state_envs;
+
+  [[nodiscard]] const Env& env(ProcessId p, StateIndex k) const {
+    return state_envs.at(p.idx()).at(static_cast<std::size_t>(k - 1));
+  }
+};
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::size_t num_processes);
+
+  /// Attach the local predicate of process p. Call order defines the cut
+  /// slot order. Processes without a predicate are relays.
+  void local_predicate(ProcessId p, Expr expr);
+
+  /// Assign a variable in p's current state; re-evaluates p's predicate.
+  void set(ProcessId p, const std::string& name, std::int64_t value);
+
+  [[nodiscard]] std::int64_t get(ProcessId p, const std::string& name) const;
+
+  MessageId send(ProcessId from, ProcessId to);
+  void receive(MessageId msg);
+  MessageId transfer(ProcessId from, ProcessId to);
+
+  [[nodiscard]] StateIndex current_state(ProcessId p) const {
+    return b_.current_state(p);
+  }
+
+  Computation build();
+
+  /// Like build(), but also returns the per-state variable bindings.
+  VarComputation build_with_vars();
+
+ private:
+  void reevaluate(ProcessId p);
+  void enter_state(ProcessId p);
+  void close_state(ProcessId p);
+
+  ComputationBuilder b_;
+  std::vector<Env> envs_;
+  std::vector<Expr> exprs_;
+  std::vector<bool> has_expr_;
+  std::vector<ProcessId> predicate_order_;
+  std::vector<std::vector<Env>> history_;
+};
+
+}  // namespace wcp::pred

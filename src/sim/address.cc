@@ -1,0 +1,16 @@
+#include "sim/address.h"
+
+#include <ostream>
+
+namespace wcp::sim {
+
+std::ostream& operator<<(std::ostream& os, const NodeAddr& a) {
+  switch (a.role) {
+    case NodeRole::kApplication: return os << "AP" << a.pid.value();
+    case NodeRole::kMonitor: return os << "MP" << a.pid.value();
+    case NodeRole::kCoordinator: return os << "COORD";
+  }
+  return os;
+}
+
+}  // namespace wcp::sim

@@ -1,0 +1,27 @@
+#include "sim/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wcp::sim {
+
+SimTime LatencyModel::sample(Rng& rng) const {
+  SimTime d = 1;
+  switch (kind) {
+    case Kind::kFixed:
+      d = fixed;
+      break;
+    case Kind::kUniform:
+      d = rng.uniform_int(lo, hi);
+      break;
+    case Kind::kExponential:
+      d = static_cast<SimTime>(std::llround(rng.exponential(mean)));
+      break;
+    case Kind::kBimodal:
+      d = rng.bernoulli(spike_prob) ? spike : fixed;
+      break;
+  }
+  return std::max<SimTime>(1, d);
+}
+
+}  // namespace wcp::sim

@@ -1,0 +1,59 @@
+// Message latency models for the simulated network.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace wcp::sim {
+
+/// Per-message delivery delay distribution. All models return >= 1 time
+/// unit so that a message is never delivered in the instant it is sent.
+struct LatencyModel {
+  enum class Kind : std::uint8_t { kFixed, kUniform, kExponential, kBimodal };
+
+  Kind kind = Kind::kFixed;
+  SimTime fixed = 1;          // kFixed; also the fast mode of kBimodal
+  SimTime lo = 1, hi = 8;     // kUniform (inclusive)
+  double mean = 4.0;          // kExponential
+  double spike_prob = 0.05;   // kBimodal: chance of a slow outlier
+  SimTime spike = 100;        // kBimodal: outlier delay
+
+  [[nodiscard]] SimTime sample(Rng& rng) const;
+
+  static LatencyModel fixed_delay(SimTime d) {
+    LatencyModel m;
+    m.kind = Kind::kFixed;
+    m.fixed = d;
+    return m;
+  }
+  static LatencyModel uniform(SimTime lo, SimTime hi) {
+    LatencyModel m;
+    m.kind = Kind::kUniform;
+    m.lo = lo;
+    m.hi = hi;
+    return m;
+  }
+  static LatencyModel exponential(double mean) {
+    LatencyModel m;
+    m.kind = Kind::kExponential;
+    m.mean = mean;
+    return m;
+  }
+  /// Mostly-fast network with rare large delay spikes (failure injection:
+  /// a retransmit / partition blip). Never reorders app->monitor FIFO
+  /// channels — the network layer enforces that — but aggressively
+  /// reorders everything else.
+  static LatencyModel bimodal(SimTime fast, double spike_prob,
+                              SimTime spike) {
+    LatencyModel m;
+    m.kind = Kind::kBimodal;
+    m.fixed = fast;
+    m.spike_prob = spike_prob;
+    m.spike = spike;
+    return m;
+  }
+};
+
+}  // namespace wcp::sim

@@ -1,0 +1,100 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+
+namespace wcp::sim {
+
+Network& Node::net() const {
+  WCP_CHECK(net_ != nullptr);
+  return *net_;
+}
+
+void Node::send(NodeAddr to, MsgKind kind, std::any payload,
+                std::int64_t bits) {
+  net().send(addr_, to, kind, std::move(payload), bits);
+}
+
+void Node::after(SimTime delay, std::function<void()> fn) {
+  net().simulator().schedule_after(delay, std::move(fn));
+}
+
+Network::Network(NetworkConfig cfg)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      app_metrics_(cfg.num_processes),
+      // one extra monitor-layer slot for a coordinator node
+      monitor_metrics_(cfg.num_processes + 1) {
+  WCP_REQUIRE(cfg.num_processes >= 1, "network needs at least one process");
+}
+
+void Network::add_node(NodeAddr addr, std::unique_ptr<Node> node) {
+  WCP_REQUIRE(node != nullptr, "null node");
+  WCP_REQUIRE(!nodes_.contains(addr), "duplicate node at " << addr);
+  node->net_ = this;
+  node->addr_ = addr;
+  nodes_.emplace(addr, std::move(node));
+}
+
+Node* Network::node(NodeAddr addr) {
+  auto it = nodes_.find(addr);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+void Network::start_and_run(std::int64_t max_events) {
+  // Deterministic start order: sort addresses.
+  std::vector<NodeAddr> addrs;
+  addrs.reserve(nodes_.size());
+  for (const auto& [a, _] : nodes_) addrs.push_back(a);
+  std::sort(addrs.begin(), addrs.end());
+  for (NodeAddr a : addrs) nodes_.at(a)->on_start();
+  sim_.run(max_events);
+}
+
+bool Network::is_fifo(NodeAddr from, NodeAddr to) const {
+  if (cfg_.fifo_all) return true;
+  // §3.1: application -> its own monitor must be FIFO.
+  return from.role == NodeRole::kApplication &&
+         (to.role == NodeRole::kMonitor || to.role == NodeRole::kCoordinator);
+}
+
+void Network::send(NodeAddr from, NodeAddr to, MsgKind kind, std::any payload,
+                   std::int64_t bits) {
+  WCP_REQUIRE(nodes_.contains(to), "send to unknown node " << to);
+
+  // Account the send against the proper layer.
+  if (from.role == NodeRole::kApplication) {
+    app_metrics_.record_send(from.pid, kind, bits);
+  } else {
+    const ProcessId slot = from.role == NodeRole::kCoordinator
+                               ? ProcessId(static_cast<int>(cfg_.num_processes))
+                               : from.pid;
+    monitor_metrics_.record_send(slot, kind, bits);
+  }
+
+  const LatencyModel& model =
+      (from.role != NodeRole::kApplication && cfg_.monitor_latency)
+          ? *cfg_.monitor_latency
+          : cfg_.latency;
+  SimTime deliver_at = sim_.now() + model.sample(rng_);
+  if (is_fifo(from, to)) {
+    const std::size_t span = 2 * cfg_.num_processes + 1;
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(from.index(cfg_.num_processes)) * span +
+        to.index(cfg_.num_processes);
+    auto& last = fifo_last_[key];
+    deliver_at = std::max(deliver_at, last + 1);
+    last = deliver_at;
+  }
+
+  Node* dst = nodes_.at(to).get();
+  Packet p{from, to, kind, bits, std::move(payload)};
+  sim_.schedule_at(deliver_at,
+                   [dst, pkt = std::move(p)]() mutable {
+                     dst->on_packet(std::move(pkt));
+                   });
+}
+
+}  // namespace wcp::sim

@@ -1,0 +1,29 @@
+#include "sim/simulator.h"
+
+#include "common/error.h"
+
+namespace wcp::sim {
+
+void Simulator::schedule_at(SimTime t, Callback cb) {
+  WCP_REQUIRE(t >= now_, "scheduling into the past: t=" << t << " now=" << now_);
+  queue_.push(Entry{t, seq_++, std::move(cb)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the callback handle (std::function copy) instead.
+  Entry e = queue_.top();
+  queue_.pop();
+  now_ = e.t;
+  ++processed_;
+  e.cb();
+  return true;
+}
+
+void Simulator::run(std::int64_t max_events) {
+  while (!stopped_ && (max_events < 0 || processed_ < max_events) && step()) {
+  }
+}
+
+}  // namespace wcp::sim

@@ -1,0 +1,64 @@
+// Deterministic discrete-event scheduler.
+//
+// All online detection runs execute on this single-threaded event loop.
+// Events with equal timestamps fire in scheduling order (a monotone sequence
+// number breaks ties), so a run is a pure function of (computation, seed,
+// latency model) — a property the whole test suite leans on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wcp::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute virtual time t (>= now).
+  void schedule_at(SimTime t, Callback cb);
+
+  /// Schedule `cb` to run `delay` units from now (delay >= 0).
+  void schedule_after(SimTime delay, Callback cb) {
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Run the earliest pending event. Returns false if none is pending.
+  bool step();
+
+  /// Run until no events remain or `max_events` have been processed.
+  void run(std::int64_t max_events = -1);
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::int64_t events_processed() const { return processed_; }
+
+  /// Request the loop to stop after the current event (used on detection).
+  void stop() { stopped_ = true; }
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+ private:
+  struct Entry {
+    SimTime t;
+    std::int64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  SimTime now_ = 0;
+  std::int64_t seq_ = 0;
+  std::int64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace wcp::sim

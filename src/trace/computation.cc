@@ -1,0 +1,302 @@
+#include "trace/computation.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace wcp {
+
+bool Computation::local_pred(ProcessId p, StateIndex k) const {
+  const auto& pp = per_process_.at(p.idx());
+  WCP_REQUIRE(k >= 1 && k <= static_cast<StateIndex>(pp.pred.size()),
+              "state (" << p << "," << k << ") out of range");
+  return pp.pred[static_cast<std::size_t>(k - 1)];
+}
+
+std::int64_t Computation::max_messages_per_process() const {
+  std::int64_t mx = 0;
+  for (const auto& pp : per_process_)
+    mx = std::max(mx, static_cast<std::int64_t>(pp.events.size()));
+  return mx;
+}
+
+std::int64_t Computation::total_states() const {
+  std::int64_t sum = 0;
+  for (const auto& pp : per_process_)
+    sum += static_cast<std::int64_t>(pp.pred.size());
+  return sum;
+}
+
+void Computation::ensure_ground_truth() const {
+  if (!clocks_.empty()) return;
+  const std::size_t N = per_process_.size();
+  clocks_.resize(N);
+
+  // Replay events in a causally valid global order: a receive is only
+  // processed after its matching send. The greedy scan below always makes
+  // progress because the builder appended events in such an order.
+  std::vector<std::size_t> next_event(N, 0);
+  std::vector<VectorClock> current(N);
+  std::vector<VectorClock> msg_clock(messages_.size());
+  std::vector<bool> msg_sent(messages_.size(), false);
+
+  for (std::size_t p = 0; p < N; ++p) {
+    current[p] = VectorClock::initial(N, ProcessId(static_cast<int>(p)));
+    clocks_[p].reserve(per_process_[p].pred.size());
+    clocks_[p].push_back(current[p]);
+  }
+
+  std::size_t remaining = 0;
+  for (const auto& pp : per_process_) remaining += pp.events.size();
+
+  while (remaining > 0) {
+    bool progressed = false;
+    for (std::size_t p = 0; p < N; ++p) {
+      const auto& events = per_process_[p].events;
+      while (next_event[p] < events.size()) {
+        const Event& ev = events[next_event[p]];
+        const auto mi = static_cast<std::size_t>(ev.msg);
+        if (ev.kind == EventKind::kSend) {
+          msg_clock[mi] = current[p];
+          msg_sent[mi] = true;
+        } else {
+          if (!msg_sent[mi]) break;  // wait for the sender's replay
+          current[p].merge(msg_clock[mi]);
+        }
+        current[p].tick(ProcessId(static_cast<int>(p)));
+        clocks_[p].push_back(current[p]);
+        ++next_event[p];
+        --remaining;
+        progressed = true;
+      }
+    }
+    WCP_CHECK_MSG(progressed || remaining == 0,
+                  "computation event order is causally inconsistent");
+  }
+}
+
+const VectorClock& Computation::ground_truth_clock(ProcessId p,
+                                                   StateIndex k) const {
+  ensure_ground_truth();
+  const auto& col = clocks_.at(p.idx());
+  WCP_REQUIRE(k >= 1 && k <= static_cast<StateIndex>(col.size()),
+              "state (" << p << "," << k << ") out of range");
+  return col[static_cast<std::size_t>(k - 1)];
+}
+
+bool Computation::happened_before(ProcessId i, StateIndex a, ProcessId j,
+                                  StateIndex b) const {
+  if (i == j) return a < b;
+  // (i,a) -> (j,b) iff the clock of (j,b) has seen state a of P_i, i.e. a
+  // message chain leaving P_i at or after state a reached (j,b).
+  return ground_truth_clock(j, b).at(i) >= a;
+}
+
+bool Computation::is_consistent_cut(std::span<const ProcessId> procs,
+                                    std::span<const StateIndex> cut) const {
+  WCP_REQUIRE(procs.size() == cut.size(), "cut width mismatch");
+  for (std::size_t s = 0; s < procs.size(); ++s)
+    for (std::size_t t = 0; t < procs.size(); ++t)
+      if (s != t && happened_before(procs[s], cut[s], procs[t], cut[t]))
+        return false;
+  return true;
+}
+
+namespace {
+
+// Shared advance-candidate oracle. `candidates[s]` lists the admissible
+// state indices for slot s in increasing order.
+std::optional<std::vector<StateIndex>> first_cut_oracle(
+    const Computation& c, std::span<const ProcessId> procs,
+    const std::vector<std::vector<StateIndex>>& candidates) {
+  const std::size_t w = procs.size();
+  std::vector<std::size_t> pos(w, 0);
+  for (std::size_t s = 0; s < w; ++s)
+    if (candidates[s].empty()) return std::nullopt;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t s = 0; s < w && !changed; ++s) {
+      for (std::size_t t = 0; t < w; ++t) {
+        if (s == t) continue;
+        if (c.happened_before(procs[s], candidates[s][pos[s]], procs[t],
+                              candidates[t][pos[t]])) {
+          if (++pos[s] >= candidates[s].size()) return std::nullopt;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  std::vector<StateIndex> cut(w);
+  for (std::size_t s = 0; s < w; ++s) cut[s] = candidates[s][pos[s]];
+  return cut;
+}
+
+}  // namespace
+
+std::optional<std::vector<StateIndex>> Computation::first_wcp_cut() const {
+  const auto procs = predicate_processes();
+  std::vector<std::vector<StateIndex>> candidates(procs.size());
+  for (std::size_t s = 0; s < procs.size(); ++s) {
+    for (StateIndex k = 1; k <= num_states(procs[s]); ++k)
+      if (local_pred(procs[s], k)) candidates[s].push_back(k);
+  }
+  return first_cut_oracle(*this, procs, candidates);
+}
+
+std::optional<std::vector<StateIndex>>
+Computation::first_wcp_cut_all_processes() const {
+  std::vector<ProcessId> procs;
+  procs.reserve(num_processes());
+  for (std::size_t p = 0; p < num_processes(); ++p)
+    procs.emplace_back(static_cast<int>(p));
+
+  std::vector<std::vector<StateIndex>> candidates(procs.size());
+  for (std::size_t s = 0; s < procs.size(); ++s) {
+    const bool constrained = predicate_slot(procs[s]) >= 0;
+    for (StateIndex k = 1; k <= num_states(procs[s]); ++k)
+      if (!constrained || local_pred(procs[s], k)) candidates[s].push_back(k);
+  }
+  return first_cut_oracle(*this, procs, candidates);
+}
+
+std::optional<Dependence> Computation::receive_dependence(ProcessId p,
+                                                          StateIndex k) const {
+  if (k < 2) return std::nullopt;
+  const auto& events = per_process_.at(p.idx()).events;
+  const auto t = static_cast<std::size_t>(k - 2);
+  WCP_REQUIRE(t < events.size(), "state (" << p << "," << k << ") out of range");
+  const Event& ev = events[t];
+  if (ev.kind != EventKind::kReceive) return std::nullopt;
+  const MessageRecord& mr = message(ev.msg);
+  return Dependence{mr.from, mr.send_state};
+}
+
+std::ostream& operator<<(std::ostream& os, const Computation& c) {
+  os << "Computation{N=" << c.num_processes() << ", n="
+     << c.predicate_processes().size() << ", messages=" << c.messages().size()
+     << ", states=" << c.total_states() << "}";
+  return os;
+}
+
+// ---------------------------------------------------------------------------
+// ComputationBuilder
+
+ComputationBuilder::ComputationBuilder(std::size_t num_processes)
+    : default_pred_(num_processes, false),
+      in_flight_(num_processes),
+      in_flight_head_(num_processes, 0) {
+  WCP_REQUIRE(num_processes >= 1, "need at least one process");
+  c_.per_process_.resize(num_processes);
+  for (auto& pp : c_.per_process_) pp.pred.push_back(false);
+  c_.pred_slot_.assign(num_processes, -1);
+}
+
+void ComputationBuilder::check_pid(ProcessId p) const {
+  WCP_REQUIRE(p.valid() && p.idx() < c_.per_process_.size(),
+              "bad process id " << p);
+}
+
+void ComputationBuilder::set_predicate_processes(std::vector<ProcessId> procs) {
+  WCP_REQUIRE(!procs.empty(), "predicate must cover at least one process");
+  for (ProcessId p : procs) check_pid(p);
+  c_.predicate_processes_ = std::move(procs);
+}
+
+void ComputationBuilder::set_default_pred(ProcessId p, bool value) {
+  check_pid(p);
+  default_pred_[p.idx()] = value;
+  auto& pp = c_.per_process_[p.idx()];
+  // Apply to the current (still-open) state as well.
+  pp.pred.back() = value;
+}
+
+void ComputationBuilder::mark_pred(ProcessId p, bool value) {
+  check_pid(p);
+  c_.per_process_[p.idx()].pred.back() = value;
+}
+
+MessageId ComputationBuilder::send(ProcessId from, ProcessId to) {
+  check_pid(from);
+  check_pid(to);
+  WCP_REQUIRE(from != to, "self-messages are not modeled");
+  const auto id = static_cast<MessageId>(c_.messages_.size());
+  auto& pp = c_.per_process_[from.idx()];
+  c_.messages_.push_back(MessageRecord{
+      from, static_cast<StateIndex>(pp.pred.size()), to, /*recv_state=*/0});
+  pp.events.push_back(Event{EventKind::kSend, id});
+  pp.pred.push_back(default_pred_[from.idx()]);
+  in_flight_[to.idx()].push_back(id);
+  return id;
+}
+
+void ComputationBuilder::receive(MessageId msg) {
+  WCP_REQUIRE(msg >= 0 && msg < static_cast<MessageId>(c_.messages_.size()),
+              "unknown message " << msg);
+  MessageRecord& mr = c_.messages_[static_cast<std::size_t>(msg)];
+  WCP_REQUIRE(!mr.delivered(), "message " << msg << " received twice");
+  auto& pp = c_.per_process_[mr.to.idx()];
+  pp.events.push_back(Event{EventKind::kReceive, msg});
+  pp.pred.push_back(default_pred_[mr.to.idx()]);
+  mr.recv_state = static_cast<StateIndex>(pp.pred.size());
+  // Lazily maintained FIFO view: drop the id from the in-flight queue when
+  // it reaches the head (next_in_flight_to skips delivered ids).
+}
+
+MessageId ComputationBuilder::transfer(ProcessId from, ProcessId to) {
+  const MessageId id = send(from, to);
+  receive(id);
+  return id;
+}
+
+ProcessId ComputationBuilder::message_destination(MessageId msg) const {
+  WCP_REQUIRE(msg >= 0 && msg < static_cast<MessageId>(c_.messages_.size()),
+              "unknown message " << msg);
+  return c_.messages_[static_cast<std::size_t>(msg)].to;
+}
+
+std::size_t ComputationBuilder::in_flight_to(ProcessId to) const {
+  check_pid(to);
+  std::size_t count = 0;
+  const auto& q = in_flight_[to.idx()];
+  for (std::size_t i = in_flight_head_[to.idx()]; i < q.size(); ++i)
+    if (!c_.messages_[static_cast<std::size_t>(q[i])].delivered()) ++count;
+  return count;
+}
+
+std::optional<MessageId> ComputationBuilder::next_in_flight_to(
+    ProcessId to) const {
+  check_pid(to);
+  const auto& q = in_flight_[to.idx()];
+  auto& head = in_flight_head_[to.idx()];
+  while (head < q.size() &&
+         c_.messages_[static_cast<std::size_t>(q[head])].delivered())
+    ++head;
+  if (head >= q.size()) return std::nullopt;
+  return q[head];
+}
+
+StateIndex ComputationBuilder::current_state(ProcessId p) const {
+  check_pid(p);
+  return static_cast<StateIndex>(c_.per_process_[p.idx()].pred.size());
+}
+
+Computation ComputationBuilder::build() {
+  if (c_.predicate_processes_.empty()) {
+    for (std::size_t p = 0; p < c_.per_process_.size(); ++p)
+      c_.predicate_processes_.emplace_back(static_cast<int>(p));
+  }
+  c_.pred_slot_.assign(c_.per_process_.size(), -1);
+  for (std::size_t s = 0; s < c_.predicate_processes_.size(); ++s) {
+    ProcessId p = c_.predicate_processes_[s];
+    WCP_REQUIRE(c_.pred_slot_[p.idx()] == -1,
+                "process " << p << " listed twice in predicate");
+    c_.pred_slot_[p.idx()] = static_cast<int>(s);
+  }
+  return std::move(c_);
+}
+
+}  // namespace wcp

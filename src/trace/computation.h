@@ -1,0 +1,227 @@
+// The computation (poset) model of §2.
+//
+// A Computation records one finite run of a distributed program of N
+// processes: per-process sequences of local states separated by send/receive
+// events, the message pairing between them, and the truth value of each
+// process's local predicate in each state.
+//
+// States are numbered the way the paper's vector clocks number them
+// (Fig. 2): state k on P_i is the k-th communication-free interval; the
+// event between states k and k+1 is either a send or a receive. A message
+// sent between states k and k+1 is said to be "sent from state k" — it
+// carries the clock of state k — and a message received between states l
+// and l+1 is "received into state l+1".
+//
+// Computation is immutable once built (via ComputationBuilder) and provides
+// the ground-truth happened-before oracle used by tests, offline reference
+// detectors, and the EXPERIMENTS harness.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "clock/dependence.h"
+#include "clock/vector_clock.h"
+#include "common/types.h"
+
+namespace wcp {
+
+/// Identifier of a message within one computation.
+using MessageId = std::int64_t;
+
+/// Kind of communication event on a process timeline.
+enum class EventKind : std::uint8_t { kSend, kReceive };
+
+/// One communication event on a process. The event at position t (0-based)
+/// on process p transitions local state t+1 to state t+2.
+struct Event {
+  EventKind kind;
+  MessageId msg = -1;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Message pairing: sent by `from` from state `send_state`, received by `to`
+/// into state `recv_state` (i.e. the receive created state recv_state).
+/// recv_state == 0 means the message was still in flight when the observed
+/// run ended (allowed; it induces no dependence).
+struct MessageRecord {
+  ProcessId from;
+  StateIndex send_state = 0;
+  ProcessId to;
+  StateIndex recv_state = 0;
+
+  [[nodiscard]] bool delivered() const { return recv_state != 0; }
+
+  friend bool operator==(const MessageRecord&, const MessageRecord&) = default;
+};
+
+class ComputationBuilder;
+
+class Computation {
+ public:
+  /// Number of processes N.
+  [[nodiscard]] std::size_t num_processes() const { return per_process_.size(); }
+
+  /// The n processes over which the WCP is defined, in cut order.
+  [[nodiscard]] std::span<const ProcessId> predicate_processes() const {
+    return predicate_processes_;
+  }
+
+  /// Position of p within predicate_processes(), or -1.
+  [[nodiscard]] int predicate_slot(ProcessId p) const {
+    return pred_slot_.at(p.idx());
+  }
+
+  /// Number of local states on process p (>= 1).
+  [[nodiscard]] StateIndex num_states(ProcessId p) const {
+    return static_cast<StateIndex>(per_process_.at(p.idx()).pred.size());
+  }
+
+  /// Truth of p's local predicate in state k (1-based).
+  [[nodiscard]] bool local_pred(ProcessId p, StateIndex k) const;
+
+  /// Events on process p's timeline, in order.
+  [[nodiscard]] std::span<const Event> events(ProcessId p) const {
+    return per_process_.at(p.idx()).events;
+  }
+
+  [[nodiscard]] std::span<const MessageRecord> messages() const {
+    return messages_;
+  }
+
+  [[nodiscard]] const MessageRecord& message(MessageId id) const {
+    return messages_.at(static_cast<std::size_t>(id));
+  }
+
+  /// m in the paper: max over processes of (sends + receives).
+  [[nodiscard]] std::int64_t max_messages_per_process() const;
+
+  /// Total number of local states, summed over processes.
+  [[nodiscard]] std::int64_t total_states() const;
+
+  // ---- Ground-truth causality (full-width vector clocks) ----------------
+
+  /// Full-width (N-component) vector clock of state (p, k). Computed once,
+  /// lazily, on first use; O(N * total_states) memory.
+  [[nodiscard]] const VectorClock& ground_truth_clock(ProcessId p,
+                                                      StateIndex k) const;
+
+  /// Ground-truth happened-before between states (§2). k == 0 (pre-initial)
+  /// happens before everything on other processes' positive states? No:
+  /// the pre-initial placeholder never participates; requires k >= 1.
+  [[nodiscard]] bool happened_before(ProcessId i, StateIndex a, ProcessId j,
+                                     StateIndex b) const;
+
+  [[nodiscard]] bool concurrent(ProcessId i, StateIndex a, ProcessId j,
+                                StateIndex b) const {
+    return !happened_before(i, a, j, b) && !happened_before(j, b, i, a) &&
+           !(i == j && a == b);
+  }
+
+  /// True iff the cut (one state per process in `procs` order) is pairwise
+  /// concurrent.
+  [[nodiscard]] bool is_consistent_cut(std::span<const ProcessId> procs,
+                                       std::span<const StateIndex> cut) const;
+
+  // ---- Offline reference oracles -----------------------------------------
+
+  /// First (pointwise-minimal) cut over predicate_processes() whose states
+  /// all satisfy their local predicates and are pairwise concurrent.
+  /// std::nullopt if the WCP never holds in this run.
+  [[nodiscard]] std::optional<std::vector<StateIndex>> first_wcp_cut() const;
+
+  /// First consistent cut over all N processes in which every predicate
+  /// process satisfies its local predicate and every non-predicate process
+  /// is unconstrained. Used to validate the direct-dependence algorithm.
+  [[nodiscard]] std::optional<std::vector<StateIndex>>
+  first_wcp_cut_all_processes() const;
+
+  // ---- Derived per-state instrumentation data ----------------------------
+
+  /// Scalar logical clock of state (p,k) under the §4.1 rules: clock == k
+  /// (the counter is incremented on every send/receive, starting at 1).
+  [[nodiscard]] static LamportTime lamport_clock(StateIndex k) { return k; }
+
+  /// Direct dependences recorded during state (p,k): one (sender, clock)
+  /// pair for the receive that created state k, if any (§4.1).
+  [[nodiscard]] std::optional<Dependence> receive_dependence(
+      ProcessId p, StateIndex k) const;
+
+ private:
+  friend class ComputationBuilder;
+
+  struct PerProcess {
+    std::vector<Event> events;
+    std::vector<bool> pred;  // pred[k-1] = local predicate in state k
+  };
+
+  void ensure_ground_truth() const;
+
+  std::vector<PerProcess> per_process_;
+  std::vector<MessageRecord> messages_;
+  std::vector<ProcessId> predicate_processes_;
+  std::vector<int> pred_slot_;  // process idx -> slot in predicate list, -1
+
+  // Lazy ground truth: clocks_[p][k-1] = full-width clock of state (p,k).
+  mutable std::vector<std::vector<VectorClock>> clocks_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Computation& c);
+
+/// Incremental builder. Events must be appended in an order that is causally
+/// valid (a receive may only be appended after its send); build() verifies
+/// this and computes nothing else eagerly.
+class ComputationBuilder {
+ public:
+  explicit ComputationBuilder(std::size_t num_processes);
+
+  /// Restrict the WCP to these processes (default: all N). Must be called
+  /// before build(); order defines cut component order.
+  void set_predicate_processes(std::vector<ProcessId> procs);
+
+  /// Default truth value of newly created states on p (initial state
+  /// included). Typically false for predicate processes, true for others.
+  void set_default_pred(ProcessId p, bool value);
+
+  /// Set the local predicate value of p's *current* (latest) state.
+  void mark_pred(ProcessId p, bool value = true);
+
+  /// Append a send event on `from`; returns the message id.
+  MessageId send(ProcessId from, ProcessId to);
+
+  /// Append the receive of `msg` on its destination process.
+  void receive(MessageId msg);
+
+  /// send() immediately followed by receive().
+  MessageId transfer(ProcessId from, ProcessId to);
+
+  /// Destination process of a previously sent message.
+  [[nodiscard]] ProcessId message_destination(MessageId msg) const;
+
+  /// Number of messages currently sent but not yet received to `to`.
+  [[nodiscard]] std::size_t in_flight_to(ProcessId to) const;
+
+  /// Pops the id of some in-flight message addressed to `to` (FIFO order).
+  [[nodiscard]] std::optional<MessageId> next_in_flight_to(ProcessId to) const;
+
+  [[nodiscard]] StateIndex current_state(ProcessId p) const;
+
+  [[nodiscard]] std::size_t num_processes() const { return default_pred_.size(); }
+
+  /// Finalize. The builder is left in a moved-from state.
+  Computation build();
+
+ private:
+  void check_pid(ProcessId p) const;
+
+  Computation c_;
+  std::vector<bool> default_pred_;
+  std::vector<std::vector<MessageId>> in_flight_;  // per destination, FIFO
+  mutable std::vector<std::size_t> in_flight_head_;
+};
+
+}  // namespace wcp

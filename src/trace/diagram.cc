@@ -1,0 +1,67 @@
+#include "trace/diagram.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace wcp {
+
+void render_diagram(std::ostream& os, const Computation& comp,
+                    const DiagramOptions& opts) {
+  WCP_REQUIRE(opts.cut_procs.size() == opts.cut.size(),
+              "cut marker width mismatch");
+
+  auto cut_state_of = [&](ProcessId p) -> std::optional<StateIndex> {
+    for (std::size_t s = 0; s < opts.cut_procs.size(); ++s)
+      if (opts.cut_procs[s] == p) return opts.cut[s];
+    return std::nullopt;
+  };
+
+  for (std::size_t pi = 0; pi < comp.num_processes(); ++pi) {
+    const ProcessId p(static_cast<int>(pi));
+    const auto marked = cut_state_of(p);
+    os << 'P' << p.value() << "  ";
+
+    const StateIndex total = comp.num_states(p);
+    const StateIndex limit =
+        opts.max_states > 0 ? std::min(total, opts.max_states) : total;
+    const auto events = comp.events(p);
+
+    for (StateIndex k = 1; k <= limit; ++k) {
+      if (k > 1) {
+        const Event& ev = events[static_cast<std::size_t>(k - 2)];
+        os << " -" << (ev.kind == EventKind::kSend ? 's' : 'r') << ev.msg
+           << "->";
+      }
+      os << (marked && *marked == k ? '*' : ' ');
+      os << '[' << k << ':' << (comp.local_pred(p, k) ? 'T' : '.') << ']';
+    }
+    if (limit < total) os << " ...(" << (total - limit) << " more)";
+    os << '\n';
+  }
+
+  if (opts.message_table && !comp.messages().empty()) {
+    os << "messages:\n";
+    for (std::size_t m = 0; m < comp.messages().size(); ++m) {
+      const MessageRecord& mr = comp.messages()[m];
+      os << "  m" << m << ": P" << mr.from.value() << '@' << mr.send_state
+         << " -> P" << mr.to.value();
+      if (mr.delivered()) {
+        os << '@' << mr.recv_state;
+      } else {
+        os << " (in flight)";
+      }
+      os << '\n';
+    }
+  }
+}
+
+std::string render_diagram(const Computation& comp,
+                           const DiagramOptions& opts) {
+  std::ostringstream oss;
+  render_diagram(oss, comp, opts);
+  return oss.str();
+}
+
+}  // namespace wcp

@@ -1,0 +1,40 @@
+// ASCII space-time diagrams of computations.
+//
+// Renders one line per process: local states (with their predicate value)
+// joined by the events between them, plus an optional cut marker — the
+// debugging view the detection examples print.
+//
+//   P0  [1:T] -s0-> [2:.] -r1->*[3:T]
+//   P1  [1:.] -r0->*[2:T] -s1-> [3:.]
+//
+// `sK`/`rK` are send/receive of message K; `*` marks the cut component.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/computation.h"
+
+namespace wcp {
+
+struct DiagramOptions {
+  /// Mark these states (one per process in `cut_procs` order).
+  std::vector<ProcessId> cut_procs;
+  std::vector<StateIndex> cut;
+  /// Cap on rendered states per process (0: unlimited); longer timelines
+  /// end with "...".
+  StateIndex max_states = 0;
+  /// Also print the message table (id: from@state -> to@state).
+  bool message_table = false;
+};
+
+std::string render_diagram(const Computation& comp,
+                           const DiagramOptions& opts = {});
+
+void render_diagram(std::ostream& os, const Computation& comp,
+                    const DiagramOptions& opts = {});
+
+}  // namespace wcp

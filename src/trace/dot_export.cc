@@ -1,0 +1,67 @@
+#include "trace/dot_export.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace wcp {
+
+void export_dot(std::ostream& os, const Computation& comp,
+                const DotOptions& opts) {
+  WCP_REQUIRE(opts.cut_procs.size() == opts.cut.size(),
+              "cut marker width mismatch");
+
+  auto marked = [&](ProcessId p, StateIndex k) {
+    for (std::size_t s = 0; s < opts.cut_procs.size(); ++s)
+      if (opts.cut_procs[s] == p && opts.cut[s] == k) return true;
+    return false;
+  };
+  auto node = [](ProcessId p, StateIndex k) {
+    std::ostringstream oss;
+    oss << "s" << p.value() << "_" << k;
+    return oss.str();
+  };
+
+  os << "digraph " << opts.graph_name << " {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=box, fontsize=10];\n";
+
+  for (std::size_t pi = 0; pi < comp.num_processes(); ++pi) {
+    const ProcessId p(static_cast<int>(pi));
+    os << "  subgraph cluster_p" << p.value() << " {\n"
+       << "    label=\"P" << p.value() << "\";\n"
+       << "    style=dashed;\n";
+    for (StateIndex k = 1; k <= comp.num_states(p); ++k) {
+      os << "    " << node(p, k) << " [label=\"(" << p.value() << ',' << k
+         << ")\"";
+      if (comp.predicate_slot(p) >= 0 && comp.local_pred(p, k))
+        os << ", style=filled, fillcolor=palegreen";
+      if (marked(p, k)) os << ", penwidth=3, color=red";
+      os << "];\n";
+    }
+    // Program order.
+    for (StateIndex k = 1; k + 1 <= comp.num_states(p); ++k)
+      os << "    " << node(p, k) << " -> " << node(p, k + 1) << ";\n";
+    os << "  }\n";
+  }
+
+  // Message edges: send transition (from send_state to send_state+1) into
+  // the receive-created state.
+  for (std::size_t m = 0; m < comp.messages().size(); ++m) {
+    const MessageRecord& mr = comp.messages()[m];
+    if (!mr.delivered()) continue;
+    os << "  " << node(mr.from, mr.send_state) << " -> "
+       << node(mr.to, mr.recv_state) << " [style=dotted, label=\"m" << m
+       << "\"];\n";
+  }
+  os << "}\n";
+}
+
+std::string dot_to_string(const Computation& comp, const DotOptions& opts) {
+  std::ostringstream oss;
+  export_dot(oss, comp, opts);
+  return oss.str();
+}
+
+}  // namespace wcp

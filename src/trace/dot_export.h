@@ -1,0 +1,26 @@
+// Graphviz (DOT) export of computations: states as nodes (predicate-true
+// states highlighted, cut states outlined), program order and message
+// edges. Render with `dot -Tsvg run.dot -o run.svg`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/computation.h"
+
+namespace wcp {
+
+struct DotOptions {
+  std::vector<ProcessId> cut_procs;
+  std::vector<StateIndex> cut;
+  std::string graph_name = "computation";
+};
+
+void export_dot(std::ostream& os, const Computation& comp,
+                const DotOptions& opts = {});
+
+std::string dot_to_string(const Computation& comp,
+                          const DotOptions& opts = {});
+
+}  // namespace wcp

@@ -1,0 +1,183 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace wcp {
+
+namespace {
+
+// Per-process default predicate value = the majority value of its states,
+// to keep traces small.
+std::vector<bool> majority_defaults(const Computation& c) {
+  std::vector<bool> def(c.num_processes());
+  for (std::size_t p = 0; p < c.num_processes(); ++p) {
+    ProcessId pid(static_cast<int>(p));
+    std::int64_t trues = 0;
+    const StateIndex total = c.num_states(pid);
+    for (StateIndex k = 1; k <= total; ++k)
+      if (c.local_pred(pid, k)) ++trues;
+    def[p] = trues * 2 > total;
+  }
+  return def;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const Computation& c) {
+  const std::size_t N = c.num_processes();
+  os << "wcp-trace 1\n";
+  os << "processes " << N << "\n";
+  os << "predicate";
+  for (ProcessId p : c.predicate_processes()) os << ' ' << p.value();
+  os << "\n";
+
+  const auto def = majority_defaults(c);
+  for (std::size_t p = 0; p < N; ++p)
+    os << "default " << p << ' ' << (def[p] ? 1 : 0) << "\n";
+
+  // Initial-state marks.
+  for (std::size_t p = 0; p < N; ++p) {
+    ProcessId pid(static_cast<int>(p));
+    if (c.local_pred(pid, 1) != def[p])
+      os << "mark " << p << ' ' << (c.local_pred(pid, 1) ? 1 : 0) << "\n";
+  }
+
+  // Greedy causal replay (receives after their sends), identical in spirit
+  // to Computation::ensure_ground_truth.
+  std::vector<std::size_t> next(N, 0);
+  // Sends are renumbered in emission order; map original ids to new ones so
+  // 'recv' lines reference the reader's ids.
+  std::vector<MessageId> new_id(c.messages().size(), -1);
+  MessageId next_new_id = 0;
+  std::size_t remaining = 0;
+  for (std::size_t p = 0; p < N; ++p)
+    remaining += c.events(ProcessId(static_cast<int>(p))).size();
+
+  while (remaining > 0) {
+    bool progressed = false;
+    for (std::size_t p = 0; p < N; ++p) {
+      ProcessId pid(static_cast<int>(p));
+      const auto events = c.events(pid);
+      while (next[p] < events.size()) {
+        const Event& ev = events[next[p]];
+        const auto mi = static_cast<std::size_t>(ev.msg);
+        if (ev.kind == EventKind::kSend) {
+          const MessageRecord& mr = c.message(ev.msg);
+          os << "send " << mr.from.value() << ' ' << mr.to.value() << "\n";
+          new_id[mi] = next_new_id++;
+        } else {
+          if (new_id[mi] < 0) break;
+          os << "recv " << new_id[mi] << "\n";
+        }
+        const StateIndex new_state = static_cast<StateIndex>(next[p]) + 2;
+        if (c.local_pred(pid, new_state) != def[p])
+          os << "mark " << p << ' ' << (c.local_pred(pid, new_state) ? 1 : 0)
+             << "\n";
+        ++next[p];
+        --remaining;
+        progressed = true;
+      }
+    }
+    WCP_CHECK_MSG(progressed || remaining == 0,
+                  "trace writer: inconsistent computation");
+  }
+  os << "end\n";
+}
+
+std::string trace_to_string(const Computation& c) {
+  std::ostringstream oss;
+  write_trace(oss, c);
+  return oss.str();
+}
+
+Computation read_trace(std::istream& is) {
+  std::string line;
+  auto next_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      const auto pos = line.find('#');
+      if (pos != std::string::npos) line.erase(pos);
+      // Skip blank lines.
+      if (line.find_first_not_of(" \t\r") != std::string::npos) return true;
+    }
+    return false;
+  };
+
+  WCP_REQUIRE(next_line(), "empty trace");
+  {
+    std::istringstream hdr(line);
+    std::string magic;
+    int version = 0;
+    hdr >> magic >> version;
+    WCP_REQUIRE(magic == "wcp-trace" && version == 1,
+                "bad trace header: '" << line << "'");
+  }
+
+  std::size_t N = 0;
+  std::vector<ProcessId> preds;
+  std::unique_ptr<ComputationBuilder> b;
+
+  while (next_line()) {
+    std::istringstream ls(line);
+    std::string cmd;
+    ls >> cmd;
+    if (cmd == "processes") {
+      ls >> N;
+      WCP_REQUIRE(N >= 1, "bad process count in trace");
+      b = std::make_unique<ComputationBuilder>(N);
+    } else if (cmd == "predicate") {
+      int v;
+      while (ls >> v) preds.emplace_back(v);
+    } else if (cmd == "default") {
+      WCP_REQUIRE(b != nullptr, "'default' before 'processes'");
+      int p, v;
+      ls >> p >> v;
+      b->set_default_pred(ProcessId(p), v != 0);
+    } else if (cmd == "send") {
+      WCP_REQUIRE(b != nullptr, "'send' before 'processes'");
+      int from, to;
+      ls >> from >> to;
+      b->send(ProcessId(from), ProcessId(to));
+    } else if (cmd == "recv") {
+      WCP_REQUIRE(b != nullptr, "'recv' before 'processes'");
+      MessageId id;
+      ls >> id;
+      b->receive(id);
+    } else if (cmd == "mark") {
+      WCP_REQUIRE(b != nullptr, "'mark' before 'processes'");
+      int p, v;
+      ls >> p >> v;
+      b->mark_pred(ProcessId(p), v != 0);
+    } else if (cmd == "end") {
+      break;
+    } else {
+      WCP_REQUIRE(false, "unknown trace directive '" << cmd << "'");
+    }
+  }
+  WCP_REQUIRE(b != nullptr, "trace missing 'processes'");
+  if (!preds.empty()) b->set_predicate_processes(std::move(preds));
+  return b->build();
+}
+
+Computation trace_from_string(const std::string& text) {
+  std::istringstream iss(text);
+  return read_trace(iss);
+}
+
+void save_trace_file(const std::string& path, const Computation& c) {
+  std::ofstream f(path);
+  WCP_REQUIRE(f.good(), "cannot open '" << path << "' for writing");
+  write_trace(f, c);
+}
+
+Computation load_trace_file(const std::string& path) {
+  std::ifstream f(path);
+  WCP_REQUIRE(f.good(), "cannot open '" << path << "' for reading");
+  return read_trace(f);
+}
+
+}  // namespace wcp

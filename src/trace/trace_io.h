@@ -1,0 +1,34 @@
+// Text (de)serialization of computations.
+//
+// Format (line-oriented, '#' comments allowed):
+//
+//   wcp-trace 1
+//   processes <N>
+//   predicate <p0> <p1> ...
+//   default <p> <0|1>            # default local-predicate value on p
+//   send <from> <to>             # events, in a causally valid global order
+//   recv <msgid>
+//   mark <p> <0|1>               # set predicate of p's current state
+//   end
+//
+// The writer emits events in a valid order (receives after their sends), so
+// any written trace round-trips through the reader.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/computation.h"
+
+namespace wcp {
+
+void write_trace(std::ostream& os, const Computation& c);
+std::string trace_to_string(const Computation& c);
+
+Computation read_trace(std::istream& is);
+Computation trace_from_string(const std::string& text);
+
+void save_trace_file(const std::string& path, const Computation& c);
+Computation load_trace_file(const std::string& path);
+
+}  // namespace wcp

@@ -1,0 +1,80 @@
+#include "workload/db_workload.h"
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace wcp::workload {
+
+DbComputation make_db(const DbSpec& spec) {
+  WCP_REQUIRE(spec.num_readers >= 1 && spec.num_writers >= 1,
+              "need at least one reader and one writer");
+  WCP_REQUIRE(spec.rounds >= 1, "need at least one round");
+
+  Rng rng(spec.seed);
+  const std::size_t R = spec.num_readers;
+  const std::size_t W = spec.num_writers;
+  const auto manager = ProcessId(static_cast<int>(R + W));
+  ComputationBuilder b(R + W + 1);
+
+  std::vector<ProcessId> readers, writers;
+  for (std::size_t i = 0; i < R; ++i) readers.emplace_back(static_cast<int>(i));
+  for (std::size_t i = 0; i < W; ++i)
+    writers.emplace_back(static_cast<int>(R + i));
+
+  const ProcessId tracked_reader = readers.front();
+  const ProcessId tracked_writer = writers.front();
+  b.set_predicate_processes({tracked_reader, tracked_writer});
+
+  DbComputation out;
+
+  auto lock_cycle = [&](ProcessId client, bool tracked) {
+    // REQ -> GRANT (lock held in the post-grant state) -> UNLOCK.
+    b.receive(b.send(client, manager));
+    b.receive(b.send(manager, client));
+    if (tracked) b.mark_pred(client, true);
+    return b.send(client, manager);  // unlock, received by caller
+  };
+
+  for (std::int64_t round = 0; round < spec.rounds; ++round) {
+    const bool violate = rng.bernoulli(spec.violation_prob);
+
+    // Read phase: all readers acquire shared locks concurrently.
+    std::vector<MessageId> reqs;
+    for (ProcessId r : readers) reqs.push_back(b.send(r, manager));
+    for (MessageId m : reqs) b.receive(m);
+    std::vector<MessageId> grants;
+    for (ProcessId r : readers) grants.push_back(b.send(manager, r));
+    for (std::size_t i = 0; i < readers.size(); ++i) {
+      b.receive(grants[i]);
+      if (readers[i] == tracked_reader) b.mark_pred(readers[i], true);
+    }
+
+    std::vector<MessageId> unlocks;
+    if (violate) {
+      out.violation_injected = true;
+      // 2PL bug: grant the tracked writer its exclusive lock while the read
+      // locks are still held. The writer's lock state is concurrent with
+      // every reader's lock state.
+      b.receive(b.send(tracked_writer, manager));   // write request
+      b.receive(b.send(manager, tracked_writer));   // bogus grant
+      b.mark_pred(tracked_writer, true);
+      unlocks.push_back(b.send(tracked_writer, manager));
+    }
+    for (ProcessId r : readers) unlocks.push_back(b.send(r, manager));
+    for (MessageId m : unlocks) b.receive(m);
+
+    // Write phase: writers serialized correctly (after all read unlocks).
+    for (ProcessId w : writers) {
+      if (violate && w == tracked_writer) continue;  // already served
+      const MessageId unlock = lock_cycle(w, w == tracked_writer);
+      b.receive(unlock);
+    }
+  }
+
+  out.computation = b.build();
+  return out;
+}
+
+}  // namespace wcp::workload

@@ -1,0 +1,39 @@
+// Two-phase-locking database workload — the paper's §2 example 2.
+//
+// A lock manager serves `num_readers` reader clients and `num_writers`
+// writer clients contending for one shared item. The WCP is defined over
+// two of them: "reader 0 holds a read lock" ∧ "writer 0 holds a write
+// lock" — simultaneously true only if the lock manager violates 2PL
+// compatibility. A buggy round grants the write lock while read locks are
+// still held.
+//
+// n = 2 while N = num_readers + num_writers + 1, which makes this the
+// motivating workload for the n-vs-N crossover (experiment E5): the
+// vector-clock algorithm involves only the two predicate processes, the
+// direct-dependence algorithm all N.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/computation.h"
+
+namespace wcp::workload {
+
+struct DbSpec {
+  std::size_t num_readers = 3;
+  std::size_t num_writers = 2;
+  std::int64_t rounds = 10;
+  double violation_prob = 0.1;  ///< per-round chance of the 2PL bug firing
+  std::uint64_t seed = 11;
+};
+
+struct DbComputation {
+  Computation computation;
+  bool violation_injected = false;
+};
+
+/// Process layout: readers are P_0..P_{R-1}, writers P_R..P_{R+W-1}, the
+/// lock manager is the last process. Predicate processes: {P_0, P_R}.
+DbComputation make_db(const DbSpec& spec);
+
+}  // namespace wcp::workload

@@ -1,0 +1,68 @@
+#include "workload/mutex_workload.h"
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace wcp::workload {
+
+MutexComputation make_mutex(const MutexSpec& spec) {
+  WCP_REQUIRE(spec.num_clients >= 2, "mutex violation needs >= 2 clients");
+  WCP_REQUIRE(spec.rounds_per_client >= 1, "need at least one round");
+
+  Rng rng(spec.seed);
+  const std::size_t k = spec.num_clients;
+  const auto server = ProcessId(static_cast<int>(k));
+  ComputationBuilder b(k + 1);
+
+  std::vector<ProcessId> clients;
+  for (std::size_t c = 0; c < k; ++c) clients.emplace_back(static_cast<int>(c));
+  b.set_predicate_processes(clients);
+
+  MutexComputation out;
+
+  for (std::int64_t round = 0; round < spec.rounds_per_client; ++round) {
+    // Every client requests the lock; the server sees the requests in a
+    // random arrival order.
+    std::vector<ProcessId> order = clients;
+    rng.shuffle(order);
+    std::vector<MessageId> requests;
+    requests.reserve(k);
+    for (ProcessId c : order) requests.push_back(b.send(c, server));
+    for (MessageId m : requests) b.receive(m);
+
+    const bool violate = spec.force_final_violation
+                             ? round + 1 == spec.rounds_per_client
+                             : rng.bernoulli(spec.violation_prob);
+    if (violate) {
+      out.violation_injected = true;
+      // Buggy grant: the server hands the lock to every requester at once.
+      // All grants are sent before any release is received, so the clients'
+      // critical-section states are pairwise concurrent.
+      std::vector<MessageId> grants;
+      for (ProcessId c : order) grants.push_back(b.send(server, c));
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        b.receive(grants[i]);
+        b.mark_pred(order[i], true);  // in critical section
+      }
+      std::vector<MessageId> releases;
+      for (ProcessId c : order) releases.push_back(b.send(c, server));
+      for (MessageId m : releases) b.receive(m);
+    } else {
+      // Correct serialization: grant -> CS -> release, one client at a time.
+      for (ProcessId c : order) {
+        const MessageId grant = b.send(server, c);
+        b.receive(grant);
+        b.mark_pred(c, true);  // in critical section
+        const MessageId release = b.send(c, server);
+        b.receive(release);
+      }
+    }
+  }
+
+  out.computation = b.build();
+  return out;
+}
+
+}  // namespace wcp::workload

@@ -1,0 +1,39 @@
+// Mutual-exclusion workload — the paper's §2 example 1.
+//
+// N = num_clients + 1 processes: clients P_0..P_{k-1} and a lock server
+// P_k. Clients loop: request -> (grant) -> critical section -> release. The
+// local predicate of client i is "P_i is in its critical section", so the
+// WCP (CS_0 ∧ CS_1 ∧ ...) detects a mutual-exclusion violation.
+//
+// The server is deliberately buggy: with probability `violation_prob` per
+// grant decision it grants the lock even though it is already held. Runs
+// with violation_prob == 0 must never detect the WCP; the detectors' "not
+// detected" path is exercised by exactly these runs.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/computation.h"
+
+namespace wcp::workload {
+
+struct MutexSpec {
+  std::size_t num_clients = 2;        ///< n (predicate processes)
+  std::int64_t rounds_per_client = 10;///< CS entries attempted per client
+  double violation_prob = 0.1;        ///< per-grant chance of a double grant
+  /// Worst-case detection workload: the double grant happens exactly once,
+  /// in the final round. Every earlier critical-section candidate is
+  /// serialized and must be eliminated, so detection work scales with the
+  /// run length (used by the E1/E2/E4 benches).
+  bool force_final_violation = false;
+  std::uint64_t seed = 7;
+};
+
+struct MutexComputation {
+  Computation computation;
+  bool violation_injected = false;  ///< ground truth: did a double grant occur
+};
+
+MutexComputation make_mutex(const MutexSpec& spec);
+
+}  // namespace wcp::workload

@@ -1,0 +1,102 @@
+#include "workload/random_workload.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace wcp::workload {
+
+Computation make_random(const RandomSpec& spec) {
+  WCP_REQUIRE(spec.num_processes >= 1, "need at least one process");
+  WCP_REQUIRE(spec.num_predicate >= 1 &&
+                  spec.num_predicate <= spec.num_processes,
+              "need 1 <= n <= N");
+  WCP_REQUIRE(spec.local_pred_prob >= 0.0 && spec.local_pred_prob <= 1.0,
+              "bad local_pred_prob");
+
+  Rng rng(spec.seed);
+  const std::size_t N = spec.num_processes;
+
+  ComputationBuilder b(N);
+
+  // Predicate processes.
+  std::vector<ProcessId> preds;
+  {
+    std::vector<ProcessId> all;
+    all.reserve(N);
+    for (std::size_t p = 0; p < N; ++p) all.emplace_back(static_cast<int>(p));
+    if (spec.random_predicate_subset) rng.shuffle(all);
+    preds.assign(all.begin(),
+                 all.begin() + static_cast<std::ptrdiff_t>(spec.num_predicate));
+    std::sort(preds.begin(), preds.end());
+  }
+  b.set_predicate_processes(preds);
+
+  std::vector<bool> is_pred(N, false);
+  for (ProcessId p : preds) is_pred[p.idx()] = true;
+
+  auto roll_pred = [&](ProcessId p) {
+    if (is_pred[p.idx()] && rng.bernoulli(spec.local_pred_prob))
+      b.mark_pred(p, true);
+  };
+  // Initial states.
+  for (std::size_t p = 0; p < N; ++p) roll_pred(ProcessId(static_cast<int>(p)));
+
+  std::vector<std::int64_t> events(N, 0);
+  std::int64_t remaining =
+      N == 1 ? 0  // a single process never communicates
+             : static_cast<std::int64_t>(N) * spec.events_per_process;
+
+  while (remaining > 0) {
+    const auto p = ProcessId(static_cast<int>(rng.index(N)));
+    if (events[p.idx()] >= spec.events_per_process) {
+      // This process is done; find another with remaining budget.
+      bool any = false;
+      for (std::size_t q = 0; q < N; ++q)
+        if (events[q] < spec.events_per_process) any = true;
+      if (!any) break;
+      continue;
+    }
+
+    const bool can_recv = b.in_flight_to(p) > 0;
+    if (can_recv && rng.bernoulli(spec.recv_bias)) {
+      const auto msg = b.next_in_flight_to(p);
+      WCP_CHECK(msg.has_value());
+      b.receive(*msg);
+    } else {
+      // Send to a random other process.
+      auto to = ProcessId(static_cast<int>(rng.index(N)));
+      if (to == p) to = ProcessId(static_cast<int>((p.idx() + 1) % N));
+      if (N == 1) continue;  // no one to talk to
+      b.send(p, to);
+    }
+    ++events[p.idx()];
+    --remaining;
+    roll_pred(p);
+  }
+
+  // Drain in-flight messages (receivers exceed their event budget here;
+  // that keeps every message deliverable without starving any process).
+  for (std::size_t p = 0; p < N; ++p) {
+    const auto pid = ProcessId(static_cast<int>(p));
+    while (b.in_flight_to(pid) > 0) {
+      const auto msg = b.next_in_flight_to(pid);
+      if (!msg) break;
+      if (rng.bernoulli(spec.drain_prob)) {
+        b.receive(*msg);
+        roll_pred(pid);
+      } else {
+        break;  // leave the rest of this process's queue in flight
+      }
+    }
+  }
+
+  if (spec.ensure_detectable)
+    for (ProcessId p : preds) b.mark_pred(p, true);
+
+  return b.build();
+}
+
+}  // namespace wcp::workload

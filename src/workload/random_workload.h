@@ -1,0 +1,38 @@
+// Synthetic random computations with tunable N, n, m, communication density
+// and local-predicate truth probability. These drive the experiment sweeps
+// of EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/computation.h"
+
+namespace wcp::workload {
+
+struct RandomSpec {
+  std::size_t num_processes = 8;       ///< N
+  std::size_t num_predicate = 4;       ///< n (<= N)
+  /// If true, the n predicate processes are a random subset; otherwise the
+  /// first n processes.
+  bool random_predicate_subset = false;
+  /// Target number of communication events (sends + receives) per process;
+  /// approximately the paper's m.
+  std::int64_t events_per_process = 20;
+  /// Probability that a freshly entered state satisfies the local predicate
+  /// (predicate processes only).
+  double local_pred_prob = 0.25;
+  /// Probability of preferring a pending receive over a new send.
+  double recv_bias = 0.6;
+  /// Probability that a message still in flight at the end of generation is
+  /// delivered during the final drain (1.0 = deliver everything).
+  double drain_prob = 1.0;
+  /// Force the WCP to hold at the end of the run: the final state of every
+  /// predicate process is marked true (final states are always mutually
+  /// concurrent, so the computation is guaranteed detectable).
+  bool ensure_detectable = false;
+  std::uint64_t seed = 42;
+};
+
+Computation make_random(const RandomSpec& spec);
+
+}  // namespace wcp::workload

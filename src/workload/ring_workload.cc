@@ -1,0 +1,52 @@
+#include "workload/ring_workload.h"
+
+#include "common/error.h"
+
+namespace wcp::workload {
+
+RingComputation make_ring(const RingSpec& spec) {
+  const std::size_t N = spec.num_processes;
+  WCP_REQUIRE(N >= 2, "ring needs at least two processes");
+  WCP_REQUIRE(spec.laps >= 1, "need at least one lap");
+  const std::int64_t hops = spec.laps * static_cast<std::int64_t>(N);
+  WCP_REQUIRE(spec.duplicate_at_hop < hops,
+              "duplicate_at_hop " << spec.duplicate_at_hop
+                                  << " beyond the run's " << hops << " hops");
+
+  ComputationBuilder b(N);
+
+  // The predicate pair: the endpoints of the duplication hop.
+  const std::int64_t dup = spec.duplicate_at_hop;
+  const auto fwd = ProcessId(
+      dup >= 0 ? static_cast<int>(dup % static_cast<std::int64_t>(N)) : 0);
+  const auto rcv =
+      ProcessId(static_cast<int>((fwd.idx() + 1) % N));
+  b.set_predicate_processes({fwd, rcv});
+
+  // P0 starts with the privilege: in its critical section in state 1.
+  if (fwd == ProcessId(0) || rcv == ProcessId(0)) b.mark_pred(ProcessId(0));
+
+  int holder = 0;
+  for (std::int64_t hop = 0; hop < hops; ++hop) {
+    const int next = static_cast<int>((holder + 1) % static_cast<int>(N));
+    const MessageId token = b.send(ProcessId(holder), ProcessId(next));
+    if (hop == dup) {
+      // The bug: the forwarder keeps the privilege for one more critical
+      // section after handing the token on.
+      b.mark_pred(ProcessId(holder));
+    }
+    b.receive(token);
+    // The receiver is now in its critical section (if it is a predicate
+    // process, this marks the post-receive state).
+    if (ProcessId(next) == fwd || ProcessId(next) == rcv)
+      b.mark_pred(ProcessId(next));
+    holder = next;
+  }
+
+  RingComputation out;
+  out.violation_injected = dup >= 0;
+  out.computation = b.build();
+  return out;
+}
+
+}  // namespace wcp::workload

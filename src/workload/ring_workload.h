@@ -1,0 +1,36 @@
+// Token-ring mutual exclusion workload: privilege circulates around a ring
+// of processes; a process holding the ring token may enter its critical
+// section. The WCP (CS_0 ∧ CS_1 ∧ …) can only hold if the token gets
+// duplicated — which the faulty variant injects: at a chosen hop a process
+// forwards the token while (erroneously) also keeping it for one more
+// critical section.
+//
+// Complements the client/server mutex workload with decentralized
+// communication topology (no coordinator; messages only between ring
+// neighbours), which stresses relay-style causality in the detectors.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/computation.h"
+
+namespace wcp::workload {
+
+struct RingSpec {
+  std::size_t num_processes = 4;  ///< ring size
+  std::int64_t laps = 3;          ///< times the token circles the ring
+  /// Duplicate the privilege once, at this hop index (-1: never — clean
+  /// run). Hop h means the h-th forwarding of the token. The WCP is
+  /// defined over the two processes adjacent to that hop (clean runs:
+  /// {P0, P1}), i.e. "both endpoints in their critical sections".
+  std::int64_t duplicate_at_hop = -1;
+};
+
+struct RingComputation {
+  Computation computation;
+  bool violation_injected = false;
+};
+
+RingComputation make_ring(const RingSpec& spec);
+
+}  // namespace wcp::workload

@@ -1,0 +1,87 @@
+#include "workload/termination_workload.h"
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace wcp::workload {
+
+TerminationComputation make_termination(const TerminationSpec& spec) {
+  WCP_REQUIRE(spec.num_processes >= 2, "need at least two processes");
+  WCP_REQUIRE(spec.initial_work >= 0, "negative initial work");
+
+  Rng rng(spec.seed);
+  const std::size_t N = spec.num_processes;
+  ComputationBuilder b(N);
+
+  // Everyone is a predicate process; the local predicate is "passive".
+  std::vector<ProcessId> procs;
+  for (std::size_t p = 0; p < N; ++p) procs.emplace_back(static_cast<int>(p));
+  b.set_predicate_processes(procs);
+
+  std::vector<bool> active(N, false);
+  TerminationComputation out;
+
+  // All processes start passive...
+  for (std::size_t p = 0; p < N; ++p)
+    b.mark_pred(ProcessId(static_cast<int>(p)), true);
+  // ...except P0, which is active and seeds the initial work.
+  active[0] = true;
+  b.mark_pred(ProcessId(0), false);
+  for (std::int64_t i = 0; i < spec.initial_work; ++i) {
+    const auto to = ProcessId(static_cast<int>(1 + rng.index(N - 1)));
+    b.send(ProcessId(0), to);
+    ++out.work_messages;
+    // The post-send state is still active (pred false by default).
+  }
+  // P0 finishes its own work and goes passive.
+  active[0] = false;
+  b.mark_pred(ProcessId(0), true);
+
+  // Diffusion loop: as long as anything is active or in flight.
+  while (true) {
+    // Gather enabled moves: receives (work in flight) and passivations.
+    std::vector<std::size_t> receivers;
+    for (std::size_t p = 0; p < N; ++p)
+      if (b.in_flight_to(ProcessId(static_cast<int>(p))) > 0)
+        receivers.push_back(p);
+    std::vector<std::size_t> actives;
+    for (std::size_t p = 0; p < N; ++p)
+      if (active[p]) actives.push_back(p);
+
+    if (receivers.empty() && actives.empty()) break;  // terminated
+
+    // Prefer letting active processes act; otherwise deliver work.
+    if (!actives.empty() && (receivers.empty() || rng.bernoulli(0.6))) {
+      const auto p = ProcessId(
+          static_cast<int>(actives[rng.index(actives.size())]));
+      if (out.work_messages < spec.max_messages &&
+          rng.bernoulli(spec.spawn_prob)) {
+        auto to = ProcessId(static_cast<int>(rng.index(N)));
+        if (to == p) to = ProcessId(static_cast<int>((p.idx() + 1) % N));
+        b.send(p, to);
+        ++out.work_messages;
+        // still active in the new state
+      } else {
+        active[p.idx()] = false;
+        b.mark_pred(p, true);  // the current state becomes passive
+      }
+    } else {
+      const auto p = ProcessId(
+          static_cast<int>(receivers[rng.index(receivers.size())]));
+      const auto msg = b.next_in_flight_to(p);
+      WCP_CHECK(msg.has_value());
+      b.receive(*msg);          // reactivated: new state is active
+      active[p.idx()] = true;   // (pred false by default)
+    }
+  }
+
+  for (std::size_t p = 0; p < N; ++p)
+    out.termination_cut.push_back(
+        b.current_state(ProcessId(static_cast<int>(p))));
+  out.computation = b.build();
+  return out;
+}
+
+}  // namespace wcp::workload

@@ -1,0 +1,46 @@
+// Distributed termination detection workload — the classic instance of
+// generalized conjunctive predicates:
+//
+//     terminated  ⇔  (∀i: passive_i) ∧ (∀ channels: empty)
+//
+// Work diffuses through the system: an active process may spawn work
+// messages to others before going passive; receiving work reactivates a
+// process. The run ends when no process is active and no work is in
+// flight — the true termination point.
+//
+// The local-predicates-only WCP (∀i: passive_i) is *not* sufficient: a cut
+// where everyone is passive but a work message is still in flight is a
+// false termination. Runs from this generator (whenever any work was
+// spawned) contain such cuts, which is exactly what the GCP detector's
+// channel-empty conjuncts reject — see examples/termination_detection.cpp
+// and tests/gcp_test.cc.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/computation.h"
+
+namespace wcp::workload {
+
+struct TerminationSpec {
+  std::size_t num_processes = 4;
+  /// Work messages the initially active process P0 seeds the system with.
+  std::int64_t initial_work = 3;
+  /// Chance an active process spawns another work message (per decision).
+  double spawn_prob = 0.35;
+  /// Hard cap on total work messages (keeps runs finite).
+  std::int64_t max_messages = 200;
+  std::uint64_t seed = 13;
+};
+
+struct TerminationComputation {
+  Computation computation;
+  /// Total work messages exchanged.
+  std::int64_t work_messages = 0;
+  /// Final state index per process == the true termination cut.
+  std::vector<StateIndex> termination_cut;
+};
+
+TerminationComputation make_termination(const TerminationSpec& spec);
+
+}  // namespace wcp::workload

@@ -1,0 +1,117 @@
+#include "detect/boolean.h"
+
+#include <gtest/gtest.h>
+
+#include "detect/lattice.h"
+#include "workload/random_workload.h"
+
+namespace wcp::detect {
+namespace {
+
+// P0 true at states {1,2}, P1 true only at state 2 with (0,1) -> (1,2).
+Computation base_comp() {
+  ComputationBuilder b(2);
+  b.mark_pred(ProcessId(0), true);
+  b.transfer(ProcessId(0), ProcessId(1));
+  b.mark_pred(ProcessId(0), true);
+  b.mark_pred(ProcessId(1), true);
+  return b.build();
+}
+
+TEST(DetectDnf, SingleConjunctEqualsWcp) {
+  const auto c = base_comp();
+  const Conjunct conj{{0, false}, {1, false}};
+  const auto r = detect_dnf(c, std::span(&conj, 1));
+  ASSERT_TRUE(r.detected);
+  EXPECT_EQ(r.disjunct, 0);
+  EXPECT_EQ(r.cut, *c.first_wcp_cut());
+}
+
+TEST(DetectDnf, NegatedLiterals) {
+  // ¬l_0 ∧ l_1: P0's false states are {}, wait — P0 true at 1,2 so ¬l_0
+  // never holds... build a run where it does.
+  ComputationBuilder b(2);
+  b.mark_pred(ProcessId(0), true);   // state 1 true
+  b.transfer(ProcessId(0), ProcessId(1));  // state 2 false (default)
+  b.mark_pred(ProcessId(1), true);   // P1 state 2 true
+  const auto c = b.build();
+  const Conjunct conj{{0, true}, {1, false}};
+  const auto r = detect_dnf(c, std::span(&conj, 1));
+  ASSERT_TRUE(r.detected);
+  // (0,2) is ¬l_0 and concurrent with (1,2).
+  EXPECT_EQ(r.cut, (std::vector<StateIndex>{2, 2}));
+}
+
+TEST(DetectDnf, DisjunctionPicksFirstSatisfiable) {
+  const auto c = base_comp();
+  const Conjunct impossible{{0, true}};        // ¬l_0 never holds
+  const Conjunct possible{{0, false}, {1, false}};
+  const Conjunct disjuncts[] = {impossible, possible};
+  const auto r = detect_dnf(c, disjuncts);
+  ASSERT_TRUE(r.detected);
+  EXPECT_EQ(r.disjunct, 1);
+  EXPECT_FALSE(r.satisfiable[0]);
+  EXPECT_TRUE(r.satisfiable[1]);
+}
+
+TEST(DetectDnf, AllDisjunctsUnsatisfiable) {
+  ComputationBuilder b(2);
+  b.mark_pred(ProcessId(0), true);
+  b.transfer(ProcessId(0), ProcessId(1));
+  b.mark_pred(ProcessId(1), true);  // (0,1) -> (1,2), P0 never true again
+  const auto c = b.build();
+  const Conjunct conj{{0, false}, {1, false}};
+  const auto r = detect_dnf(c, std::span(&conj, 1));
+  EXPECT_FALSE(r.detected);
+  EXPECT_EQ(r.disjunct, -1);
+}
+
+TEST(DetectDnf, PartialConjunctsUseSubsetsOfSlots) {
+  const auto c = base_comp();
+  const Conjunct only_p1{{1, false}};
+  const auto r = detect_dnf(c, std::span(&only_p1, 1));
+  ASSERT_TRUE(r.detected);
+  ASSERT_EQ(r.procs.size(), 1u);
+  EXPECT_EQ(r.procs[0], ProcessId(1));
+  EXPECT_EQ(r.cut, (std::vector<StateIndex>{2}));
+}
+
+TEST(DetectDnf, ValidatesInput) {
+  const auto c = base_comp();
+  const Conjunct empty{};
+  EXPECT_THROW(detect_dnf(c, std::span(&empty, 1)), std::invalid_argument);
+  const Conjunct repeated{{0, false}, {0, true}};
+  EXPECT_THROW(detect_dnf(c, std::span(&repeated, 1)), std::invalid_argument);
+  const Conjunct bad_slot{{7, false}};
+  EXPECT_THROW(detect_dnf(c, std::span(&bad_slot, 1)), std::invalid_argument);
+}
+
+TEST(DetectDnf, XorOfTwoLocals) {
+  // possibly(l_0 XOR l_1) = possibly((l_0 ∧ ¬l_1) ∨ (¬l_0 ∧ l_1)).
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    workload::RandomSpec spec;
+    spec.num_processes = 2;
+    spec.num_predicate = 2;
+    spec.events_per_process = 10;
+    spec.local_pred_prob = 0.5;
+    spec.seed = seed;
+    const auto c = workload::make_random(spec);
+    const Conjunct a{{0, false}, {1, true}};
+    const Conjunct b{{0, true}, {1, false}};
+    const Conjunct disjuncts[] = {a, b};
+    const auto r = detect_dnf(c, disjuncts);
+
+    // Brute-force ground truth over all consistent cuts.
+    bool expect = false;
+    for (StateIndex i = 1; i <= c.num_states(ProcessId(0)); ++i)
+      for (StateIndex j = 1; j <= c.num_states(ProcessId(1)); ++j) {
+        if (!c.concurrent(ProcessId(0), i, ProcessId(1), j)) continue;
+        if (c.local_pred(ProcessId(0), i) != c.local_pred(ProcessId(1), j))
+          expect = true;
+      }
+    EXPECT_EQ(r.detected, expect) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace wcp::detect

@@ -1,0 +1,119 @@
+// Distributed breakpoints (the Miller-Choi [11] use case from §1): on
+// detection the monitors freeze the application with Halt messages instead
+// of stopping the simulation. The frozen global state trails the detected
+// cut (halting is asynchronous — the classic observation), but never
+// precedes it, and the application performs no further events.
+#include <gtest/gtest.h>
+
+#include "detect/direct_dep.h"
+#include "detect/multi_token.h"
+#include "detect/token_vc.h"
+#include "workload/mutex_workload.h"
+#include "workload/random_workload.h"
+
+namespace wcp::detect {
+namespace {
+
+RunOptions halt_opts(std::uint64_t seed = 1) {
+  RunOptions o;
+  o.seed = seed;
+  o.latency = sim::LatencyModel::uniform(1, 6);
+  o.halt_on_detect = true;
+  return o;
+}
+
+TEST(Breakpoint, TokenVcFreezesAtOrAfterTheDetectedCut) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    workload::RandomSpec spec;
+    spec.num_processes = 5;
+    spec.num_predicate = 4;
+    spec.events_per_process = 15;
+    spec.local_pred_prob = 0.3;
+    spec.ensure_detectable = true;
+    spec.seed = seed;
+    const auto comp = workload::make_random(spec);
+    const auto r = run_token_vc(comp, halt_opts(seed + 1));
+    ASSERT_TRUE(r.detected) << "seed " << seed;
+    ASSERT_EQ(r.frozen_cut.size(), comp.num_processes());
+    // The frozen state of each predicate process is at or after its cut
+    // component (never before: the cut was already reached when detected).
+    const auto preds = comp.predicate_processes();
+    for (std::size_t s = 0; s < preds.size(); ++s)
+      EXPECT_GE(r.frozen_cut[preds[s].idx()], r.cut[s])
+          << "seed " << seed << " slot " << s;
+    // Frozen states are within the run.
+    for (std::size_t p = 0; p < comp.num_processes(); ++p)
+      EXPECT_LE(r.frozen_cut[p],
+                comp.num_states(ProcessId(static_cast<int>(p))));
+    // The detection cut is unchanged by halting.
+    EXPECT_EQ(r.cut, *comp.first_wcp_cut()) << "seed " << seed;
+  }
+}
+
+TEST(Breakpoint, DirectDepFreezesToo) {
+  workload::MutexSpec spec;
+  spec.num_clients = 3;
+  spec.rounds_per_client = 6;
+  spec.violation_prob = 0.5;
+  spec.seed = 3;
+  const auto mc = workload::make_mutex(spec);
+  ASSERT_TRUE(mc.violation_injected);
+  const auto r = run_direct_dep(mc.computation, halt_opts());
+  ASSERT_TRUE(r.detected);
+  ASSERT_EQ(r.frozen_cut.size(), mc.computation.num_processes());
+  for (std::size_t p = 0; p < r.full_cut.size(); ++p)
+    EXPECT_GE(r.frozen_cut[p], r.full_cut[p]) << "P" << p;
+}
+
+TEST(Breakpoint, HaltedRunStopsShortOfTheFullScript) {
+  // A long run with an early cut: freezing must prevent the application
+  // from replaying to the end (at least one process is stopped early).
+  workload::MutexSpec spec;
+  spec.num_clients = 3;
+  spec.rounds_per_client = 30;
+  spec.violation_prob = 0.0;
+  spec.force_final_violation = false;
+  spec.seed = 2;
+  auto mcspec = spec;
+  mcspec.violation_prob = 1.0;  // violate in (nearly) every round
+  const auto mc = workload::make_mutex(mcspec);
+  const auto r = run_token_vc(mc.computation, halt_opts());
+  ASSERT_TRUE(r.detected);
+  bool some_frozen_early = false;
+  for (std::size_t p = 0; p < r.frozen_cut.size(); ++p)
+    if (r.frozen_cut[p] <
+        mc.computation.num_states(ProcessId(static_cast<int>(p))))
+      some_frozen_early = true;
+  EXPECT_TRUE(some_frozen_early);
+}
+
+TEST(Breakpoint, MultiTokenLeaderFreezesToo) {
+  workload::RandomSpec spec;
+  spec.num_processes = 5;
+  spec.num_predicate = 5;
+  spec.events_per_process = 12;
+  spec.local_pred_prob = 0.3;
+  spec.ensure_detectable = true;
+  spec.seed = 9;
+  const auto comp = workload::make_random(spec);
+  MultiTokenOptions mt;
+  mt.num_groups = 2;
+  const auto r = run_multi_token(comp, halt_opts(), mt);
+  ASSERT_TRUE(r.detected);
+  ASSERT_EQ(r.frozen_cut.size(), comp.num_processes());
+  const auto preds = comp.predicate_processes();
+  for (std::size_t s = 0; s < preds.size(); ++s)
+    EXPECT_GE(r.frozen_cut[preds[s].idx()], r.cut[s]);
+}
+
+TEST(Breakpoint, NoHaltWithoutDetection) {
+  ComputationBuilder b(2);
+  b.mark_pred(ProcessId(0), true);  // P1 never true
+  const auto comp = b.build();
+  const auto r = run_token_vc(comp, halt_opts());
+  EXPECT_FALSE(r.detected);
+  EXPECT_TRUE(r.frozen_cut.empty());
+}
+
+}  // namespace
+}  // namespace wcp::detect

@@ -1,0 +1,136 @@
+// The ground-truth causality oracle (vector-clock based) underpins every
+// correctness test in this repository, so it gets its own independent
+// check: happened-before recomputed from first principles as graph
+// reachability over program-order and message edges must agree with the
+// clock-based Computation::happened_before on EVERY state pair of many
+// randomized computations.
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+#include "workload/mutex_workload.h"
+#include "workload/random_workload.h"
+
+namespace wcp {
+namespace {
+
+// Dense state numbering for the reachability graph.
+struct Index {
+  explicit Index(const Computation& c) {
+    offset.resize(c.num_processes());
+    std::size_t next = 0;
+    for (std::size_t p = 0; p < c.num_processes(); ++p) {
+      offset[p] = next;
+      next += static_cast<std::size_t>(
+          c.num_states(ProcessId(static_cast<int>(p))));
+    }
+    total = next;
+  }
+  [[nodiscard]] std::size_t of(ProcessId p, StateIndex k) const {
+    return offset[p.idx()] + static_cast<std::size_t>(k - 1);
+  }
+  std::vector<std::size_t> offset;
+  std::size_t total = 0;
+};
+
+// Adjacency straight from the definition in §2: program order, plus "the
+// action following α is a send and the action preceding β is the receive".
+std::vector<std::vector<std::size_t>> adjacency(const Computation& c,
+                                                const Index& ix) {
+  std::vector<std::vector<std::size_t>> adj(ix.total);
+  for (std::size_t p = 0; p < c.num_processes(); ++p) {
+    const ProcessId pid(static_cast<int>(p));
+    for (StateIndex k = 1; k + 1 <= c.num_states(pid); ++k)
+      adj[ix.of(pid, k)].push_back(ix.of(pid, k + 1));
+  }
+  for (const MessageRecord& m : c.messages()) {
+    if (!m.delivered()) continue;
+    adj[ix.of(m.from, m.send_state)].push_back(ix.of(m.to, m.recv_state));
+  }
+  return adj;
+}
+
+void check_all_pairs(const Computation& c) {
+  const Index ix(c);
+  const auto adj = adjacency(c, ix);
+
+  // Reachability from every state (BFS; sizes are test-small).
+  std::vector<std::vector<bool>> reach(ix.total,
+                                       std::vector<bool>(ix.total, false));
+  for (std::size_t v = 0; v < ix.total; ++v) {
+    std::queue<std::size_t> q;
+    q.push(v);
+    while (!q.empty()) {
+      const std::size_t u = q.front();
+      q.pop();
+      for (std::size_t w : adj[u])
+        if (!reach[v][w]) {
+          reach[v][w] = true;
+          q.push(w);
+        }
+    }
+  }
+
+  for (std::size_t p = 0; p < c.num_processes(); ++p) {
+    const ProcessId pi(static_cast<int>(p));
+    for (StateIndex a = 1; a <= c.num_states(pi); ++a) {
+      for (std::size_t q2 = 0; q2 < c.num_processes(); ++q2) {
+        const ProcessId pj(static_cast<int>(q2));
+        for (StateIndex b = 1; b <= c.num_states(pj); ++b) {
+          if (p == q2 && a == b) continue;
+          ASSERT_EQ(c.happened_before(pi, a, pj, b),
+                    reach[ix.of(pi, a)][ix.of(pj, b)])
+              << "(" << p << "," << a << ") vs (" << q2 << "," << b << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(CausalityOracle, MatchesFirstPrinciplesReachabilityOnRandomRuns) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    workload::RandomSpec spec;
+    spec.num_processes = 4;
+    spec.num_predicate = 4;
+    spec.events_per_process = 8;
+    spec.drain_prob = seed % 2 ? 1.0 : 0.6;  // with and without in-flight
+    spec.seed = seed;
+    check_all_pairs(workload::make_random(spec));
+  }
+}
+
+TEST(CausalityOracle, MatchesOnDomainWorkload) {
+  workload::MutexSpec spec;
+  spec.num_clients = 2;
+  spec.rounds_per_client = 3;
+  spec.violation_prob = 0.5;
+  spec.seed = 4;
+  check_all_pairs(workload::make_mutex(spec).computation);
+}
+
+TEST(CausalityOracle, StrictPartialOrderProperties) {
+  workload::RandomSpec spec;
+  spec.num_processes = 5;
+  spec.num_predicate = 5;
+  spec.events_per_process = 10;
+  spec.seed = 31;
+  const auto c = workload::make_random(spec);
+  // Irreflexivity + asymmetry on sampled pairs.
+  for (std::size_t p = 0; p < c.num_processes(); ++p) {
+    const ProcessId pi(static_cast<int>(p));
+    for (StateIndex a = 1; a <= c.num_states(pi); ++a) {
+      EXPECT_FALSE(c.happened_before(pi, a, pi, a));
+      for (std::size_t q = 0; q < c.num_processes(); ++q) {
+        const ProcessId pj(static_cast<int>(q));
+        const StateIndex b = std::min<StateIndex>(a, c.num_states(pj));
+        if (pi == pj && a == b) continue;
+        EXPECT_FALSE(c.happened_before(pi, a, pj, b) &&
+                     c.happened_before(pj, b, pi, a));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wcp

@@ -1,0 +1,167 @@
+// Measured-complexity tests: the §3.4 and §4.4 cost claims, checked with
+// explicit constants against the counters the simulator collects. These are
+// the test-sized versions of benches E1-E4; EXPERIMENTS.md records the
+// full sweeps.
+#include <gtest/gtest.h>
+
+#include "detect/centralized.h"
+#include "detect/direct_dep.h"
+#include "detect/token_vc.h"
+#include "workload/random_workload.h"
+
+namespace wcp::detect {
+namespace {
+
+RunOptions opts(std::uint64_t seed = 1) {
+  RunOptions o;
+  o.seed = seed;
+  o.latency = sim::LatencyModel::uniform(1, 5);
+  return o;
+}
+
+Computation random_comp(std::size_t N, std::size_t n, std::int64_t events,
+                        std::uint64_t seed) {
+  workload::RandomSpec spec;
+  spec.num_processes = N;
+  spec.num_predicate = n;
+  spec.events_per_process = events;
+  spec.local_pred_prob = 0.3;
+  spec.seed = seed;
+  return workload::make_random(spec);
+}
+
+// Max number of local states over the predicate processes (the paper's m
+// counts messages; states per process <= m + 1).
+StateIndex max_pred_states(const Computation& comp) {
+  StateIndex mx = 0;
+  for (ProcessId p : comp.predicate_processes())
+    mx = std::max(mx, comp.num_states(p));
+  return mx;
+}
+
+struct Shape {
+  std::size_t N, n;
+  std::int64_t events;
+};
+
+class TokenVcBounds : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(TokenVcBounds, WorkMessagesSpaceWithinPaperBounds) {
+  const auto [N, n, events] = GetParam();
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto comp = random_comp(N, n, events, seed * 31 + N);
+    const auto r = run_token_vc(comp, opts(seed + 1));
+    const auto S = max_pred_states(comp);  // ~ m + 1
+    const auto ni = static_cast<std::int64_t>(n);
+
+    // §3.4 time: O(n) per eliminated state, <= nS states in total; each
+    // monitor handles <= S of its own states => O(nS) work per process.
+    EXPECT_LE(r.monitor_metrics.max_work_per_process(), 2 * ni * S)
+        << "N=" << N << " n=" << n << " seed=" << seed;
+    EXPECT_LE(r.monitor_metrics.total_work(), 2 * ni * ni * S);
+
+    // §3.4 messages: token moves <= nS, snapshots <= nS; total <= 2nS.
+    const auto tokens = r.monitor_metrics.total_messages(MsgKind::kToken);
+    const auto snaps = r.app_metrics.total_messages(MsgKind::kSnapshot);
+    EXPECT_LE(tokens, ni * S);
+    EXPECT_LE(snaps, ni * S);
+
+    // §3.4 bits: both token and snapshots are O(n) words => O(n^2 S) bits.
+    EXPECT_LE(r.monitor_metrics.total_bits(MsgKind::kToken),
+              tokens * (ni * 64 + ni));
+    EXPECT_LE(r.app_metrics.total_bits(MsgKind::kSnapshot),
+              snaps * (ni * 64 + 1));
+
+    // §3.4 space: each monitor buffers at most its own S snapshots of n
+    // words each => O(nS) bytes per monitor.
+    EXPECT_LE(r.monitor_metrics.max_peak_buffered_bytes(), S * ni * 8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TokenVcBounds,
+                         ::testing::Values(Shape{4, 4, 12}, Shape{6, 4, 16},
+                                           Shape{8, 8, 20}, Shape{8, 3, 20}));
+
+class DirectDepBounds : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(DirectDepBounds, WorkMessagesSpaceWithinPaperBounds) {
+  const auto [N, n, events] = GetParam();
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto comp = random_comp(N, n, events, seed * 17 + N);
+    const auto r = run_direct_dep(comp, opts(seed + 1));
+    // m+1 ~ states per process; every per-process quantity is O(m).
+    StateIndex S = 0;
+    for (std::size_t p = 0; p < N; ++p)
+      S = std::max(S, comp.num_states(ProcessId(static_cast<int>(p))));
+    const auto Ni = static_cast<std::int64_t>(N);
+
+    // §4.4 per-process work: constant per dependence + per candidate.
+    EXPECT_LE(r.monitor_metrics.max_work_per_process(), 6 * S)
+        << "N=" << N << " seed=" << seed;
+    EXPECT_LE(r.monitor_metrics.total_work(), 6 * Ni * S);
+
+    // §4.4 messages: <= S*N token moves, <= m*N polls and replies each.
+    EXPECT_LE(r.monitor_metrics.total_messages(MsgKind::kToken), Ni * S);
+    EXPECT_LE(r.monitor_metrics.total_messages(MsgKind::kPoll), Ni * S);
+    EXPECT_EQ(r.monitor_metrics.total_messages(MsgKind::kPoll),
+              r.monitor_metrics.total_messages(MsgKind::kPollReply));
+    EXPECT_LE(r.app_metrics.total_messages(MsgKind::kSnapshot), Ni * S);
+
+    // §4.4 bits: everything constant-size; snapshots carry <= m deps total.
+    EXPECT_LE(r.monitor_metrics.total_bits(MsgKind::kPoll),
+              r.monitor_metrics.total_messages(MsgKind::kPoll) * 2 * 64);
+
+    // §4.4 space: O(m) per process (own snapshots only).
+    EXPECT_LE(r.monitor_metrics.max_peak_buffered_bytes(),
+              S * 8 + 2 * S * 16);  // clock words + dependence pairs
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DirectDepBounds,
+                         ::testing::Values(Shape{4, 4, 12}, Shape{6, 3, 16},
+                                           Shape{8, 8, 20}, Shape{10, 2, 14}));
+
+TEST(WorkDistribution, TokenAlgorithmSpreadsWorkCheckerConcentratesIt) {
+  // §1/§3.4: same total order of work, but the checker does all of it in
+  // one process while the token algorithm spreads it across monitors.
+  const auto comp = random_comp(8, 8, 30, 99);
+  const auto token = run_token_vc(comp, opts());
+  const auto checker = run_centralized(comp, opts());
+
+  const auto coord = ProcessId(8);
+  // All checker work sits in the coordinator slot.
+  EXPECT_EQ(checker.monitor_metrics.total_work(),
+            checker.monitor_metrics.at(coord).work_units);
+  // The token algorithm's maximum per-process share is well below the
+  // checker's single-process load on an 8-slot predicate.
+  EXPECT_LT(token.monitor_metrics.max_work_per_process(),
+            checker.monitor_metrics.at(coord).work_units);
+}
+
+TEST(SpaceDistribution, CheckerBuffersMoreThanAnySingleMonitor) {
+  // §3.4 space: O(n^2 m) at the checker vs O(nm) per monitor. Hand-built
+  // undetectable run: P0's predicate never holds, so nothing is ever
+  // eliminated — the checker accumulates every other process's snapshots
+  // while each token monitor only buffers its own.
+  const std::size_t n = 6;
+  ComputationBuilder b(n);
+  for (std::size_t p = 1; p < n; ++p)
+    b.set_default_pred(ProcessId(static_cast<int>(p)), true);
+  for (int round = 0; round < 10; ++round)
+    for (std::size_t p = 1; p < n; ++p)
+      b.transfer(ProcessId(static_cast<int>(p)), ProcessId(0));
+  const auto comp = b.build();
+  ASSERT_FALSE(comp.first_wcp_cut().has_value());
+
+  const auto token = run_token_vc(comp, opts());
+  const auto checker = run_centralized(comp, opts());
+  EXPECT_FALSE(token.detected);
+  EXPECT_FALSE(checker.detected);
+  const auto coord = ProcessId(static_cast<int>(n));
+  // The checker holds roughly (n-1)x the per-monitor buffer.
+  EXPECT_GE(checker.monitor_metrics.at(coord).peak_buffered_bytes,
+            3 * token.monitor_metrics.max_peak_buffered_bytes());
+}
+
+}  // namespace
+}  // namespace wcp::detect

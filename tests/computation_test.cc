@@ -1,0 +1,226 @@
+#include "trace/computation.h"
+
+#include <gtest/gtest.h>
+
+namespace wcp {
+namespace {
+
+// Two-process exchange:
+//   P0: [1] --m0--> (send)  [2]
+//   P1: [1]  (recv m0) [2]
+Computation two_proc_exchange() {
+  ComputationBuilder b(2);
+  b.transfer(ProcessId(0), ProcessId(1));
+  return b.build();
+}
+
+TEST(Computation, StateCountsFollowEvents) {
+  const auto c = two_proc_exchange();
+  EXPECT_EQ(c.num_processes(), 2u);
+  EXPECT_EQ(c.num_states(ProcessId(0)), 2);
+  EXPECT_EQ(c.num_states(ProcessId(1)), 2);
+  EXPECT_EQ(c.total_states(), 4);
+  EXPECT_EQ(c.max_messages_per_process(), 1);
+}
+
+TEST(Computation, MessageRecordsSendAndRecvStates) {
+  const auto c = two_proc_exchange();
+  ASSERT_EQ(c.messages().size(), 1u);
+  const MessageRecord& m = c.messages()[0];
+  EXPECT_EQ(m.from, ProcessId(0));
+  EXPECT_EQ(m.send_state, 1);
+  EXPECT_EQ(m.to, ProcessId(1));
+  EXPECT_EQ(m.recv_state, 2);
+  EXPECT_TRUE(m.delivered());
+}
+
+TEST(Computation, HappenedBeforeAcrossOneMessage) {
+  const auto c = two_proc_exchange();
+  // (0,1) -> (1,2): the send ending P0's state 1 was received into (1,2).
+  EXPECT_TRUE(c.happened_before(ProcessId(0), 1, ProcessId(1), 2));
+  EXPECT_FALSE(c.happened_before(ProcessId(1), 2, ProcessId(0), 1));
+  // (0,2) is concurrent with both P1 states.
+  EXPECT_TRUE(c.concurrent(ProcessId(0), 2, ProcessId(1), 1));
+  EXPECT_TRUE(c.concurrent(ProcessId(0), 2, ProcessId(1), 2));
+  // Same-process order.
+  EXPECT_TRUE(c.happened_before(ProcessId(0), 1, ProcessId(0), 2));
+  EXPECT_FALSE(c.happened_before(ProcessId(0), 2, ProcessId(0), 2));
+}
+
+TEST(Computation, GroundTruthClocks) {
+  const auto c = two_proc_exchange();
+  EXPECT_EQ(c.ground_truth_clock(ProcessId(0), 1),
+            VectorClock(std::vector<StateIndex>{1, 0}));
+  EXPECT_EQ(c.ground_truth_clock(ProcessId(0), 2),
+            VectorClock(std::vector<StateIndex>{2, 0}));
+  EXPECT_EQ(c.ground_truth_clock(ProcessId(1), 1),
+            VectorClock(std::vector<StateIndex>{0, 1}));
+  EXPECT_EQ(c.ground_truth_clock(ProcessId(1), 2),
+            VectorClock(std::vector<StateIndex>{1, 2}));
+}
+
+TEST(Computation, TransitiveCausalityThroughRelay) {
+  // P0 -> P2 (relay) -> P1.
+  ComputationBuilder b(3);
+  b.transfer(ProcessId(0), ProcessId(2));
+  b.transfer(ProcessId(2), ProcessId(1));
+  const auto c = b.build();
+  // (0,1) -> (1,2) transitively through P2.
+  EXPECT_TRUE(c.happened_before(ProcessId(0), 1, ProcessId(1), 2));
+  EXPECT_TRUE(c.concurrent(ProcessId(0), 2, ProcessId(1), 2));
+}
+
+TEST(Computation, ReceiveDependence) {
+  const auto c = two_proc_exchange();
+  EXPECT_FALSE(c.receive_dependence(ProcessId(0), 1).has_value());
+  EXPECT_FALSE(c.receive_dependence(ProcessId(0), 2).has_value());  // send
+  EXPECT_FALSE(c.receive_dependence(ProcessId(1), 1).has_value());
+  const auto dep = c.receive_dependence(ProcessId(1), 2);
+  ASSERT_TRUE(dep.has_value());
+  EXPECT_EQ(dep->source, ProcessId(0));
+  EXPECT_EQ(dep->clock, 1);
+}
+
+TEST(Computation, UndeliveredMessageInducesNoDependence) {
+  ComputationBuilder b(2);
+  b.send(ProcessId(0), ProcessId(1));  // never received
+  const auto c = b.build();
+  EXPECT_FALSE(c.messages()[0].delivered());
+  EXPECT_TRUE(c.concurrent(ProcessId(0), 1, ProcessId(1), 1));
+  EXPECT_EQ(c.num_states(ProcessId(1)), 1);
+}
+
+TEST(ComputationBuilder, RejectsSelfMessages) {
+  ComputationBuilder b(2);
+  EXPECT_THROW(b.send(ProcessId(0), ProcessId(0)), std::invalid_argument);
+}
+
+TEST(ComputationBuilder, RejectsDoubleReceive) {
+  ComputationBuilder b(2);
+  const MessageId m = b.send(ProcessId(0), ProcessId(1));
+  b.receive(m);
+  EXPECT_THROW(b.receive(m), std::invalid_argument);
+}
+
+TEST(ComputationBuilder, RejectsUnknownMessage) {
+  ComputationBuilder b(2);
+  EXPECT_THROW(b.receive(5), std::invalid_argument);
+}
+
+TEST(ComputationBuilder, RejectsDuplicatePredicateProcess) {
+  ComputationBuilder b(3);
+  b.set_predicate_processes({ProcessId(1), ProcessId(1)});
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(ComputationBuilder, DefaultPredicateAppliesToNewStates) {
+  ComputationBuilder b(2);
+  b.set_default_pred(ProcessId(0), true);
+  b.transfer(ProcessId(0), ProcessId(1));
+  const auto c = b.build();
+  EXPECT_TRUE(c.local_pred(ProcessId(0), 1));
+  EXPECT_TRUE(c.local_pred(ProcessId(0), 2));
+  EXPECT_FALSE(c.local_pred(ProcessId(1), 1));
+  EXPECT_FALSE(c.local_pred(ProcessId(1), 2));
+}
+
+TEST(ComputationBuilder, MarkPredAffectsCurrentStateOnly) {
+  ComputationBuilder b(2);
+  b.mark_pred(ProcessId(0), true);   // state 1
+  b.transfer(ProcessId(0), ProcessId(1));
+  const auto c = b.build();
+  EXPECT_TRUE(c.local_pred(ProcessId(0), 1));
+  EXPECT_FALSE(c.local_pred(ProcessId(0), 2));
+}
+
+TEST(ComputationBuilder, InFlightQueueIsFifoPerDestination) {
+  ComputationBuilder b(3);
+  const MessageId m0 = b.send(ProcessId(0), ProcessId(2));
+  const MessageId m1 = b.send(ProcessId(1), ProcessId(2));
+  EXPECT_EQ(b.in_flight_to(ProcessId(2)), 2u);
+  EXPECT_EQ(b.next_in_flight_to(ProcessId(2)), m0);
+  b.receive(m0);
+  EXPECT_EQ(b.next_in_flight_to(ProcessId(2)), m1);
+  b.receive(m1);
+  EXPECT_FALSE(b.next_in_flight_to(ProcessId(2)).has_value());
+}
+
+TEST(Computation, IsConsistentCut) {
+  const auto c = two_proc_exchange();
+  const ProcessId procs[] = {ProcessId(0), ProcessId(1)};
+  const StateIndex good[] = {2, 2};
+  const StateIndex bad[] = {1, 2};  // (0,1) -> (1,2)
+  EXPECT_TRUE(c.is_consistent_cut(procs, good));
+  EXPECT_FALSE(c.is_consistent_cut(procs, bad));
+  const StateIndex initial[] = {1, 1};
+  EXPECT_TRUE(c.is_consistent_cut(procs, initial));
+}
+
+TEST(Computation, FirstWcpCutSimple) {
+  // P0 true at state 2, P1 true at state 2; (2,2) consistent.
+  ComputationBuilder b(2);
+  b.transfer(ProcessId(0), ProcessId(1));
+  b.mark_pred(ProcessId(0), true);
+  b.mark_pred(ProcessId(1), true);
+  const auto c = b.build();
+  const auto cut = c.first_wcp_cut();
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(*cut, (std::vector<StateIndex>{2, 2}));
+}
+
+TEST(Computation, FirstWcpCutSkipsInconsistentCandidates) {
+  // P0 true at 1; P1 true only at 2, but (0,1) -> (1,2). P0 must advance.
+  ComputationBuilder b(2);
+  b.mark_pred(ProcessId(0), true);  // state 1
+  b.transfer(ProcessId(0), ProcessId(1));
+  b.mark_pred(ProcessId(1), true);  // P1 state 2
+  b.mark_pred(ProcessId(0), true);  // P0 state 2
+  const auto c = b.build();
+  const auto cut = c.first_wcp_cut();
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(*cut, (std::vector<StateIndex>{2, 2}));
+}
+
+TEST(Computation, FirstWcpCutNoneWhenPredicateNeverHolds) {
+  ComputationBuilder b(2);
+  b.mark_pred(ProcessId(0), true);
+  const auto c = b.build();  // P1 never true
+  EXPECT_FALSE(c.first_wcp_cut().has_value());
+}
+
+TEST(Computation, FirstWcpCutAllProcessesExtendsOverRelays) {
+  // Predicate over {P0, P1}; P2 is a relay.
+  ComputationBuilder b(3);
+  b.set_predicate_processes({ProcessId(0), ProcessId(1)});
+  b.mark_pred(ProcessId(0), true);
+  b.transfer(ProcessId(0), ProcessId(2));
+  b.transfer(ProcessId(2), ProcessId(1));
+  b.mark_pred(ProcessId(1), true);  // P1 state 2, depends on (0,1)
+  b.mark_pred(ProcessId(0), true);  // P0 state 2 (after its send)
+  const auto c = b.build();
+  const auto cut = c.first_wcp_cut();
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(*cut, (std::vector<StateIndex>{2, 2}));
+
+  const auto full = c.first_wcp_cut_all_processes();
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->size(), 3u);
+  // Projection onto the predicate processes matches.
+  EXPECT_EQ((*full)[0], 2);
+  EXPECT_EQ((*full)[1], 2);
+  // P2's component is consistent with the rest.
+  const ProcessId all[] = {ProcessId(0), ProcessId(1), ProcessId(2)};
+  EXPECT_TRUE(c.is_consistent_cut(all, *full));
+}
+
+TEST(Computation, PredicateSlotLookup) {
+  ComputationBuilder b(3);
+  b.set_predicate_processes({ProcessId(2), ProcessId(0)});
+  const auto c = b.build();
+  EXPECT_EQ(c.predicate_slot(ProcessId(2)), 0);
+  EXPECT_EQ(c.predicate_slot(ProcessId(0)), 1);
+  EXPECT_EQ(c.predicate_slot(ProcessId(1)), -1);
+}
+
+}  // namespace
+}  // namespace wcp

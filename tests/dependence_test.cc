@@ -1,0 +1,65 @@
+#include "clock/dependence.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wcp {
+namespace {
+
+TEST(DependenceList, StartsEmpty) {
+  DependenceList dl;
+  EXPECT_TRUE(dl.empty());
+  EXPECT_EQ(dl.size(), 0u);
+  EXPECT_EQ(dl.bits(), 0);
+}
+
+TEST(DependenceList, AddPreservesArrivalOrder) {
+  DependenceList dl;
+  dl.add(ProcessId(3), 7);
+  dl.add(ProcessId(1), 2);
+  ASSERT_EQ(dl.size(), 2u);
+  EXPECT_EQ(dl.items()[0], (Dependence{ProcessId(3), 7}));
+  EXPECT_EQ(dl.items()[1], (Dependence{ProcessId(1), 2}));
+}
+
+TEST(DependenceList, AppendConcatenates) {
+  DependenceList a, b;
+  a.add(ProcessId(0), 1);
+  b.add(ProcessId(1), 2);
+  b.add(ProcessId(2), 3);
+  a.append(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.items()[2], (Dependence{ProcessId(2), 3}));
+}
+
+TEST(DependenceList, ClearEmpties) {
+  DependenceList dl;
+  dl.add(ProcessId(0), 1);
+  dl.clear();
+  EXPECT_TRUE(dl.empty());
+}
+
+TEST(DependenceList, BitsIsPairOfIntegersPerDependence) {
+  DependenceList dl;
+  dl.add(ProcessId(0), 1);
+  dl.add(ProcessId(1), 2);
+  EXPECT_EQ(dl.bits(), 2 * 2 * 64);  // §4.4: a dependence is two integers
+}
+
+TEST(DependenceList, StreamFormat) {
+  DependenceList dl;
+  dl.add(ProcessId(0), 1);
+  dl.add(ProcessId(2), 5);
+  std::ostringstream oss;
+  oss << dl;
+  EXPECT_EQ(oss.str(), "{(P0,1) (P2,5)}");
+}
+
+TEST(Dependence, Ordering) {
+  EXPECT_LT((Dependence{ProcessId(0), 5}), (Dependence{ProcessId(1), 2}));
+  EXPECT_LT((Dependence{ProcessId(1), 2}), (Dependence{ProcessId(1), 3}));
+}
+
+}  // namespace
+}  // namespace wcp

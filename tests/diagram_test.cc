@@ -1,0 +1,63 @@
+#include "trace/diagram.h"
+
+#include <gtest/gtest.h>
+
+namespace wcp {
+namespace {
+
+Computation tiny() {
+  ComputationBuilder b(2);
+  b.mark_pred(ProcessId(0), true);
+  b.transfer(ProcessId(0), ProcessId(1));
+  b.mark_pred(ProcessId(1), true);
+  return b.build();
+}
+
+TEST(Diagram, RendersStatesEventsAndPredicates) {
+  const auto text = render_diagram(tiny());
+  EXPECT_EQ(text,
+            "P0   [1:T] -s0-> [2:.]\n"
+            "P1   [1:.] -r0-> [2:T]\n");
+}
+
+TEST(Diagram, MarksCutStates) {
+  DiagramOptions opts;
+  opts.cut_procs = {ProcessId(0), ProcessId(1)};
+  opts.cut = {1, 2};
+  const auto text = render_diagram(tiny(), opts);
+  EXPECT_NE(text.find("*[1:T]"), std::string::npos);
+  EXPECT_NE(text.find("*[2:T]"), std::string::npos);
+  EXPECT_EQ(text.find("*[2:.]"), std::string::npos);
+}
+
+TEST(Diagram, MessageTableShowsEndpointsAndInFlight) {
+  ComputationBuilder b(2);
+  b.transfer(ProcessId(0), ProcessId(1));
+  b.send(ProcessId(1), ProcessId(0));  // in flight
+  const auto c = b.build();
+  DiagramOptions opts;
+  opts.message_table = true;
+  const auto text = render_diagram(c, opts);
+  EXPECT_NE(text.find("m0: P0@1 -> P1@2"), std::string::npos);
+  EXPECT_NE(text.find("m1: P1@2 -> P0 (in flight)"), std::string::npos);
+}
+
+TEST(Diagram, TruncatesLongTimelines) {
+  ComputationBuilder b(2);
+  for (int i = 0; i < 10; ++i) b.transfer(ProcessId(0), ProcessId(1));
+  const auto c = b.build();
+  DiagramOptions opts;
+  opts.max_states = 3;
+  const auto text = render_diagram(c, opts);
+  EXPECT_NE(text.find("...(8 more)"), std::string::npos);
+}
+
+TEST(Diagram, RejectsMismatchedCut) {
+  DiagramOptions opts;
+  opts.cut_procs = {ProcessId(0)};
+  opts.cut = {1, 2};
+  EXPECT_THROW(render_diagram(tiny(), opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wcp

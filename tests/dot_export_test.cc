@@ -1,0 +1,58 @@
+#include "trace/dot_export.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace wcp {
+namespace {
+
+Computation tiny() {
+  ComputationBuilder b(2);
+  b.mark_pred(ProcessId(0), true);
+  b.transfer(ProcessId(0), ProcessId(1));
+  b.mark_pred(ProcessId(1), true);
+  return b.build();
+}
+
+TEST(DotExport, ContainsNodesEdgesAndClusters) {
+  const auto dot = dot_to_string(tiny());
+  EXPECT_NE(dot.find("digraph computation {"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_p0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_p1"), std::string::npos);
+  EXPECT_NE(dot.find("s0_1 -> s0_2;"), std::string::npos);   // program order
+  EXPECT_NE(dot.find("s0_1 -> s1_2 [style=dotted, label=\"m0\"];"),
+            std::string::npos);                               // message
+  EXPECT_NE(dot.find("fillcolor=palegreen"), std::string::npos);  // pred true
+}
+
+TEST(DotExport, CutStatesHighlighted) {
+  DotOptions opts;
+  opts.cut_procs = {ProcessId(0), ProcessId(1)};
+  opts.cut = {1, 2};
+  const auto dot = dot_to_string(tiny(), opts);
+  EXPECT_NE(dot.find("penwidth=3, color=red"), std::string::npos);
+}
+
+TEST(DotExport, UndeliveredMessagesOmitted) {
+  ComputationBuilder b(2);
+  b.send(ProcessId(0), ProcessId(1));
+  const auto dot = dot_to_string(b.build());
+  EXPECT_EQ(dot.find("style=dotted"), std::string::npos);
+}
+
+TEST(DotExport, BalancedBraces) {
+  const auto dot = dot_to_string(tiny());
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(DotExport, RejectsMismatchedCut) {
+  DotOptions opts;
+  opts.cut_procs = {ProcessId(0)};
+  opts.cut = {};
+  EXPECT_THROW(dot_to_string(tiny(), opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wcp

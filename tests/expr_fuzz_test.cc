@@ -1,0 +1,93 @@
+// Property-based fuzzing of the predicate expression language: random
+// expression trees must print, reparse, and evaluate identically; random
+// junk must be rejected without crashing.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "predicate/expr.h"
+
+namespace wcp::pred {
+namespace {
+
+Expr random_expr(Rng& rng, int depth) {
+  if (depth <= 0 || rng.bernoulli(0.3)) {
+    if (rng.bernoulli(0.5)) return Expr::lit(rng.uniform_int(0, 9));
+    const char* names[] = {"x", "y", "z", "count", "in_cs_1"};
+    return Expr::var(names[rng.index(5)]);
+  }
+  switch (rng.uniform_int(0, 12)) {
+    case 0: return random_expr(rng, depth - 1) + random_expr(rng, depth - 1);
+    case 1: return random_expr(rng, depth - 1) - random_expr(rng, depth - 1);
+    case 2: return random_expr(rng, depth - 1) * random_expr(rng, depth - 1);
+    case 3: return random_expr(rng, depth - 1) < random_expr(rng, depth - 1);
+    case 4: return random_expr(rng, depth - 1) <= random_expr(rng, depth - 1);
+    case 5: return random_expr(rng, depth - 1) > random_expr(rng, depth - 1);
+    case 6: return random_expr(rng, depth - 1) >= random_expr(rng, depth - 1);
+    case 7: return random_expr(rng, depth - 1) == random_expr(rng, depth - 1);
+    case 8: return random_expr(rng, depth - 1) != random_expr(rng, depth - 1);
+    case 9:
+      return random_expr(rng, depth - 1) && random_expr(rng, depth - 1);
+    case 10:
+      return random_expr(rng, depth - 1) || random_expr(rng, depth - 1);
+    case 11: return !random_expr(rng, depth - 1);
+    default: return -random_expr(rng, depth - 1);
+  }
+}
+
+Env random_env(Rng& rng) {
+  Env e;
+  for (const char* name : {"x", "y", "z", "count", "in_cs_1"})
+    if (rng.bernoulli(0.8)) e.set(name, rng.uniform_int(-5, 5));
+  return e;
+}
+
+TEST(ExprFuzz, PrintParseEvalRoundTrip) {
+  Rng rng(2024);
+  for (int i = 0; i < 500; ++i) {
+    const Expr original = random_expr(rng, 4);
+    const std::string text = original.to_string();
+    Expr reparsed = Expr::parse(text);
+    for (int j = 0; j < 5; ++j) {
+      const Env env = random_env(rng);
+      ASSERT_EQ(original.eval(env), reparsed.eval(env))
+          << "expr: " << text << " (iteration " << i << ")";
+    }
+  }
+}
+
+TEST(ExprFuzz, RandomJunkNeverCrashes) {
+  Rng rng(7);
+  const std::string alphabet = "xy01+-*<>=!&|() \t";
+  int rejected = 0, accepted = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::string s;
+    const auto len = rng.uniform_int(0, 12);
+    for (int k = 0; k < len; ++k) s += alphabet[rng.index(alphabet.size())];
+    try {
+      const Expr e = Expr::parse(s);
+      ++accepted;
+      // Whatever parsed must evaluate and round-trip.
+      const Env env = random_env(rng);
+      const Expr again = Expr::parse(e.to_string());
+      ASSERT_EQ(e.eval(env), again.eval(env)) << "input: '" << s << "'";
+    } catch (const std::invalid_argument&) {
+      ++rejected;
+    }
+  }
+  // The fuzzer generates both kinds in bulk.
+  EXPECT_GT(rejected, 100);
+  EXPECT_GT(accepted, 50);
+}
+
+TEST(ExprFuzz, DeepNestingWithinReason) {
+  // 200-deep unary chain: must not overflow or misparse.
+  std::string text(200, '!');
+  text += "1";
+  const Expr e = Expr::parse(text);
+  EXPECT_EQ(e.eval(Env{}), 1);  // even number of negations
+}
+
+}  // namespace
+}  // namespace wcp::pred

@@ -1,0 +1,121 @@
+#include "predicate/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace wcp::pred {
+namespace {
+
+Env env_with(std::initializer_list<std::pair<const char*, std::int64_t>> kv) {
+  Env e;
+  for (const auto& [k, v] : kv) e.set(k, v);
+  return e;
+}
+
+TEST(Expr, LiteralAndVariable) {
+  const Env e = env_with({{"x", 5}});
+  EXPECT_EQ(Expr::lit(7).eval(e), 7);
+  EXPECT_EQ(Expr::var("x").eval(e), 5);
+  EXPECT_EQ(Expr::var("missing").eval(e), 0);  // uninitialized => 0
+}
+
+TEST(Expr, Arithmetic) {
+  const Env e = env_with({{"x", 3}, {"y", 4}});
+  EXPECT_EQ((Expr::var("x") + Expr::var("y")).eval(e), 7);
+  EXPECT_EQ((Expr::var("x") - Expr::var("y")).eval(e), -1);
+  EXPECT_EQ((Expr::var("x") * Expr::var("y")).eval(e), 12);
+  EXPECT_EQ((-Expr::var("x")).eval(e), -3);
+}
+
+TEST(Expr, Comparisons) {
+  const Env e = env_with({{"x", 3}});
+  EXPECT_TRUE((Expr::var("x") > Expr::lit(2)).holds(e));
+  EXPECT_FALSE((Expr::var("x") > Expr::lit(3)).holds(e));
+  EXPECT_TRUE((Expr::var("x") >= Expr::lit(3)).holds(e));
+  EXPECT_TRUE((Expr::var("x") < Expr::lit(4)).holds(e));
+  EXPECT_TRUE((Expr::var("x") <= Expr::lit(3)).holds(e));
+  EXPECT_TRUE((Expr::var("x") == Expr::lit(3)).holds(e));
+  EXPECT_TRUE((Expr::var("x") != Expr::lit(4)).holds(e));
+}
+
+TEST(Expr, BooleanConnectives) {
+  const Env e = env_with({{"a", 1}, {"b", 0}});
+  const Expr a = Expr::var("a"), b = Expr::var("b");
+  EXPECT_TRUE((a || b).holds(e));
+  EXPECT_FALSE((a && b).holds(e));
+  EXPECT_TRUE((!b).holds(e));
+  EXPECT_FALSE((!a).holds(e));
+}
+
+TEST(ExprParse, RespectsPrecedence) {
+  const Env e = env_with({{"x", 2}, {"y", 3}});
+  EXPECT_EQ(Expr::parse("x + y * 2").eval(e), 8);
+  EXPECT_EQ(Expr::parse("(x + y) * 2").eval(e), 10);
+  EXPECT_TRUE(Expr::parse("x < y && y < 10").holds(e));
+  EXPECT_TRUE(Expr::parse("x > y || y == 3").holds(e));
+  // && binds tighter than ||.
+  EXPECT_TRUE(Expr::parse("1 || 0 && 0").holds(e));
+}
+
+TEST(ExprParse, UnaryOperators) {
+  const Env e = env_with({{"x", 5}});
+  EXPECT_EQ(Expr::parse("-x + 7").eval(e), 2);
+  EXPECT_TRUE(Expr::parse("!(x == 4)").holds(e));
+  EXPECT_FALSE(Expr::parse("!!0").holds(e));
+}
+
+TEST(ExprParse, ComparisonOperatorDisambiguation) {
+  const Env e = env_with({{"x", 3}});
+  EXPECT_TRUE(Expr::parse("x <= 3").holds(e));
+  EXPECT_TRUE(Expr::parse("x >= 3").holds(e));
+  EXPECT_TRUE(Expr::parse("x != 4").holds(e));
+  EXPECT_FALSE(Expr::parse("x < 3").holds(e));
+}
+
+TEST(ExprParse, IdentifiersWithUnderscoresAndDigits) {
+  const Env e = env_with({{"in_cs_2", 1}});
+  EXPECT_TRUE(Expr::parse("in_cs_2 == 1").holds(e));
+}
+
+TEST(ExprParse, RejectsGarbage) {
+  EXPECT_THROW(Expr::parse(""), std::invalid_argument);
+  EXPECT_THROW(Expr::parse("x +"), std::invalid_argument);
+  EXPECT_THROW(Expr::parse("(x"), std::invalid_argument);
+  EXPECT_THROW(Expr::parse("x ? y"), std::invalid_argument);
+  EXPECT_THROW(Expr::parse("1 2"), std::invalid_argument);
+}
+
+TEST(ExprParse, ErrorMentionsPosition) {
+  try {
+    Expr::parse("x + $");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("position"), std::string::npos);
+  }
+}
+
+TEST(Expr, ToStringRoundTripsThroughParse) {
+  const Env e = env_with({{"x", 2}, {"y", 7}});
+  for (const char* text :
+       {"x + y * 2", "(x < y) && (y != 0)", "!(x == 2) || y >= 7",
+        "-x + 3 * (y - 1)"}) {
+    const Expr original = Expr::parse(text);
+    const Expr reparsed = Expr::parse(original.to_string());
+    EXPECT_EQ(original.eval(e), reparsed.eval(e)) << text;
+  }
+}
+
+TEST(Expr, DefaultConstructedIsFalse) {
+  EXPECT_FALSE(Expr().holds(Env{}));
+}
+
+TEST(Expr, CopiesShareNoMutableState) {
+  Expr a = Expr::parse("x + 1");
+  Expr b = a;  // cheap shared-immutable copy
+  Env e;
+  e.set("x", 41);
+  EXPECT_EQ(a.eval(e), 42);
+  EXPECT_EQ(b.eval(e), 42);
+}
+
+}  // namespace
+}  // namespace wcp::pred

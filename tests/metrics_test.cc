@@ -1,0 +1,86 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace wcp {
+namespace {
+
+TEST(Metrics, RecordSendAccumulatesPerKind) {
+  Metrics m(2);
+  m.record_send(ProcessId(0), MsgKind::kSnapshot, 128);
+  m.record_send(ProcessId(0), MsgKind::kSnapshot, 128);
+  m.record_send(ProcessId(1), MsgKind::kToken, 64);
+  EXPECT_EQ(m.total_messages(MsgKind::kSnapshot), 2);
+  EXPECT_EQ(m.total_messages(MsgKind::kToken), 1);
+  EXPECT_EQ(m.total_messages(), 3);
+  EXPECT_EQ(m.total_bits(), 320);
+}
+
+TEST(Metrics, WorkAttribution) {
+  Metrics m(3);
+  m.add_work(ProcessId(0), 10);
+  m.add_work(ProcessId(2), 25);
+  m.add_work(ProcessId(2), 5);
+  EXPECT_EQ(m.total_work(), 40);
+  EXPECT_EQ(m.max_work_per_process(), 30);
+}
+
+TEST(Metrics, BufferHighWaterMark) {
+  Metrics m(1);
+  m.buffer_change(ProcessId(0), 100, 1);
+  m.buffer_change(ProcessId(0), 200, 1);
+  m.buffer_change(ProcessId(0), -100, -1);
+  m.buffer_change(ProcessId(0), 50, 1);
+  EXPECT_EQ(m.max_peak_buffered_bytes(), 300);
+  EXPECT_EQ(m.at(ProcessId(0)).buffered_bytes, 250);
+  EXPECT_EQ(m.at(ProcessId(0)).snapshots_buffered, 2);
+}
+
+TEST(Metrics, BufferUnderflowIsInvariantViolation) {
+  Metrics m(1);
+  EXPECT_THROW(m.buffer_change(ProcessId(0), -1, 0), InvariantViolation);
+}
+
+TEST(Metrics, TokenHops) {
+  Metrics m(1);
+  m.bump_token_hops();
+  m.bump_token_hops();
+  EXPECT_EQ(m.token_hops(), 2);
+}
+
+TEST(Metrics, MergeAddsCountersAndMaxesPeaks) {
+  Metrics a(2), b(2);
+  a.record_send(ProcessId(0), MsgKind::kPoll, 10);
+  b.record_send(ProcessId(0), MsgKind::kPoll, 20);
+  a.add_work(ProcessId(1), 5);
+  b.add_work(ProcessId(1), 7);
+  a.buffer_change(ProcessId(0), 100, 1);
+  b.buffer_change(ProcessId(0), 40, 1);
+  a.merge(b);
+  EXPECT_EQ(a.total_messages(MsgKind::kPoll), 2);
+  EXPECT_EQ(a.total_bits(), 30);
+  EXPECT_EQ(a.total_work(), 12);
+  EXPECT_EQ(a.max_peak_buffered_bytes(), 100);  // max, not sum
+}
+
+TEST(Metrics, SummaryMentionsKeyCounters) {
+  Metrics m(1);
+  m.record_send(ProcessId(0), MsgKind::kSnapshot, 64);
+  const auto s = m.summary();
+  EXPECT_NE(s.find("messages=1"), std::string::npos);
+  EXPECT_NE(s.find("bits=64"), std::string::npos);
+}
+
+TEST(MsgKind, Names) {
+  EXPECT_STREQ(to_string(MsgKind::kSnapshot), "snapshot");
+  EXPECT_STREQ(to_string(MsgKind::kToken), "token");
+  EXPECT_STREQ(to_string(MsgKind::kPoll), "poll");
+  EXPECT_STREQ(to_string(MsgKind::kPollReply), "poll_reply");
+  EXPECT_STREQ(to_string(MsgKind::kApplication), "application");
+  EXPECT_STREQ(to_string(MsgKind::kControl), "control");
+}
+
+}  // namespace
+}  // namespace wcp

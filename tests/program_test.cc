@@ -1,0 +1,125 @@
+#include "predicate/program.h"
+
+#include <gtest/gtest.h>
+
+#include "detect/token_vc.h"
+
+namespace wcp::pred {
+namespace {
+
+TEST(ProgramBuilder, VariableAssignmentsDrivePredicates) {
+  ProgramBuilder pb(2);
+  pb.local_predicate(ProcessId(0), Expr::parse("x > 0"));
+  pb.local_predicate(ProcessId(1), Expr::parse("y == 2"));
+
+  pb.set(ProcessId(0), "x", 1);   // P0 state 1 true
+  pb.transfer(ProcessId(0), ProcessId(1));
+  pb.set(ProcessId(1), "y", 2);   // P1 state 2 true
+
+  const auto c = pb.build();
+  EXPECT_TRUE(c.local_pred(ProcessId(0), 1));
+  EXPECT_TRUE(c.local_pred(ProcessId(0), 2));  // x carries over
+  EXPECT_FALSE(c.local_pred(ProcessId(1), 1));
+  EXPECT_TRUE(c.local_pred(ProcessId(1), 2));
+}
+
+TEST(ProgramBuilder, StickyWithinState) {
+  // The predicate held transiently inside a state: the state stays marked
+  // (snapshot semantics: "becomes true" fires the snapshot).
+  ProgramBuilder pb(2);
+  pb.local_predicate(ProcessId(0), Expr::parse("x == 1"));
+  pb.set(ProcessId(0), "x", 1);  // true...
+  pb.set(ProcessId(0), "x", 5);  // ...then false again, same state
+  const auto c = pb.build();
+  EXPECT_TRUE(c.local_pred(ProcessId(0), 1));
+}
+
+TEST(ProgramBuilder, CarriedValueMarksNewStates) {
+  ProgramBuilder pb(2);
+  pb.local_predicate(ProcessId(0), Expr::parse("x > 0"));
+  pb.set(ProcessId(0), "x", 3);
+  pb.transfer(ProcessId(0), ProcessId(1));  // P0 state 2: x still 3
+  pb.transfer(ProcessId(0), ProcessId(1));  // P0 state 3
+  const auto c = pb.build();
+  for (StateIndex k = 1; k <= 3; ++k)
+    EXPECT_TRUE(c.local_pred(ProcessId(0), k)) << k;
+}
+
+TEST(ProgramBuilder, ReceiverStateReevaluated) {
+  ProgramBuilder pb(2);
+  pb.local_predicate(ProcessId(1), Expr::parse("got > 0"));
+  pb.set(ProcessId(1), "got", 1);
+  // A fresh state on P1 created by a receive must re-evaluate to true.
+  pb.transfer(ProcessId(0), ProcessId(1));
+  const auto c = pb.build();
+  EXPECT_TRUE(c.local_pred(ProcessId(1), 2));
+}
+
+TEST(ProgramBuilder, PredicateOrderDefinesSlots) {
+  ProgramBuilder pb(3);
+  pb.local_predicate(ProcessId(2), Expr::parse("a > 0"));
+  pb.local_predicate(ProcessId(0), Expr::parse("b > 0"));
+  const auto c = pb.build();
+  ASSERT_EQ(c.predicate_processes().size(), 2u);
+  EXPECT_EQ(c.predicate_processes()[0], ProcessId(2));
+  EXPECT_EQ(c.predicate_processes()[1], ProcessId(0));
+  EXPECT_EQ(c.predicate_slot(ProcessId(1)), -1);  // relay
+}
+
+TEST(ProgramBuilder, DuplicatePredicateRejected) {
+  ProgramBuilder pb(2);
+  pb.local_predicate(ProcessId(0), Expr::parse("x > 0"));
+  EXPECT_THROW(pb.local_predicate(ProcessId(0), Expr::parse("x > 1")),
+               std::invalid_argument);
+}
+
+TEST(ProgramBuilder, EndToEndDetection) {
+  // The §2 mutual-exclusion example written at the variable level:
+  // in_cs flips to 1 inside the critical section.
+  ProgramBuilder pb(3);  // 2 clients + server
+  const ProcessId c0(0), c1(1), server(2);
+  pb.local_predicate(c0, Expr::parse("in_cs == 1"));
+  pb.local_predicate(c1, Expr::parse("in_cs == 1"));
+
+  // Round 1 (correct): c0 then c1, serialized through the server.
+  pb.transfer(c0, server);            // request
+  pb.transfer(server, c0);            // grant
+  pb.set(c0, "in_cs", 1);
+  pb.set(c0, "in_cs", 0);
+  pb.transfer(c0, server);            // release
+  pb.transfer(c1, server);
+  pb.transfer(server, c1);
+  pb.set(c1, "in_cs", 1);
+  pb.set(c1, "in_cs", 0);
+  pb.transfer(c1, server);
+
+  // Round 2 (buggy): both granted at once.
+  pb.transfer(c0, server);
+  pb.transfer(c1, server);
+  pb.transfer(server, c0);
+  pb.transfer(server, c1);
+  pb.set(c0, "in_cs", 1);
+  pb.set(c1, "in_cs", 1);
+
+  const auto comp = pb.build();
+  const auto cut = comp.first_wcp_cut();
+  ASSERT_TRUE(cut.has_value());
+  // Both CS states of round 2 (after their round-2 grants).
+  EXPECT_TRUE(comp.is_consistent_cut(comp.predicate_processes(), *cut));
+
+  detect::RunOptions opts;
+  opts.seed = 2;
+  const auto r = detect::run_token_vc(comp, opts);
+  ASSERT_TRUE(r.detected);
+  EXPECT_EQ(r.cut, *cut);
+}
+
+TEST(ProgramBuilder, RejectsBadProcessIds) {
+  ProgramBuilder pb(2);
+  EXPECT_THROW(pb.set(ProcessId(5), "x", 1), std::invalid_argument);
+  EXPECT_THROW(pb.local_predicate(ProcessId(-1), Expr::lit(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wcp::pred

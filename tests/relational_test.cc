@@ -1,0 +1,129 @@
+#include "detect/relational.h"
+
+#include <gtest/gtest.h>
+
+#include "detect/lattice.h"
+#include "predicate/program.h"
+
+namespace wcp::detect {
+namespace {
+
+using pred::Env;
+using pred::Expr;
+using pred::ProgramBuilder;
+using pred::VarComputation;
+
+// Token-conservation scenario: two processes exchange "tokens"; the sum
+// x0 + x1 should always be 10 except transiently while a transfer is in
+// flight — a relational predicate no conjunction of local predicates can
+// express.
+VarComputation token_transfer(bool deliver) {
+  ProgramBuilder pb(2);
+  pb.set(ProcessId(0), "x", 6);
+  pb.set(ProcessId(1), "x", 4);
+  // P0 sends 2 tokens to P1.
+  pb.set(ProcessId(0), "x", 4);  // debit before sending
+  const MessageId m = pb.send(ProcessId(0), ProcessId(1));
+  if (deliver) {
+    pb.receive(m);
+    pb.set(ProcessId(1), "x", 6);  // credit on receipt
+  }
+  return pb.build_with_vars();
+}
+
+TEST(PossiblyGeneral, DetectsTransientConservationViolation) {
+  const auto vc = token_transfer(/*deliver=*/true);
+  // During the transfer, a consistent cut sees x0=4 (post-debit) with
+  // x1=4 (pre-credit): sum 8 < 10.
+  const auto r = detect_possibly_general(vc, [](std::span<const Env> envs) {
+    return envs[0].get("x") + envs[1].get("x") < 10;
+  });
+  ASSERT_TRUE(r.detected);
+  // The conservation sum is also possibly 10 (before and after transfer).
+  const auto ok = detect_possibly_general(vc, [](std::span<const Env> envs) {
+    return envs[0].get("x") + envs[1].get("x") == 10;
+  });
+  EXPECT_TRUE(ok.detected);
+  // But never above 10: tokens are not duplicated.
+  const auto over = detect_possibly_general(vc, [](std::span<const Env> envs) {
+    return envs[0].get("x") + envs[1].get("x") > 10;
+  });
+  EXPECT_FALSE(over.detected);
+}
+
+TEST(PossiblyGeneral, EnvReflectsEndOfStateValues) {
+  ProgramBuilder pb(1);
+  pb.set(ProcessId(0), "x", 1);
+  pb.set(ProcessId(0), "x", 2);  // same state: end value wins
+  const auto vc = pb.build_with_vars();
+  EXPECT_EQ(vc.env(ProcessId(0), 1).get("x"), 2);
+  const auto r = detect_possibly_general(vc, [](std::span<const Env> envs) {
+    return envs[0].get("x") == 2;
+  });
+  EXPECT_TRUE(r.detected);
+}
+
+TEST(PossiblyGeneral, CausalityConstrainsRelationalCuts) {
+  // P0 sets x=1 then informs P1, which sets y=1. The cut (x==1, y==0) is
+  // possible; (x==0, y==1) is NOT (y=1 causally follows x=1).
+  ProgramBuilder pb(2);
+  pb.set(ProcessId(0), "x", 1);
+  pb.transfer(ProcessId(0), ProcessId(1));
+  pb.set(ProcessId(1), "y", 1);
+  const auto vc = pb.build_with_vars();
+
+  const auto possible =
+      detect_possibly_general(vc, [](std::span<const Env> envs) {
+        return envs[0].get("x") == 1 && envs[1].get("y") == 0;
+      });
+  EXPECT_TRUE(possible.detected);
+
+  const auto impossible =
+      detect_possibly_general(vc, [](std::span<const Env> envs) {
+        return envs[0].get("x") == 0 && envs[1].get("y") == 1;
+      });
+  EXPECT_FALSE(impossible.detected);
+}
+
+TEST(PossiblyGeneral, AgreesWithWcpLatticeOnConjunctions) {
+  // When Φ is a conjunction of local conditions, the general detector and
+  // the WCP lattice must agree on detectability.
+  ProgramBuilder pb(3);
+  pb.local_predicate(ProcessId(0), Expr::parse("a > 0"));
+  pb.local_predicate(ProcessId(1), Expr::parse("b > 0"));
+  pb.local_predicate(ProcessId(2), Expr::parse("c > 0"));
+  pb.set(ProcessId(0), "a", 1);
+  pb.transfer(ProcessId(0), ProcessId(1));
+  pb.set(ProcessId(1), "b", 1);
+  pb.transfer(ProcessId(1), ProcessId(2));
+  pb.set(ProcessId(2), "c", 1);
+  const auto vc = pb.build_with_vars();
+
+  const auto general =
+      detect_possibly_general(vc, [](std::span<const Env> envs) {
+        return envs[0].get("a") > 0 && envs[1].get("b") > 0 &&
+               envs[2].get("c") > 0;
+      });
+  const auto wcp = detect_lattice(vc.computation);
+  EXPECT_EQ(general.detected, wcp.detected);
+}
+
+TEST(PossiblyGeneral, TruncationCap) {
+  ProgramBuilder pb(2);
+  for (int k = 0; k < 6; ++k) pb.send(ProcessId(0), ProcessId(1));
+  for (int k = 0; k < 6; ++k) pb.send(ProcessId(1), ProcessId(0));
+  const auto vc = pb.build_with_vars();
+  const auto r = detect_possibly_general(
+      vc, [](std::span<const Env>) { return false; }, /*max_cuts=*/5);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.cuts_explored, 5);
+}
+
+TEST(PossiblyGeneral, RejectsNullPredicate) {
+  ProgramBuilder pb(1);
+  const auto vc = pb.build_with_vars();
+  EXPECT_THROW(detect_possibly_general(vc, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wcp::detect

@@ -1,0 +1,87 @@
+#include "workload/ring_workload.h"
+
+#include <gtest/gtest.h>
+
+#include "detect/direct_dep.h"
+#include "detect/token_vc.h"
+
+namespace wcp::workload {
+namespace {
+
+detect::RunOptions opts(std::uint64_t seed = 1) {
+  detect::RunOptions o;
+  o.seed = seed;
+  o.latency = sim::LatencyModel::uniform(1, 5);
+  return o;
+}
+
+TEST(RingWorkload, CleanRunsNeverViolate) {
+  for (std::size_t N : {2u, 3u, 5u, 8u}) {
+    RingSpec spec;
+    spec.num_processes = N;
+    spec.laps = 4;
+    const auto ring = make_ring(spec);
+    EXPECT_FALSE(ring.violation_injected);
+    EXPECT_FALSE(ring.computation.first_wcp_cut().has_value()) << "N=" << N;
+  }
+}
+
+TEST(RingWorkload, DuplicatedPrivilegeIsDetected) {
+  for (std::int64_t hop : {0, 1, 3, 7, 11}) {
+    RingSpec spec;
+    spec.num_processes = 4;
+    spec.laps = 3;
+    spec.duplicate_at_hop = hop;
+    const auto ring = make_ring(spec);
+    ASSERT_TRUE(ring.violation_injected);
+    const auto cut = ring.computation.first_wcp_cut();
+    ASSERT_TRUE(cut.has_value()) << "hop " << hop;
+    EXPECT_TRUE(ring.computation.is_consistent_cut(
+        ring.computation.predicate_processes(), *cut))
+        << "hop " << hop;
+  }
+}
+
+TEST(RingWorkload, OnlineDetectorsAgreeWithOracle) {
+  for (std::int64_t hop : {-1, 2, 6}) {
+    RingSpec spec;
+    spec.num_processes = 5;
+    spec.laps = 3;
+    spec.duplicate_at_hop = hop;
+    const auto ring = make_ring(spec);
+    const auto oracle = ring.computation.first_wcp_cut();
+    const auto tok = detect::run_token_vc(ring.computation, opts());
+    const auto dd = detect::run_direct_dep(ring.computation, opts());
+    EXPECT_EQ(tok.detected, oracle.has_value()) << "hop " << hop;
+    EXPECT_EQ(dd.detected, oracle.has_value()) << "hop " << hop;
+    if (oracle) {
+      EXPECT_EQ(tok.cut, *oracle) << "hop " << hop;
+      EXPECT_EQ(dd.cut, *oracle) << "hop " << hop;
+    }
+  }
+}
+
+TEST(RingWorkload, PredicatePairFollowsDuplicationHop) {
+  RingSpec spec;
+  spec.num_processes = 5;
+  spec.laps = 2;
+  spec.duplicate_at_hop = 7;  // forwarder P2 -> receiver P3
+  const auto ring = make_ring(spec);
+  const auto preds = ring.computation.predicate_processes();
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_EQ(preds[0], ProcessId(2));
+  EXPECT_EQ(preds[1], ProcessId(3));
+}
+
+TEST(RingWorkload, RejectsBadSpecs) {
+  RingSpec spec;
+  spec.num_processes = 1;
+  EXPECT_THROW(make_ring(spec), std::invalid_argument);
+  spec.num_processes = 4;
+  spec.laps = 2;
+  spec.duplicate_at_hop = 8;  // == hops: out of range
+  EXPECT_THROW(make_ring(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wcp::workload

@@ -1,0 +1,111 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace wcp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng r(99);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r(1);
+  EXPECT_EQ(r.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng r(1);
+  EXPECT_THROW(r.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng r(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(6);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughFrequency) {
+  Rng r(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (r.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ExponentialPositiveWithRoughMean) {
+  Rng r(8);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = r.exponential(4.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 4.0, 0.25);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(10);
+  Rng child = a.split();
+  // The child stream differs from the parent continuation.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == child.next()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, IndexRejectsEmpty) {
+  Rng r(11);
+  EXPECT_THROW(r.index(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wcp

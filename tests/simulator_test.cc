@@ -1,0 +1,78 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wcp::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(10, [&] { order.push_back(2); });
+  s.schedule_at(5, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 20);
+  EXPECT_EQ(s.events_processed(), 3);
+}
+
+TEST(Simulator, TiesBreakInSchedulingOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    s.schedule_at(7, [&order, i] { order.push_back(i); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, EventsMayScheduleMoreEvents) {
+  Simulator s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 10) s.schedule_after(1, chain);
+  };
+  s.schedule_at(0, chain);
+  s.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(s.now(), 9);
+}
+
+TEST(Simulator, SchedulingIntoThePastThrows) {
+  Simulator s;
+  s.schedule_at(5, [] {});
+  s.step();
+  EXPECT_THROW(s.schedule_at(4, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, StepOnEmptyReturnsFalse) {
+  Simulator s;
+  EXPECT_FALSE(s.step());
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Simulator, StopHaltsTheLoop) {
+  Simulator s;
+  int ran = 0;
+  s.schedule_at(1, [&] {
+    ++ran;
+    s.stop();
+  });
+  s.schedule_at(2, [&] { ++ran; });
+  s.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(s.idle());  // the second event is still pending
+}
+
+TEST(Simulator, MaxEventsBound) {
+  Simulator s;
+  for (int i = 0; i < 10; ++i) s.schedule_at(i, [] {});
+  s.run(/*max_events=*/4);
+  EXPECT_EQ(s.events_processed(), 4);
+}
+
+}  // namespace
+}  // namespace wcp::sim

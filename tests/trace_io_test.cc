@@ -1,0 +1,122 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "workload/random_workload.h"
+
+namespace wcp {
+namespace {
+
+bool same_computation(const Computation& a, const Computation& b) {
+  if (a.num_processes() != b.num_processes()) return false;
+  if (a.messages().size() != b.messages().size()) return false;
+  if (!std::equal(a.predicate_processes().begin(),
+                  a.predicate_processes().end(),
+                  b.predicate_processes().begin(),
+                  b.predicate_processes().end()))
+    return false;
+  for (std::size_t p = 0; p < a.num_processes(); ++p) {
+    const ProcessId pid(static_cast<int>(p));
+    if (a.num_states(pid) != b.num_states(pid)) return false;
+    for (StateIndex k = 1; k <= a.num_states(pid); ++k) {
+      if (a.local_pred(pid, k) != b.local_pred(pid, k)) return false;
+      if (a.ground_truth_clock(pid, k) != b.ground_truth_clock(pid, k))
+        return false;
+    }
+  }
+  return true;
+}
+
+TEST(TraceIo, RoundTripsSmallHandBuiltTrace) {
+  ComputationBuilder b(3);
+  b.set_predicate_processes({ProcessId(0), ProcessId(2)});
+  b.mark_pred(ProcessId(0), true);
+  b.transfer(ProcessId(0), ProcessId(1));
+  b.transfer(ProcessId(1), ProcessId(2));
+  b.mark_pred(ProcessId(2), true);
+  const auto original = b.build();
+
+  const auto text = trace_to_string(original);
+  const auto reread = trace_from_string(text);
+  EXPECT_TRUE(same_computation(original, reread));
+}
+
+TEST(TraceIo, RoundTripsRandomComputations) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    workload::RandomSpec spec;
+    spec.num_processes = 6;
+    spec.num_predicate = 3;
+    spec.events_per_process = 15;
+    spec.seed = seed;
+    spec.drain_prob = 0.7;  // leave some messages in flight
+    const auto original = workload::make_random(spec);
+    const auto reread = trace_from_string(trace_to_string(original));
+    EXPECT_TRUE(same_computation(original, reread)) << "seed " << seed;
+  }
+}
+
+TEST(TraceIo, PreservesFirstWcpCut) {
+  workload::RandomSpec spec;
+  spec.num_processes = 5;
+  spec.num_predicate = 5;
+  spec.events_per_process = 20;
+  spec.local_pred_prob = 0.3;
+  spec.seed = 17;
+  const auto original = workload::make_random(spec);
+  const auto reread = trace_from_string(trace_to_string(original));
+  EXPECT_EQ(original.first_wcp_cut(), reread.first_wcp_cut());
+}
+
+TEST(TraceIo, RejectsGarbageHeader) {
+  EXPECT_THROW(trace_from_string("not-a-trace\n"), std::invalid_argument);
+  EXPECT_THROW(trace_from_string(""), std::invalid_argument);
+  EXPECT_THROW(trace_from_string("wcp-trace 99\n"), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsEventsBeforeProcesses) {
+  EXPECT_THROW(trace_from_string("wcp-trace 1\nsend 0 1\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsUnknownDirective) {
+  EXPECT_THROW(trace_from_string("wcp-trace 1\nprocesses 2\nfrobnicate\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceIo, IgnoresCommentsAndBlankLines) {
+  const auto c = trace_from_string(
+      "wcp-trace 1\n"
+      "# a comment\n"
+      "\n"
+      "processes 2   # trailing comment\n"
+      "predicate 0 1\n"
+      "send 0 1\n"
+      "recv 0\n"
+      "end\n");
+  EXPECT_EQ(c.num_processes(), 2u);
+  EXPECT_EQ(c.messages().size(), 1u);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  workload::RandomSpec spec;
+  spec.num_processes = 4;
+  spec.num_predicate = 2;
+  spec.seed = 3;
+  const auto original = workload::make_random(spec);
+  const std::string path = ::testing::TempDir() + "/wcp_trace_test.trace";
+  save_trace_file(path, original);
+  const auto reread = load_trace_file(path);
+  EXPECT_TRUE(same_computation(original, reread));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_trace_file("/nonexistent/dir/x.trace"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wcp

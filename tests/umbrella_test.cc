@@ -1,0 +1,25 @@
+// The umbrella header must compile standalone and expose the whole API.
+#include "wcp.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndThroughTheSingleInclude) {
+  wcp::ComputationBuilder b(2);
+  b.mark_pred(wcp::ProcessId(0), true);
+  b.mark_pred(wcp::ProcessId(1), true);
+  const auto comp = b.build();
+
+  wcp::detect::RunOptions opts;
+  const auto r = wcp::detect::run_token_vc(comp, opts);
+  ASSERT_TRUE(r.detected);
+  EXPECT_EQ(r.cut, (std::vector<wcp::StateIndex>{1, 1}));
+
+  // A few representatives from each namespace.
+  EXPECT_TRUE(wcp::pred::Expr::parse("1 < 2").holds(wcp::pred::Env{}));
+  EXPECT_GE(wcp::detect::play_greedy(2, 3).deletions, 4);
+  EXPECT_FALSE(wcp::render_diagram(comp).empty());
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+#include "clock/vector_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wcp {
+namespace {
+
+TEST(VectorClock, InitialClockHasOwnComponentOne) {
+  const auto vc = VectorClock::initial(4, ProcessId(2));
+  EXPECT_EQ(vc.width(), 4u);
+  EXPECT_EQ(vc[0], 0);
+  EXPECT_EQ(vc[1], 0);
+  EXPECT_EQ(vc[2], 1);
+  EXPECT_EQ(vc[3], 0);
+}
+
+TEST(VectorClock, InitialClockRejectsBadOwner) {
+  EXPECT_THROW(VectorClock::initial(3, ProcessId(3)), std::invalid_argument);
+  EXPECT_THROW(VectorClock::initial(3, ProcessId::invalid()),
+               std::invalid_argument);
+}
+
+TEST(VectorClock, TickIncrementsOwnComponentOnly) {
+  auto vc = VectorClock::initial(3, ProcessId(0));
+  vc.tick(ProcessId(0));
+  vc.tick(ProcessId(0));
+  EXPECT_EQ(vc[0], 3);
+  EXPECT_EQ(vc[1], 0);
+  EXPECT_EQ(vc[2], 0);
+}
+
+TEST(VectorClock, MergeTakesComponentwiseMax) {
+  VectorClock a(std::vector<StateIndex>{3, 1, 5});
+  const VectorClock b(std::vector<StateIndex>{2, 4, 5});
+  a.merge(b);
+  EXPECT_EQ(a, VectorClock(std::vector<StateIndex>{3, 4, 5}));
+}
+
+TEST(VectorClock, MergeRejectsWidthMismatch) {
+  VectorClock a(3);
+  const VectorClock b(2);
+  EXPECT_THROW(a.merge(b), InvariantViolation);
+}
+
+TEST(VectorClock, HappenedBeforeIsStrictDominance) {
+  const VectorClock a(std::vector<StateIndex>{1, 2, 3});
+  const VectorClock b(std::vector<StateIndex>{1, 2, 4});
+  const VectorClock c(std::vector<StateIndex>{2, 2, 3});
+  EXPECT_TRUE(a.happened_before(b));
+  EXPECT_FALSE(b.happened_before(a));
+  EXPECT_FALSE(a.happened_before(a));  // irreflexive
+  EXPECT_TRUE(b.concurrent_with(c));
+  EXPECT_TRUE(c.concurrent_with(b));
+  EXPECT_FALSE(a.concurrent_with(b));
+}
+
+TEST(VectorClock, ConcurrentWithSelfIsFalse) {
+  const VectorClock a(std::vector<StateIndex>{1, 2});
+  EXPECT_FALSE(a.concurrent_with(a));
+}
+
+TEST(VectorClock, StreamFormat) {
+  const VectorClock a(std::vector<StateIndex>{1, 0, 7});
+  std::ostringstream oss;
+  oss << a;
+  EXPECT_EQ(oss.str(), "[1,0,7]");
+}
+
+TEST(VectorClock, BitsAccounting) {
+  EXPECT_EQ(VectorClock(5).bits(), 5 * 64);
+  EXPECT_EQ(VectorClock().bits(), 0);
+}
+
+// The two vector-clock properties of §3.1, checked on a hand-built exchange:
+// P0 sends to P1; P1's post-receive clock dominates P0's send-state clock.
+TEST(VectorClock, PaperPropertiesOnHandBuiltExchange) {
+  auto p0 = VectorClock::initial(2, ProcessId(0));  // P0 state 1: [1,0]
+  auto p1 = VectorClock::initial(2, ProcessId(1));  // P1 state 1: [0,1]
+  // P0 sends (message carries [1,0]); P0 moves to state 2.
+  const VectorClock msg = p0;
+  p0.tick(ProcessId(0));  // [2,0]
+  // P1 receives: merge + tick -> state 2: [1,2].
+  p1.merge(msg);
+  p1.tick(ProcessId(1));
+  EXPECT_EQ(p1, VectorClock(std::vector<StateIndex>{1, 2}));
+
+  // Property 1: (P0 state 1) -> (P1 state 2) iff clock dominance.
+  EXPECT_TRUE(msg.happened_before(p1));
+  // Property 2: for v = p1's clock, (0, v[0]) -> (1, v[1]) — the state
+  // numbered v[0]=1 on P0 is exactly the msg state, which precedes p1.
+  EXPECT_EQ(p1[0], 1);
+  // P0's state 2 is concurrent with P1's state 2.
+  EXPECT_TRUE(p0.concurrent_with(p1));
+}
+
+}  // namespace
+}  // namespace wcp

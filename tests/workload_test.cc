@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "workload/db_workload.h"
+#include "workload/mutex_workload.h"
+#include "workload/random_workload.h"
+
+namespace wcp::workload {
+namespace {
+
+TEST(RandomWorkload, RespectsShape) {
+  RandomSpec spec;
+  spec.num_processes = 7;
+  spec.num_predicate = 3;
+  spec.events_per_process = 25;
+  spec.seed = 1;
+  const auto c = make_random(spec);
+  EXPECT_EQ(c.num_processes(), 7u);
+  EXPECT_EQ(c.predicate_processes().size(), 3u);
+  // Every process participated (event budget was consumed network-wide).
+  EXPECT_GT(c.messages().size(), 0u);
+  EXPECT_GE(c.max_messages_per_process(), 25);
+}
+
+TEST(RandomWorkload, DeterministicPerSeed) {
+  RandomSpec spec;
+  spec.seed = 33;
+  const auto a = make_random(spec);
+  const auto b = make_random(spec);
+  EXPECT_EQ(a.messages().size(), b.messages().size());
+  EXPECT_EQ(a.total_states(), b.total_states());
+  EXPECT_EQ(a.first_wcp_cut(), b.first_wcp_cut());
+}
+
+TEST(RandomWorkload, SeedsDiffer) {
+  RandomSpec a, b;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(make_random(a).first_wcp_cut(), make_random(b).first_wcp_cut());
+}
+
+TEST(RandomWorkload, EnsureDetectableGuaranteesACut) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    RandomSpec spec;
+    spec.num_processes = 6;
+    spec.num_predicate = 4;
+    spec.local_pred_prob = 0.0;  // only the forced final marks
+    spec.ensure_detectable = true;
+    spec.seed = seed;
+    const auto c = make_random(spec);
+    EXPECT_TRUE(c.first_wcp_cut().has_value()) << "seed " << seed;
+  }
+}
+
+TEST(RandomWorkload, FullDrainDeliversEverything) {
+  RandomSpec spec;
+  spec.drain_prob = 1.0;
+  spec.seed = 9;
+  const auto c = make_random(spec);
+  for (const auto& m : c.messages()) EXPECT_TRUE(m.delivered());
+}
+
+TEST(RandomWorkload, RandomSubsetSelectsExactlyN) {
+  RandomSpec spec;
+  spec.num_processes = 10;
+  spec.num_predicate = 4;
+  spec.random_predicate_subset = true;
+  spec.seed = 5;
+  const auto c = make_random(spec);
+  EXPECT_EQ(c.predicate_processes().size(), 4u);
+}
+
+TEST(RandomWorkload, SingleProcessEdgeCase) {
+  RandomSpec spec;
+  spec.num_processes = 1;
+  spec.num_predicate = 1;
+  spec.local_pred_prob = 1.0;
+  const auto c = make_random(spec);
+  EXPECT_EQ(c.num_processes(), 1u);
+  const auto cut = c.first_wcp_cut();
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(*cut, (std::vector<StateIndex>{1}));
+}
+
+TEST(RandomWorkload, RejectsBadSpecs) {
+  RandomSpec spec;
+  spec.num_predicate = 0;
+  EXPECT_THROW(make_random(spec), std::invalid_argument);
+  spec.num_predicate = 9;
+  spec.num_processes = 8;
+  EXPECT_THROW(make_random(spec), std::invalid_argument);
+}
+
+TEST(MutexWorkload, CleanRunsNeverViolate) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    MutexSpec spec;
+    spec.num_clients = 3;
+    spec.rounds_per_client = 6;
+    spec.violation_prob = 0.0;
+    spec.seed = seed;
+    const auto mc = make_mutex(spec);
+    EXPECT_FALSE(mc.violation_injected);
+    EXPECT_FALSE(mc.computation.first_wcp_cut().has_value())
+        << "false mutual-exclusion violation, seed " << seed;
+  }
+}
+
+TEST(MutexWorkload, InjectedViolationIsDetectable) {
+  MutexSpec spec;
+  spec.num_clients = 3;
+  spec.rounds_per_client = 8;
+  spec.violation_prob = 0.5;
+  spec.seed = 3;
+  const auto mc = make_mutex(spec);
+  ASSERT_TRUE(mc.violation_injected);
+  const auto cut = mc.computation.first_wcp_cut();
+  ASSERT_TRUE(cut.has_value());
+  // The cut states really are pairwise concurrent critical sections.
+  const auto preds = mc.computation.predicate_processes();
+  EXPECT_TRUE(mc.computation.is_consistent_cut(preds, *cut));
+  for (std::size_t s = 0; s < preds.size(); ++s)
+    EXPECT_TRUE(mc.computation.local_pred(preds[s], (*cut)[s]));
+}
+
+TEST(MutexWorkload, ViolationIffDetection) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    MutexSpec spec;
+    spec.num_clients = 2;
+    spec.rounds_per_client = 5;
+    spec.violation_prob = 0.25;
+    spec.seed = seed;
+    const auto mc = make_mutex(spec);
+    EXPECT_EQ(mc.computation.first_wcp_cut().has_value(),
+              mc.violation_injected)
+        << "seed " << seed;
+  }
+}
+
+TEST(MutexWorkload, PredicateCoversClientsOnly) {
+  MutexSpec spec;
+  spec.num_clients = 4;
+  const auto mc = make_mutex(spec);
+  EXPECT_EQ(mc.computation.num_processes(), 5u);  // clients + server
+  EXPECT_EQ(mc.computation.predicate_processes().size(), 4u);
+  EXPECT_EQ(mc.computation.predicate_slot(ProcessId(4)), -1);  // server
+}
+
+TEST(DbWorkload, CleanRunsNeverViolate) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    DbSpec spec;
+    spec.violation_prob = 0.0;
+    spec.seed = seed;
+    const auto db = make_db(spec);
+    EXPECT_FALSE(db.violation_injected);
+    EXPECT_FALSE(db.computation.first_wcp_cut().has_value())
+        << "false 2PL violation, seed " << seed;
+  }
+}
+
+TEST(DbWorkload, ViolationIffDetection) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    DbSpec spec;
+    spec.num_readers = 2;
+    spec.num_writers = 2;
+    spec.rounds = 6;
+    spec.violation_prob = 0.3;
+    spec.seed = seed;
+    const auto db = make_db(spec);
+    EXPECT_EQ(db.computation.first_wcp_cut().has_value(),
+              db.violation_injected)
+        << "seed " << seed;
+  }
+}
+
+TEST(DbWorkload, ShapeAndPredicate) {
+  DbSpec spec;
+  spec.num_readers = 3;
+  spec.num_writers = 2;
+  const auto db = make_db(spec);
+  EXPECT_EQ(db.computation.num_processes(), 6u);
+  const auto preds = db.computation.predicate_processes();
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_EQ(preds[0], ProcessId(0));  // tracked reader
+  EXPECT_EQ(preds[1], ProcessId(3));  // tracked writer
+}
+
+}  // namespace
+}  // namespace wcp::workload
