@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_centralized.dir/bench_centralized.cc.o"
+  "CMakeFiles/bench_centralized.dir/bench_centralized.cc.o.d"
+  "bench_centralized"
+  "bench_centralized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_centralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

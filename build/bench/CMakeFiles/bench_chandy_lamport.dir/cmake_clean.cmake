@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chandy_lamport.dir/bench_chandy_lamport.cc.o"
+  "CMakeFiles/bench_chandy_lamport.dir/bench_chandy_lamport.cc.o.d"
+  "bench_chandy_lamport"
+  "bench_chandy_lamport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chandy_lamport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

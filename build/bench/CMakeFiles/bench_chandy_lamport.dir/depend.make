@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_chandy_lamport.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crossover.dir/bench_crossover.cc.o"
+  "CMakeFiles/bench_crossover.dir/bench_crossover.cc.o.d"
+  "bench_crossover"
+  "bench_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_direct_dep.dir/bench_direct_dep.cc.o"
+  "CMakeFiles/bench_direct_dep.dir/bench_direct_dep.cc.o.d"
+  "bench_direct_dep"
+  "bench_direct_dep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_direct_dep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

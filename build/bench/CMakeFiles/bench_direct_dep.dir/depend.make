@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_direct_dep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gcp.dir/bench_gcp.cc.o"
+  "CMakeFiles/bench_gcp.dir/bench_gcp.cc.o.d"
+  "bench_gcp"
+  "bench_gcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

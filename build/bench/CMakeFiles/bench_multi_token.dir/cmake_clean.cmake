@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_token.dir/bench_multi_token.cc.o"
+  "CMakeFiles/bench_multi_token.dir/bench_multi_token.cc.o.d"
+  "bench_multi_token"
+  "bench_multi_token.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_token.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_multi_token.
+# This may be replaced when dependencies are built.

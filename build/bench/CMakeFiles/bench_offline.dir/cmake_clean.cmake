@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_offline.dir/bench_offline.cc.o"
+  "CMakeFiles/bench_offline.dir/bench_offline.cc.o.d"
+  "bench_offline"
+  "bench_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

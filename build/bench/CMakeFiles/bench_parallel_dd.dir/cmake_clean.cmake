@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_dd.dir/bench_parallel_dd.cc.o"
+  "CMakeFiles/bench_parallel_dd.dir/bench_parallel_dd.cc.o.d"
+  "bench_parallel_dd"
+  "bench_parallel_dd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

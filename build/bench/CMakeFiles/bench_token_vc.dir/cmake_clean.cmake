@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_token_vc.dir/bench_token_vc.cc.o"
+  "CMakeFiles/bench_token_vc.dir/bench_token_vc.cc.o.d"
+  "bench_token_vc"
+  "bench_token_vc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_token_vc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

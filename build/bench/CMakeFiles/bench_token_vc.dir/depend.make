@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_token_vc.
+# This may be replaced when dependencies are built.

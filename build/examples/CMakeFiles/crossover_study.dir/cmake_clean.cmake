@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossover_study.dir/crossover_study.cpp.o"
+  "CMakeFiles/crossover_study.dir/crossover_study.cpp.o.d"
+  "crossover_study"
+  "crossover_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossover_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_locking.dir/db_locking.cpp.o"
+  "CMakeFiles/db_locking.dir/db_locking.cpp.o.d"
+  "db_locking"
+  "db_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

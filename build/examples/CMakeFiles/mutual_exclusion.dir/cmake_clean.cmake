@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutual_exclusion.dir/mutual_exclusion.cpp.o"
+  "CMakeFiles/mutual_exclusion.dir/mutual_exclusion.cpp.o.d"
+  "mutual_exclusion"
+  "mutual_exclusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutual_exclusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

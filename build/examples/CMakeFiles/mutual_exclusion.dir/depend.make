@@ -1,0 +1,2 @@
+# Empty dependencies file for mutual_exclusion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/termination_detection.dir/termination_detection.cpp.o"
+  "CMakeFiles/termination_detection.dir/termination_detection.cpp.o.d"
+  "termination_detection"
+  "termination_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/termination_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcp_cli.dir/wcp_cli.cpp.o"
+  "CMakeFiles/wcp_cli.dir/wcp_cli.cpp.o.d"
+  "wcp_cli"
+  "wcp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

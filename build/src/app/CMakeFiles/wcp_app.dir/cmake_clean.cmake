@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcp_app.dir/app_driver.cc.o"
+  "CMakeFiles/wcp_app.dir/app_driver.cc.o.d"
+  "CMakeFiles/wcp_app.dir/instrument.cc.o"
+  "CMakeFiles/wcp_app.dir/instrument.cc.o.d"
+  "libwcp_app.a"
+  "libwcp_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcp_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

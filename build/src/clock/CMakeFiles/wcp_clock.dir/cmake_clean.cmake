@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcp_clock.dir/dependence.cc.o"
+  "CMakeFiles/wcp_clock.dir/dependence.cc.o.d"
+  "CMakeFiles/wcp_clock.dir/vector_clock.cc.o"
+  "CMakeFiles/wcp_clock.dir/vector_clock.cc.o.d"
+  "libwcp_clock.a"
+  "libwcp_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcp_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcp_common.dir/error.cc.o"
+  "CMakeFiles/wcp_common.dir/error.cc.o.d"
+  "CMakeFiles/wcp_common.dir/logging.cc.o"
+  "CMakeFiles/wcp_common.dir/logging.cc.o.d"
+  "CMakeFiles/wcp_common.dir/metrics.cc.o"
+  "CMakeFiles/wcp_common.dir/metrics.cc.o.d"
+  "CMakeFiles/wcp_common.dir/rng.cc.o"
+  "CMakeFiles/wcp_common.dir/rng.cc.o.d"
+  "CMakeFiles/wcp_common.dir/types.cc.o"
+  "CMakeFiles/wcp_common.dir/types.cc.o.d"
+  "libwcp_common.a"
+  "libwcp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/boolean.cc" "src/detect/CMakeFiles/wcp_detect.dir/boolean.cc.o" "gcc" "src/detect/CMakeFiles/wcp_detect.dir/boolean.cc.o.d"
+  "/root/repo/src/detect/centralized.cc" "src/detect/CMakeFiles/wcp_detect.dir/centralized.cc.o" "gcc" "src/detect/CMakeFiles/wcp_detect.dir/centralized.cc.o.d"
+  "/root/repo/src/detect/chandy_lamport.cc" "src/detect/CMakeFiles/wcp_detect.dir/chandy_lamport.cc.o" "gcc" "src/detect/CMakeFiles/wcp_detect.dir/chandy_lamport.cc.o.d"
+  "/root/repo/src/detect/direct_dep.cc" "src/detect/CMakeFiles/wcp_detect.dir/direct_dep.cc.o" "gcc" "src/detect/CMakeFiles/wcp_detect.dir/direct_dep.cc.o.d"
+  "/root/repo/src/detect/gcp.cc" "src/detect/CMakeFiles/wcp_detect.dir/gcp.cc.o" "gcc" "src/detect/CMakeFiles/wcp_detect.dir/gcp.cc.o.d"
+  "/root/repo/src/detect/gcp_online.cc" "src/detect/CMakeFiles/wcp_detect.dir/gcp_online.cc.o" "gcc" "src/detect/CMakeFiles/wcp_detect.dir/gcp_online.cc.o.d"
+  "/root/repo/src/detect/lattice.cc" "src/detect/CMakeFiles/wcp_detect.dir/lattice.cc.o" "gcc" "src/detect/CMakeFiles/wcp_detect.dir/lattice.cc.o.d"
+  "/root/repo/src/detect/lattice_online.cc" "src/detect/CMakeFiles/wcp_detect.dir/lattice_online.cc.o" "gcc" "src/detect/CMakeFiles/wcp_detect.dir/lattice_online.cc.o.d"
+  "/root/repo/src/detect/lower_bound.cc" "src/detect/CMakeFiles/wcp_detect.dir/lower_bound.cc.o" "gcc" "src/detect/CMakeFiles/wcp_detect.dir/lower_bound.cc.o.d"
+  "/root/repo/src/detect/multi_token.cc" "src/detect/CMakeFiles/wcp_detect.dir/multi_token.cc.o" "gcc" "src/detect/CMakeFiles/wcp_detect.dir/multi_token.cc.o.d"
+  "/root/repo/src/detect/offline.cc" "src/detect/CMakeFiles/wcp_detect.dir/offline.cc.o" "gcc" "src/detect/CMakeFiles/wcp_detect.dir/offline.cc.o.d"
+  "/root/repo/src/detect/relational.cc" "src/detect/CMakeFiles/wcp_detect.dir/relational.cc.o" "gcc" "src/detect/CMakeFiles/wcp_detect.dir/relational.cc.o.d"
+  "/root/repo/src/detect/result.cc" "src/detect/CMakeFiles/wcp_detect.dir/result.cc.o" "gcc" "src/detect/CMakeFiles/wcp_detect.dir/result.cc.o.d"
+  "/root/repo/src/detect/token_vc.cc" "src/detect/CMakeFiles/wcp_detect.dir/token_vc.cc.o" "gcc" "src/detect/CMakeFiles/wcp_detect.dir/token_vc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/wcp_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/predicate/CMakeFiles/wcp_predicate.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wcp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/wcp_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

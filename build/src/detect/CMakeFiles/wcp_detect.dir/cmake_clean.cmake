@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcp_detect.dir/boolean.cc.o"
+  "CMakeFiles/wcp_detect.dir/boolean.cc.o.d"
+  "CMakeFiles/wcp_detect.dir/centralized.cc.o"
+  "CMakeFiles/wcp_detect.dir/centralized.cc.o.d"
+  "CMakeFiles/wcp_detect.dir/chandy_lamport.cc.o"
+  "CMakeFiles/wcp_detect.dir/chandy_lamport.cc.o.d"
+  "CMakeFiles/wcp_detect.dir/direct_dep.cc.o"
+  "CMakeFiles/wcp_detect.dir/direct_dep.cc.o.d"
+  "CMakeFiles/wcp_detect.dir/gcp.cc.o"
+  "CMakeFiles/wcp_detect.dir/gcp.cc.o.d"
+  "CMakeFiles/wcp_detect.dir/gcp_online.cc.o"
+  "CMakeFiles/wcp_detect.dir/gcp_online.cc.o.d"
+  "CMakeFiles/wcp_detect.dir/lattice.cc.o"
+  "CMakeFiles/wcp_detect.dir/lattice.cc.o.d"
+  "CMakeFiles/wcp_detect.dir/lattice_online.cc.o"
+  "CMakeFiles/wcp_detect.dir/lattice_online.cc.o.d"
+  "CMakeFiles/wcp_detect.dir/lower_bound.cc.o"
+  "CMakeFiles/wcp_detect.dir/lower_bound.cc.o.d"
+  "CMakeFiles/wcp_detect.dir/multi_token.cc.o"
+  "CMakeFiles/wcp_detect.dir/multi_token.cc.o.d"
+  "CMakeFiles/wcp_detect.dir/offline.cc.o"
+  "CMakeFiles/wcp_detect.dir/offline.cc.o.d"
+  "CMakeFiles/wcp_detect.dir/relational.cc.o"
+  "CMakeFiles/wcp_detect.dir/relational.cc.o.d"
+  "CMakeFiles/wcp_detect.dir/result.cc.o"
+  "CMakeFiles/wcp_detect.dir/result.cc.o.d"
+  "CMakeFiles/wcp_detect.dir/token_vc.cc.o"
+  "CMakeFiles/wcp_detect.dir/token_vc.cc.o.d"
+  "libwcp_detect.a"
+  "libwcp_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcp_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

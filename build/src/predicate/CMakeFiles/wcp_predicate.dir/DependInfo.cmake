@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predicate/expr.cc" "src/predicate/CMakeFiles/wcp_predicate.dir/expr.cc.o" "gcc" "src/predicate/CMakeFiles/wcp_predicate.dir/expr.cc.o.d"
+  "/root/repo/src/predicate/program.cc" "src/predicate/CMakeFiles/wcp_predicate.dir/program.cc.o" "gcc" "src/predicate/CMakeFiles/wcp_predicate.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/wcp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wcp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/wcp_clock.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

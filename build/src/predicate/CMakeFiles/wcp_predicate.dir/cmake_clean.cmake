@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcp_predicate.dir/expr.cc.o"
+  "CMakeFiles/wcp_predicate.dir/expr.cc.o.d"
+  "CMakeFiles/wcp_predicate.dir/program.cc.o"
+  "CMakeFiles/wcp_predicate.dir/program.cc.o.d"
+  "libwcp_predicate.a"
+  "libwcp_predicate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcp_predicate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcp_sim.dir/address.cc.o"
+  "CMakeFiles/wcp_sim.dir/address.cc.o.d"
+  "CMakeFiles/wcp_sim.dir/latency.cc.o"
+  "CMakeFiles/wcp_sim.dir/latency.cc.o.d"
+  "CMakeFiles/wcp_sim.dir/network.cc.o"
+  "CMakeFiles/wcp_sim.dir/network.cc.o.d"
+  "CMakeFiles/wcp_sim.dir/simulator.cc.o"
+  "CMakeFiles/wcp_sim.dir/simulator.cc.o.d"
+  "libwcp_sim.a"
+  "libwcp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

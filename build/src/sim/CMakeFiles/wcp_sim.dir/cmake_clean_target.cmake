@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwcp_sim.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/computation.cc" "src/trace/CMakeFiles/wcp_trace.dir/computation.cc.o" "gcc" "src/trace/CMakeFiles/wcp_trace.dir/computation.cc.o.d"
+  "/root/repo/src/trace/diagram.cc" "src/trace/CMakeFiles/wcp_trace.dir/diagram.cc.o" "gcc" "src/trace/CMakeFiles/wcp_trace.dir/diagram.cc.o.d"
+  "/root/repo/src/trace/dot_export.cc" "src/trace/CMakeFiles/wcp_trace.dir/dot_export.cc.o" "gcc" "src/trace/CMakeFiles/wcp_trace.dir/dot_export.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/wcp_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/wcp_trace.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clock/CMakeFiles/wcp_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcp_trace.dir/computation.cc.o"
+  "CMakeFiles/wcp_trace.dir/computation.cc.o.d"
+  "CMakeFiles/wcp_trace.dir/diagram.cc.o"
+  "CMakeFiles/wcp_trace.dir/diagram.cc.o.d"
+  "CMakeFiles/wcp_trace.dir/dot_export.cc.o"
+  "CMakeFiles/wcp_trace.dir/dot_export.cc.o.d"
+  "CMakeFiles/wcp_trace.dir/trace_io.cc.o"
+  "CMakeFiles/wcp_trace.dir/trace_io.cc.o.d"
+  "libwcp_trace.a"
+  "libwcp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/db_workload.cc" "src/workload/CMakeFiles/wcp_workload.dir/db_workload.cc.o" "gcc" "src/workload/CMakeFiles/wcp_workload.dir/db_workload.cc.o.d"
+  "/root/repo/src/workload/mutex_workload.cc" "src/workload/CMakeFiles/wcp_workload.dir/mutex_workload.cc.o" "gcc" "src/workload/CMakeFiles/wcp_workload.dir/mutex_workload.cc.o.d"
+  "/root/repo/src/workload/random_workload.cc" "src/workload/CMakeFiles/wcp_workload.dir/random_workload.cc.o" "gcc" "src/workload/CMakeFiles/wcp_workload.dir/random_workload.cc.o.d"
+  "/root/repo/src/workload/ring_workload.cc" "src/workload/CMakeFiles/wcp_workload.dir/ring_workload.cc.o" "gcc" "src/workload/CMakeFiles/wcp_workload.dir/ring_workload.cc.o.d"
+  "/root/repo/src/workload/termination_workload.cc" "src/workload/CMakeFiles/wcp_workload.dir/termination_workload.cc.o" "gcc" "src/workload/CMakeFiles/wcp_workload.dir/termination_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/wcp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wcp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/wcp_clock.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcp_workload.dir/db_workload.cc.o"
+  "CMakeFiles/wcp_workload.dir/db_workload.cc.o.d"
+  "CMakeFiles/wcp_workload.dir/mutex_workload.cc.o"
+  "CMakeFiles/wcp_workload.dir/mutex_workload.cc.o.d"
+  "CMakeFiles/wcp_workload.dir/random_workload.cc.o"
+  "CMakeFiles/wcp_workload.dir/random_workload.cc.o.d"
+  "CMakeFiles/wcp_workload.dir/ring_workload.cc.o"
+  "CMakeFiles/wcp_workload.dir/ring_workload.cc.o.d"
+  "CMakeFiles/wcp_workload.dir/termination_workload.cc.o"
+  "CMakeFiles/wcp_workload.dir/termination_workload.cc.o.d"
+  "libwcp_workload.a"
+  "libwcp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agreement_property_test.dir/agreement_property_test.cc.o"
+  "CMakeFiles/agreement_property_test.dir/agreement_property_test.cc.o.d"
+  "agreement_property_test"
+  "agreement_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agreement_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

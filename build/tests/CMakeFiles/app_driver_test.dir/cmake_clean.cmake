@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_driver_test.dir/app_driver_test.cc.o"
+  "CMakeFiles/app_driver_test.dir/app_driver_test.cc.o.d"
+  "app_driver_test"
+  "app_driver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

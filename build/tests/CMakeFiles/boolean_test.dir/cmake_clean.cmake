@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boolean_test.dir/boolean_test.cc.o"
+  "CMakeFiles/boolean_test.dir/boolean_test.cc.o.d"
+  "boolean_test"
+  "boolean_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boolean_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breakpoint_test.dir/breakpoint_test.cc.o"
+  "CMakeFiles/breakpoint_test.dir/breakpoint_test.cc.o.d"
+  "breakpoint_test"
+  "breakpoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breakpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

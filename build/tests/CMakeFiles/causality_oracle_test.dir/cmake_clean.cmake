@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causality_oracle_test.dir/causality_oracle_test.cc.o"
+  "CMakeFiles/causality_oracle_test.dir/causality_oracle_test.cc.o.d"
+  "causality_oracle_test"
+  "causality_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causality_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

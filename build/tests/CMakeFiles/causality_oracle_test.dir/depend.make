@@ -1,0 +1,2 @@
+# Empty dependencies file for causality_oracle_test.
+# This may be replaced when dependencies are built.

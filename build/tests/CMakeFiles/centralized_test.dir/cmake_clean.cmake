@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centralized_test.dir/centralized_test.cc.o"
+  "CMakeFiles/centralized_test.dir/centralized_test.cc.o.d"
+  "centralized_test"
+  "centralized_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centralized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

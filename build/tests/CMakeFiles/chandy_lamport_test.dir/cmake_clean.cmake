@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chandy_lamport_test.dir/chandy_lamport_test.cc.o"
+  "CMakeFiles/chandy_lamport_test.dir/chandy_lamport_test.cc.o.d"
+  "chandy_lamport_test"
+  "chandy_lamport_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chandy_lamport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

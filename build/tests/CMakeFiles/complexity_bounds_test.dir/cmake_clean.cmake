@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complexity_bounds_test.dir/complexity_bounds_test.cc.o"
+  "CMakeFiles/complexity_bounds_test.dir/complexity_bounds_test.cc.o.d"
+  "complexity_bounds_test"
+  "complexity_bounds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complexity_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_test.dir/compression_test.cc.o"
+  "CMakeFiles/compression_test.dir/compression_test.cc.o.d"
+  "compression_test"
+  "compression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

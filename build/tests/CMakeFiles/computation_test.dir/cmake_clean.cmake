@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/computation_test.dir/computation_test.cc.o"
+  "CMakeFiles/computation_test.dir/computation_test.cc.o.d"
+  "computation_test"
+  "computation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/computation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/definitely_test.dir/definitely_test.cc.o"
+  "CMakeFiles/definitely_test.dir/definitely_test.cc.o.d"
+  "definitely_test"
+  "definitely_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/definitely_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagram_test.dir/diagram_test.cc.o"
+  "CMakeFiles/diagram_test.dir/diagram_test.cc.o.d"
+  "diagram_test"
+  "diagram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

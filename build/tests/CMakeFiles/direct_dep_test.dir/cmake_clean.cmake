@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/direct_dep_test.dir/direct_dep_test.cc.o"
+  "CMakeFiles/direct_dep_test.dir/direct_dep_test.cc.o.d"
+  "direct_dep_test"
+  "direct_dep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/direct_dep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

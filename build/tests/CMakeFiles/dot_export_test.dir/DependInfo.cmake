@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dot_export_test.cc" "tests/CMakeFiles/dot_export_test.dir/dot_export_test.cc.o" "gcc" "tests/CMakeFiles/dot_export_test.dir/dot_export_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detect/CMakeFiles/wcp_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/wcp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/predicate/CMakeFiles/wcp_predicate.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/wcp_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wcp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/wcp_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

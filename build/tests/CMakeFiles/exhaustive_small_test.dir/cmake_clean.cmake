@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhaustive_small_test.dir/exhaustive_small_test.cc.o"
+  "CMakeFiles/exhaustive_small_test.dir/exhaustive_small_test.cc.o.d"
+  "exhaustive_small_test"
+  "exhaustive_small_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhaustive_small_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_fuzz_test.dir/expr_fuzz_test.cc.o"
+  "CMakeFiles/expr_fuzz_test.dir/expr_fuzz_test.cc.o.d"
+  "expr_fuzz_test"
+  "expr_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_test.dir/expr_test.cc.o"
+  "CMakeFiles/expr_test.dir/expr_test.cc.o.d"
+  "expr_test"
+  "expr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcp_online_test.dir/gcp_online_test.cc.o"
+  "CMakeFiles/gcp_online_test.dir/gcp_online_test.cc.o.d"
+  "gcp_online_test"
+  "gcp_online_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcp_online_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

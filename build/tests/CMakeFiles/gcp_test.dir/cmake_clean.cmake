@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcp_test.dir/gcp_test.cc.o"
+  "CMakeFiles/gcp_test.dir/gcp_test.cc.o.d"
+  "gcp_test"
+  "gcp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrument_test.dir/instrument_test.cc.o"
+  "CMakeFiles/instrument_test.dir/instrument_test.cc.o.d"
+  "instrument_test"
+  "instrument_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrument_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

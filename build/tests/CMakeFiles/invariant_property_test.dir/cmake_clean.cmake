@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invariant_property_test.dir/invariant_property_test.cc.o"
+  "CMakeFiles/invariant_property_test.dir/invariant_property_test.cc.o.d"
+  "invariant_property_test"
+  "invariant_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invariant_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

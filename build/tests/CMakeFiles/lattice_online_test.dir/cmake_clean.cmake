@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_online_test.dir/lattice_online_test.cc.o"
+  "CMakeFiles/lattice_online_test.dir/lattice_online_test.cc.o.d"
+  "lattice_online_test"
+  "lattice_online_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_online_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

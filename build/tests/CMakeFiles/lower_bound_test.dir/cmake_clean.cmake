@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lower_bound_test.dir/lower_bound_test.cc.o"
+  "CMakeFiles/lower_bound_test.dir/lower_bound_test.cc.o.d"
+  "lower_bound_test"
+  "lower_bound_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lower_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misc_coverage_test.dir/misc_coverage_test.cc.o"
+  "CMakeFiles/misc_coverage_test.dir/misc_coverage_test.cc.o.d"
+  "misc_coverage_test"
+  "misc_coverage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misc_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_token_test.dir/multi_token_test.cc.o"
+  "CMakeFiles/multi_token_test.dir/multi_token_test.cc.o.d"
+  "multi_token_test"
+  "multi_token_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_token_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

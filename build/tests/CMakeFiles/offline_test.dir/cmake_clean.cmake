@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_test.dir/offline_test.cc.o"
+  "CMakeFiles/offline_test.dir/offline_test.cc.o.d"
+  "offline_test"
+  "offline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_test.dir/program_test.cc.o"
+  "CMakeFiles/program_test.dir/program_test.cc.o.d"
+  "program_test"
+  "program_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_workload_test.dir/ring_workload_test.cc.o"
+  "CMakeFiles/ring_workload_test.dir/ring_workload_test.cc.o.d"
+  "ring_workload_test"
+  "ring_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

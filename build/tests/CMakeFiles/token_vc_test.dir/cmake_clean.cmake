@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_vc_test.dir/token_vc_test.cc.o"
+  "CMakeFiles/token_vc_test.dir/token_vc_test.cc.o.d"
+  "token_vc_test"
+  "token_vc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_vc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_clock_test.dir/vector_clock_test.cc.o"
+  "CMakeFiles/vector_clock_test.dir/vector_clock_test.cc.o.d"
+  "vector_clock_test"
+  "vector_clock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
