@@ -40,6 +40,19 @@ void BM_Centralized_VsToken(benchmark::State& state) {
   state.counters["token_max_work"] = tmax;
   state.counters["distribution_gain"] = tmax > 0 ? cw / tmax : 0;
   state.counters["work_ratio"] = cw > 0 ? tw / cw : 0;
+
+  // ratio = token total / checker total: the §6 "constant factor".
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(comp.num_processes());
+  rp.n = static_cast<std::int64_t>(n);
+  rp.m = static_cast<std::int64_t>(m);
+  rp.seed = 41 + n;
+  report_run(state, "E9_centralized", rp,
+             {{"checker_work", cw},
+              {"token_total_work", tw},
+              {"token_max_work", tmax},
+              {"distribution_gain", tmax > 0 ? cw / tmax : 0}},
+             cw, cw > 0 ? std::optional<double>(tw / cw) : std::nullopt);
 }
 BENCHMARK(BM_Centralized_VsToken)->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
 

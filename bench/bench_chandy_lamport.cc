@@ -6,6 +6,7 @@
 // rounds is ~N^2 markers per round.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "detect/chandy_lamport.h"
 #include "detect/gcp_online.h"
 #include "workload/termination_workload.h"
@@ -56,6 +57,27 @@ void BM_ClVsGcp_Termination(benchmark::State& state) {
           ? static_cast<double>(cl_result.detect_time) /
                 static_cast<double>(gcp_result.detect_time)
           : 0;
+
+  // ratio = CL detection lag over the online GCP checker on the same run;
+  // the snapshot period rides in the bench id (N is fixed).
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(N);
+  rp.n = static_cast<std::int64_t>(N);
+  rp.m = static_cast<std::int64_t>(period);
+  rp.seed = 77;
+  report_run(
+      state, "E13_chandy_lamport/period=" + std::to_string(period), rp,
+      {{"cl_detect_time", static_cast<double>(cl_result.detect_time)},
+       {"gcp_detect_time", static_cast<double>(gcp_result.detect_time)},
+       {"cl_rounds", static_cast<double>(cl_result.snapshots.size())},
+       {"cl_control_msgs",
+        static_cast<double>(
+            cl_result.app_metrics.total_messages(MsgKind::kControl))}},
+      static_cast<double>(gcp_result.detect_time),
+      gcp_result.detect_time > 0
+          ? std::optional<double>(static_cast<double>(cl_result.detect_time) /
+                                  static_cast<double>(gcp_result.detect_time))
+          : std::nullopt);
 }
 BENCHMARK(BM_ClVsGcp_Termination)->Arg(5)->Arg(20)->Arg(80)->Arg(320);
 

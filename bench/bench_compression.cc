@@ -42,6 +42,18 @@ void BM_ClockCompression(benchmark::State& state) {
   state.counters["packed_app_bits"] = kb;
   state.counters["dd_app_bits"] = db;
   state.counters["compression_ratio"] = pb / kb;
+
+  // ratio = plain / compressed piggyback bits (grows with n).
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(comp.num_processes());
+  rp.n = static_cast<std::int64_t>(n);
+  rp.m = static_cast<std::int64_t>(comp.max_messages_per_process());
+  rp.seed = 13 + n;
+  report_run(state, "E11_compression", rp,
+             {{"plain_app_bits", pb},
+              {"packed_app_bits", kb},
+              {"dd_app_bits", db}},
+             pb, pb / kb);
 }
 BENCHMARK(BM_ClockCompression)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 

@@ -45,6 +45,21 @@ void BM_Crossover_SweepPredicateWidth(benchmark::State& state) {
   state.counters["dd_work"] = dw;
   state.counters["token_over_dd_work"] = tw / dw;
   state.counters["token_over_dd_bits"] = tbits / dbits;
+
+  // ratio = token work / dd work: crosses 1 near n ~ sqrt(N) (§1, §6).
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(N);
+  rp.n = static_cast<std::int64_t>(n);
+  rp.m = static_cast<std::int64_t>(m);
+  rp.seed = 17;
+  report_run(state, "E5_crossover", rp,
+             {{"token_work", tw},
+              {"dd_work", dw},
+              {"token_bits", tbits},
+              {"dd_bits", dbits},
+              {"n2_over_N", static_cast<double>(n) * static_cast<double>(n) /
+                                static_cast<double>(N)}},
+             dw, tw / dw);
 }
 BENCHMARK(BM_Crossover_SweepPredicateWidth)
     ->Args({24, 2})

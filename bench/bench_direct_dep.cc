@@ -41,6 +41,14 @@ void run_case(benchmark::State& state, std::size_t clients,
   state.counters["work_per_Nm"] = total / (Nd * m);
   state.counters["maxwork_per_m"] = mx / m;
   state.counters["msgs_per_3Nm"] = msgs / (3.0 * Nd * m);
+
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(N);
+  rp.n = static_cast<std::int64_t>(clients);
+  rp.m = static_cast<std::int64_t>(m);
+  rp.seed = 5 + clients;
+  const double bound = Nd * m;  // §4.4: O(Nm) total work
+  report_run(state, "E4_direct_dep", rp, last, bound, total / bound);
 }
 
 void BM_DirectDep_SweepN(benchmark::State& state) {

@@ -10,6 +10,7 @@
 //   work_per_snapshot  checker work normalized by input size (~flat)
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "detect/gcp_online.h"
 #include "workload/termination_workload.h"
 
@@ -51,6 +52,21 @@ void BM_GcpTermination(benchmark::State& state) {
       snaps > 0
           ? static_cast<double>(last.monitor_metrics.total_work()) / snaps
           : 0;
+
+  // ratio = checker work per snapshot, normalized by N (should stay ~flat:
+  // each head evaluation touches N-1 peers' channel predicates).
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(N);
+  rp.n = static_cast<std::int64_t>(N);
+  rp.m = static_cast<std::int64_t>(snaps);
+  rp.seed = 29 + N;
+  const double bound = snaps * static_cast<double>(N);
+  report_run(state, "E12_gcp", rp, last, bound,
+             bound > 0 ? std::optional<double>(
+                             static_cast<double>(
+                                 last.monitor_metrics.total_work()) /
+                             bound)
+                       : std::nullopt);
 }
 BENCHMARK(BM_GcpTermination)->Arg(3)->Arg(5)->Arg(8)->Arg(12)->Arg(16);
 

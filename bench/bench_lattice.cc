@@ -12,6 +12,8 @@
 //   lattice_cuts        consistent cuts the baseline explored
 //   token_work          the token algorithm's total work on the same run
 //   blowup              lattice_cuts / token_work
+#include <cmath>
+
 #include "bench_common.h"
 #include "detect/lattice.h"
 #include "detect/token_vc.h"
@@ -52,6 +54,24 @@ void BM_Lattice_Blowup(benchmark::State& state) {
   state.counters["blowup"] =
       static_cast<double>(lat.cuts_explored) /
       static_cast<double>(token.monitor_metrics.total_work());
+
+  // bound = states^n, the lattice size this workload forces the general
+  // baseline to explore; ratio ~1 certifies the blowup is really realized.
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(n);
+  rp.n = static_cast<std::int64_t>(n);
+  rp.m = states;
+  const double bound =
+      std::pow(static_cast<double>(states), static_cast<double>(n));
+  report_run(state, "E10_lattice", rp,
+             {{"lattice_cuts", static_cast<double>(lat.cuts_explored)},
+              {"lattice_frontier", static_cast<double>(lat.max_frontier)},
+              {"token_work",
+               static_cast<double>(token.monitor_metrics.total_work())},
+              {"blowup",
+               static_cast<double>(lat.cuts_explored) /
+                   static_cast<double>(token.monitor_metrics.total_work())}},
+             bound, static_cast<double>(lat.cuts_explored) / bound);
 }
 BENCHMARK(BM_Lattice_Blowup)
     ->Args({2, 10})

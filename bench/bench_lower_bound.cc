@@ -9,6 +9,7 @@
 //   deletions_per_bound   >= 1.0 always (the theorem), ~1.0 here
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "detect/lower_bound.h"
 
 namespace wcp::bench {
@@ -31,6 +32,16 @@ void BM_LowerBound_AdversaryGame(benchmark::State& state) {
   state.counters["bound_nm_minus_n"] = static_cast<double>(out.bound);
   state.counters["deletions_per_bound"] =
       static_cast<double>(out.deletions) / static_cast<double>(out.bound);
+
+  detect::ReportParams rp;
+  rp.n = n;
+  rp.m = m;
+  report_run(state, "E8_lower_bound", rp,
+             {{"steps", static_cast<double>(out.steps)},
+              {"deletions", static_cast<double>(out.deletions)}},
+             static_cast<double>(out.bound),  // Theorem 5.1: nm - n
+             static_cast<double>(out.deletions) /
+                 static_cast<double>(out.bound));
 }
 BENCHMARK(BM_LowerBound_AdversaryGame)
     ->Args({2, 100})

@@ -44,6 +44,14 @@ void BM_TokenVc_Messages(benchmark::State& state) {
   state.counters["snapshots"] = snaps;
   state.counters["msgs_per_2mn"] = (tokens + snaps) / (2.0 * m * nd);
   state.counters["bits_per_n2m"] = bits / (nd * nd * m * 64.0);
+
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(comp.num_processes());
+  rp.n = static_cast<std::int64_t>(n);
+  rp.m = static_cast<std::int64_t>(m);
+  rp.seed = 7 + n;
+  const double bound = 2.0 * m * nd;  // §3.4: at most 2mn monitor messages
+  report_run(state, "E2_messages", rp, last, bound, (tokens + snaps) / bound);
 }
 BENCHMARK(BM_TokenVc_Messages)
     ->Args({2, 20})

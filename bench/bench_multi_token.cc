@@ -51,6 +51,18 @@ void BM_MultiToken_SweepGroups(benchmark::State& state) {
       static_cast<double>(last.monitor_metrics.total_work());
   state.counters["max_work_proc"] =
       static_cast<double>(last.monitor_metrics.max_work_per_process());
+
+  // One record per group count; g rides in the bench id so rows with equal
+  // (n, m) stay distinct in the summary.
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(comp.num_processes());
+  rp.n = static_cast<std::int64_t>(n);
+  rp.m = static_cast<std::int64_t>(m);
+  rp.seed = 23;
+  report_run(state,
+             g == 0 ? std::string("E6_multi_token/single")
+                    : "E6_multi_token/g=" + std::to_string(g),
+             rp, last, std::nullopt, std::nullopt);
 }
 // g == 0 encodes the plain single-token algorithm as the baseline row.
 BENCHMARK(BM_MultiToken_SweepGroups)

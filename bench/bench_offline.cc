@@ -32,6 +32,15 @@ void BM_Offline_TokenVc_Scale(benchmark::State& state) {
   state.counters["maxwork_per_nm"] =
       static_cast<double>(r.monitor_metrics.max_work_per_process()) /
       (nd * m);
+
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(comp.num_processes());
+  rp.n = static_cast<std::int64_t>(n);
+  rp.m = static_cast<std::int64_t>(m);
+  rp.seed = 3;
+  const double bound = nd * nd * m;
+  report_run(state, "E14_offline_token_vc", rp, r, bound,
+             static_cast<double>(r.monitor_metrics.total_work()) / bound);
 }
 BENCHMARK(BM_Offline_TokenVc_Scale)
     ->Args({16, 40})
@@ -61,6 +70,15 @@ void BM_Offline_DirectDep_Scale(benchmark::State& state) {
       static_cast<double>(r.monitor_metrics.total_work()) / (Nd * m);
   state.counters["maxwork_per_m"] =
       static_cast<double>(r.monitor_metrics.max_work_per_process()) / m;
+
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(comp.num_processes());
+  rp.n = static_cast<std::int64_t>(clients);
+  rp.m = static_cast<std::int64_t>(m);
+  rp.seed = 3;
+  const double bound = Nd * m;
+  report_run(state, "E14_offline_direct_dep", rp, r, bound,
+             static_cast<double>(r.monitor_metrics.total_work()) / bound);
 }
 BENCHMARK(BM_Offline_DirectDep_Scale)
     ->Args({16, 40})

@@ -40,6 +40,15 @@ void BM_DirectDep_SerialVsParallel(benchmark::State& state) {
                           : 0.0;
   state.counters["monitor_msgs"] =
       static_cast<double>(last.monitor_metrics.total_messages());
+
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(N);
+  rp.n = static_cast<std::int64_t>(clients);
+  rp.m = static_cast<std::int64_t>(m);
+  rp.seed = 3 + clients;
+  report_run(state,
+             parallel ? "E7_parallel_dd/parallel" : "E7_parallel_dd/serial",
+             rp, last, std::nullopt, std::nullopt);
 }
 BENCHMARK(BM_DirectDep_SerialVsParallel)
     ->Args({0, 4})

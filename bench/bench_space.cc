@@ -51,6 +51,17 @@ void BM_Space_TokenVsChecker(benchmark::State& state) {
   state.counters["concentration"] = chk_peak / mon_peak;
   state.counters["monitor_per_nm"] =
       mon_peak / (static_cast<double>(n) * m * 8.0);
+
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(comp.num_processes());
+  rp.n = static_cast<std::int64_t>(n);
+  rp.m = static_cast<std::int64_t>(m);
+  const double bound = static_cast<double>(n) * m * 8.0;  // §3.4: O(nm) words
+  report_run(state, "E3_space", rp,
+             {{"monitor_peak_bytes", mon_peak},
+              {"checker_peak_bytes", chk_peak},
+              {"concentration", chk_peak / mon_peak}},
+             bound, mon_peak / bound);
 }
 BENCHMARK(BM_Space_TokenVsChecker)
     ->Args({4, 20})

@@ -42,6 +42,14 @@ void run_case(benchmark::State& state, std::size_t n, std::int64_t rounds) {
   state.counters["work_per_n2m"] = total / (nd * nd * m);
   state.counters["maxwork_per_nm"] = mx / (nd * m);
   state.counters["token_hops"] = static_cast<double>(last.token_hops);
+
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(comp.num_processes());
+  rp.n = static_cast<std::int64_t>(n);
+  rp.m = static_cast<std::int64_t>(m);
+  rp.seed = 91 + n;
+  const double bound = nd * nd * m;  // §3.4: O(n^2 m) total work
+  report_run(state, "E1_token_vc", rp, last, bound, total / bound);
 }
 
 void BM_TokenVc_SweepN(benchmark::State& state) {

@@ -15,13 +15,16 @@
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 
+#include "common/json.h"
 #include "detect/centralized.h"
 #include "detect/lattice_online.h"
 #include "detect/direct_dep.h"
 #include "detect/lattice.h"
 #include "detect/multi_token.h"
+#include "detect/report.h"
 #include "detect/token_vc.h"
 #include "trace/diagram.h"
 #include "trace/dot_export.h"
@@ -37,13 +40,17 @@ struct Args {
   std::vector<std::string> positional;
 };
 
+/// Flags that never take a value (so `--json in.trace` does not swallow the
+/// trace path).
+bool is_boolean_flag(const std::string& key) { return key == "json"; }
+
 Args parse_args(int argc, char** argv) {
   Args a;
   for (int i = 1; i < argc; ++i) {
     std::string s = argv[i];
     if (s.rfind("--", 0) == 0) {
       const std::string key = s.substr(2);
-      if (i + 1 < argc) {
+      if (!is_boolean_flag(key) && i + 1 < argc) {
         a.flags[key] = argv[++i];
       } else {
         a.flags[key] = "";
@@ -80,7 +87,7 @@ int usage() {
       "                   [--pred-prob p] [--seed s] [--detectable 0|1]\n"
       "  wcp_cli detect   <in.trace> [--algo token|multi|dd|dd-par|checker|"
       "lattice|lattice-online|oracle]\n"
-      "                   [--groups g] [--seed s] [--halt 0|1]\n"
+      "                   [--groups g] [--seed s] [--halt 0|1] [--json]\n"
       "  wcp_cli info     <in.trace>\n"
       "  wcp_cli diagram  <in.trace> [--max-states k]\n"
       "  wcp_cli dot      <in.trace>\n";
@@ -153,18 +160,43 @@ int cmd_dot(const Args& a) {
   return 0;
 }
 
+detect::ReportParams report_params(const Computation& comp,
+                                   std::uint64_t seed) {
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(comp.num_processes());
+  rp.n = static_cast<std::int64_t>(comp.predicate_processes().size());
+  rp.m = comp.max_messages_per_process();
+  rp.seed = seed;
+  return rp;
+}
+
 int cmd_detect(const Args& a) {
   if (a.positional.size() < 2) return usage();
   const auto comp = load_trace_file(a.positional[1]);
   const std::string algo = flag_str(a, "algo", "token");
+  const bool as_json = a.flags.contains("json");
 
   detect::RunOptions opts;
   opts.seed = static_cast<std::uint64_t>(flag_int(a, "seed", 1));
   opts.latency = sim::LatencyModel::uniform(1, 6);
   opts.halt_on_detect = flag_int(a, "halt", 0) != 0;
+  const detect::ReportParams rp = report_params(comp, opts.seed);
+
+  const auto emit_flat =
+      [&](const std::vector<std::pair<std::string, double>>& metrics) {
+        json::Writer w(std::cout);
+        detect::write_run_report(w, "cli:" + algo, rp, metrics, std::nullopt,
+                                 std::nullopt);
+        std::cout << "\n";
+      };
 
   if (algo == "oracle") {
-    if (const auto cut = comp.first_wcp_cut()) {
+    const auto cut = comp.first_wcp_cut();
+    if (as_json) {
+      emit_flat({{"detected", cut ? 1.0 : 0.0}});
+      return 0;
+    }
+    if (cut) {
       std::cout << "oracle: DETECTED cut=";
       print_cut(*cut);
       std::cout << "\n";
@@ -173,46 +205,72 @@ int cmd_detect(const Args& a) {
     }
     return 0;
   }
-  if (algo == "lattice-online") {
-    const auto r = detect::run_lattice_online(comp, opts, 10'000'000);
-    std::cout << "lattice-online: "
-              << (r.detected ? "DETECTED" : "not-detected");
-    if (r.detected) {
-      std::cout << " cut=";
-      print_cut(r.cut);
+  if (algo == "lattice-online" || algo == "lattice") {
+    const auto report_lattice = [&](bool detected,
+                                    const std::vector<StateIndex>& cut,
+                                    std::int64_t cuts_explored,
+                                    bool truncated) {
+      if (as_json) {
+        emit_flat({{"detected", detected ? 1.0 : 0.0},
+                   {"cuts_explored", static_cast<double>(cuts_explored)},
+                   {"truncated", truncated ? 1.0 : 0.0}});
+        return;
+      }
+      std::cout << algo << ": " << (detected ? "DETECTED" : "not-detected");
+      if (detected) {
+        std::cout << " cut=";
+        print_cut(cut);
+      }
+      std::cout << " cuts_explored=" << cuts_explored
+                << (truncated ? " (truncated)" : "") << "\n";
+    };
+    if (algo == "lattice") {
+      const auto r = detect::detect_lattice(comp, 10'000'000);
+      report_lattice(r.detected, r.cut, r.cuts_explored, r.truncated);
+    } else {
+      const auto r = detect::run_lattice_online(comp, opts, 10'000'000);
+      report_lattice(r.detected, r.cut, r.cuts_explored, r.truncated);
     }
-    std::cout << " cuts_explored=" << r.cuts_explored
-              << (r.truncated ? " (truncated)" : "") << "\n";
-    return 0;
-  }
-  if (algo == "lattice") {
-    const auto r = detect::detect_lattice(comp, 10'000'000);
-    std::cout << "lattice: " << (r.detected ? "DETECTED" : "not-detected");
-    if (r.detected) {
-      std::cout << " cut=";
-      print_cut(r.cut);
-    }
-    std::cout << " cuts_explored=" << r.cuts_explored
-              << (r.truncated ? " (truncated)" : "") << "\n";
     return 0;
   }
 
   detect::DetectionResult r;
+  // The paper's work budget for the chosen algorithm: O(n^2 m) for the
+  // vector-clock family (§3.4), O(Nm) for direct dependence (§4.4).
+  double bound = 0;
+  const double nd = static_cast<double>(rp.n);
+  const double md = static_cast<double>(rp.m);
   if (algo == "token") {
     r = detect::run_token_vc(comp, opts);
+    bound = nd * nd * md;
   } else if (algo == "multi") {
     detect::MultiTokenOptions mt;
     mt.num_groups = static_cast<int>(flag_int(a, "groups", 2));
     r = detect::run_multi_token(comp, opts, mt);
+    bound = nd * nd * md;
   } else if (algo == "dd" || algo == "dd-par") {
     detect::DdRunOptions dd;
     dd.parallel = (algo == "dd-par");
     r = detect::run_direct_dep(comp, opts, dd);
+    bound = static_cast<double>(rp.N) * md;
   } else if (algo == "checker") {
     r = detect::run_centralized(comp, opts);
+    bound = nd * nd * md;
   } else {
     std::cerr << "unknown --algo '" << algo << "'\n";
     return usage();
+  }
+  if (as_json) {
+    const double work = static_cast<double>(r.monitor_metrics.total_work());
+    std::optional<double> ratio;
+    if (bound > 0) ratio = work / bound;
+    json::Writer w(std::cout);
+    detect::write_run_report(w, "cli:" + algo, rp, r,
+                             bound > 0 ? std::optional<double>(bound)
+                                       : std::nullopt,
+                             ratio);
+    std::cout << "\n";
+    return 0;
   }
   std::cout << algo << ": " << r << "\n";
   if (!r.frozen_cut.empty()) {

@@ -1,0 +1,408 @@
+#include "common/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace wcp::json {
+
+// ---- Writer ---------------------------------------------------------------
+
+void Writer::before_value() {
+  if (stack_.empty()) {
+    WCP_CHECK_MSG(!wrote_root_, "json::Writer: second root value");
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top.scope == Scope::kObject) {
+    // Inside an object a bare value is only legal right after key().
+    WCP_CHECK_MSG(key_pending_, "json::Writer: object member without a key");
+    key_pending_ = false;
+    return;
+  }
+  if (top.count++ > 0) os_ << ',';
+  if (indent_ > 0) {
+    os_ << '\n';
+    for (std::size_t i = 0; i < depth() * static_cast<std::size_t>(indent_); ++i)
+      os_ << ' ';
+  }
+}
+
+Writer& Writer::key(std::string_view k) {
+  WCP_CHECK_MSG(!stack_.empty() && stack_.back().scope == Scope::kObject,
+                "json::Writer: key() outside an object");
+  WCP_CHECK_MSG(!key_pending_, "json::Writer: two keys in a row");
+  Frame& top = stack_.back();
+  if (top.count++ > 0) os_ << ',';
+  if (indent_ > 0) {
+    os_ << '\n';
+    for (std::size_t i = 0; i < depth() * static_cast<std::size_t>(indent_); ++i)
+      os_ << ' ';
+  }
+  write_escaped(k);
+  os_ << (indent_ > 0 ? ": " : ":");
+  key_pending_ = true;
+  return *this;
+}
+
+void Writer::open(Scope s, char c) {
+  before_value();
+  os_ << c;
+  stack_.push_back(Frame{s});
+}
+
+void Writer::close(Scope s, char c) {
+  WCP_CHECK_MSG(!stack_.empty() && stack_.back().scope == s,
+                "json::Writer: mismatched container close");
+  WCP_CHECK_MSG(!key_pending_, "json::Writer: dangling key at close");
+  const std::size_t members = stack_.back().count;
+  stack_.pop_back();
+  if (indent_ > 0 && members > 0) {
+    os_ << '\n';
+    for (std::size_t i = 0; i < depth() * static_cast<std::size_t>(indent_); ++i)
+      os_ << ' ';
+  }
+  os_ << c;
+  if (stack_.empty()) wrote_root_ = true;
+}
+
+Writer& Writer::begin_object() { open(Scope::kObject, '{'); return *this; }
+Writer& Writer::end_object() { close(Scope::kObject, '}'); return *this; }
+Writer& Writer::begin_array() { open(Scope::kArray, '['); return *this; }
+Writer& Writer::end_array() { close(Scope::kArray, ']'); return *this; }
+
+Writer& Writer::value(std::nullptr_t) {
+  before_value();
+  os_ << "null";
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+Writer& Writer::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t v) {
+  before_value();
+  char buf[24];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  WCP_CHECK(ec == std::errc());
+  os_.write(buf, end - buf);
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t v) {
+  before_value();
+  char buf[24];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  WCP_CHECK(ec == std::errc());
+  os_.write(buf, end - buf);
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+Writer& Writer::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no Inf/NaN
+  } else {
+    // Shortest round-trip representation: deterministic across runs, exact
+    // on re-parse — the property the byte-identical-report guarantee needs.
+    char buf[32];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    WCP_CHECK(ec == std::errc());
+    os_.write(buf, end - buf);
+  }
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view v) {
+  before_value();
+  write_escaped(v);
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+Writer& Writer::raw(std::string_view rendered) {
+  before_value();
+  os_ << rendered;
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+void Writer::write_escaped(std::string_view s) {
+  os_ << '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\b': os_ << "\\b"; break;
+      case '\f': os_ << "\\f"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\r': os_ << "\\r"; break;
+      case '\t': os_ << "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os_ << buf;
+        } else {
+          os_ << static_cast<char>(c);  // UTF-8 passes through
+        }
+    }
+  }
+  os_ << '"';
+}
+
+// ---- Value ----------------------------------------------------------------
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double Value::as_number() const {
+  if (kind == Kind::kInt) return static_cast<double>(integer);
+  if (kind == Kind::kDouble) return number;
+  return 0.0;
+}
+
+bool Value::erase(std::string_view key) {
+  if (kind != Kind::kObject) return false;
+  for (auto it = object.begin(); it != object.end(); ++it) {
+    if (it->first == key) {
+      object.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Value::write(Writer& w) const {
+  switch (kind) {
+    case Kind::kNull: w.value(nullptr); break;
+    case Kind::kBool: w.value(boolean); break;
+    case Kind::kInt: w.value(integer); break;
+    case Kind::kDouble: w.value(number); break;
+    case Kind::kString: w.value(std::string_view(string)); break;
+    case Kind::kArray:
+      w.begin_array();
+      for (const Value& v : array) v.write(w);
+      w.end_array();
+      break;
+    case Kind::kObject:
+      w.begin_object();
+      for (const auto& [k, v] : object) {
+        w.key(k);
+        v.write(w);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::ostringstream oss;
+  Writer w(oss, indent);
+  write(w);
+  return oss.str();
+}
+
+// ---- parse ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  std::optional<Value> run() {
+    skip_ws();
+    Value v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != s_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  [[nodiscard]] bool eof() const { return pos_ >= s_.size(); }
+  [[nodiscard]] char peek() const { return s_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r'))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool consume_lit(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': out.kind = Value::Kind::kString; return parse_string(out.string);
+      case 't': out.kind = Value::Kind::kBool; out.boolean = true;
+                return consume_lit("true");
+      case 'f': out.kind = Value::Kind::kBool; out.boolean = false;
+                return consume_lit("false");
+      case 'n': out.kind = Value::Kind::kNull; return consume_lit("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out) {
+    out.kind = Value::Kind::kObject;
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      return consume('}');
+    }
+  }
+
+  bool parse_array(Value& out) {
+    out.kind = Value::Kind::kArray;
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      return consume(']');
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (true) {
+      if (eof()) return false;
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) return false;
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // Encode the code point as UTF-8 (surrogate pairs unsupported:
+          // the reports this parser consumes never emit them).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: return false;
+      }
+    }
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof() && ((peek() >= '0' && peek() <= '9'))) ++pos_;
+    bool integral = true;
+    if (!eof() && peek() == '.') {
+      integral = false;
+      ++pos_;
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string_view tok = s_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") return false;
+    if (integral) {
+      auto [p, ec] =
+          std::from_chars(tok.data(), tok.data() + tok.size(), out.integer);
+      if (ec == std::errc() && p == tok.data() + tok.size()) {
+        out.kind = Value::Kind::kInt;
+        return true;
+      }
+      // Out-of-range integer: fall through to double.
+    }
+    auto [p, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), out.number);
+    if (ec != std::errc() || p != tok.data() + tok.size()) return false;
+    out.kind = Value::Kind::kDouble;
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace wcp::json

@@ -1,0 +1,127 @@
+// Minimal dependency-free JSON support for run reports.
+//
+// The observability layer (metrics export, bench summaries, `wcp_cli
+// --json`) needs machine-readable output without pulling in an external
+// JSON library. Two pieces:
+//   - json::Writer: streaming serializer with deterministic formatting
+//     (shortest round-trip doubles via std::to_chars), so identical runs
+//     produce byte-identical reports;
+//   - json::Value + json::parse: a small recursive-descent parser used by
+//     the bench reporter to merge BENCH_summary.json across binaries and by
+//     tests to validate emitted reports.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wcp::json {
+
+/// Streaming JSON serializer. Commas, key/value alternation and nesting are
+/// managed internally; misuse (e.g. a bare value inside an object without a
+/// preceding key) throws via WCP_CHECK. `indent > 0` pretty-prints; 0 emits
+/// a single compact line.
+class Writer {
+ public:
+  explicit Writer(std::ostream& os, int indent = 2) : os_(os), indent_(indent) {}
+
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+
+  /// Object member key; must be followed by exactly one value/container.
+  Writer& key(std::string_view k);
+
+  Writer& value(std::nullptr_t);
+  Writer& value(bool v);
+  Writer& value(std::int64_t v);
+  Writer& value(std::uint64_t v);
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(double v);
+  Writer& value(std::string_view v);
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+
+  /// Splice pre-rendered JSON as one value (caller guarantees validity).
+  Writer& raw(std::string_view rendered);
+
+  template <typename T>
+  Writer& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// True once every opened container has been closed.
+  [[nodiscard]] bool complete() const { return depth() == 0 && wrote_root_; }
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+  struct Frame {
+    Scope scope;
+    std::size_t count = 0;
+  };
+
+  [[nodiscard]] std::size_t depth() const { return stack_.size(); }
+  void before_value();   // comma / newline / indent bookkeeping
+  void open(Scope s, char c);
+  void close(Scope s, char c);
+  void write_escaped(std::string_view s);
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;
+  bool wrote_root_ = false;
+};
+
+/// Parsed JSON document. Integers that fit std::int64_t stay exact
+/// (kind == kInt); all other numbers are doubles.
+struct Value {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::int64_t integer = 0;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  /// Members in document order (reports rely on stable ordering).
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const {
+    return kind == Kind::kInt || kind == Kind::kDouble;
+  }
+
+  /// Member lookup (objects only); nullptr when absent.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Numeric value as double (kInt or kDouble; 0 otherwise).
+  [[nodiscard]] double as_number() const;
+
+  /// Remove a member (objects only); returns true if it was present.
+  bool erase(std::string_view key);
+
+  /// Re-serialize with the same deterministic formatting as Writer.
+  void write(Writer& w) const;
+  [[nodiscard]] std::string dump(int indent = 2) const;
+};
+
+/// Parses a complete JSON document; std::nullopt on any syntax error or
+/// trailing garbage.
+std::optional<Value> parse(std::string_view text);
+
+}  // namespace wcp::json

@@ -6,8 +6,23 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "common/json.h"
 
 namespace wcp {
+
+namespace {
+
+/// `{"snapshot": c[0], ..., "total": sum}` for one per-kind counter array.
+void write_kind_counts(json::Writer& w, const std::int64_t (&counts)[kNumMsgKinds],
+                       std::int64_t total) {
+  w.begin_object();
+  for (std::size_t k = 0; k < kNumMsgKinds; ++k)
+    w.field(to_string(static_cast<MsgKind>(k)), counts[k]);
+  w.field("total", total);
+  w.end_object();
+}
+
+}  // namespace
 
 const char* to_string(MsgKind kind) {
   switch (kind) {
@@ -29,6 +44,32 @@ std::int64_t ProcessMetrics::total_messages() const {
 std::int64_t ProcessMetrics::total_bits() const {
   return std::accumulate(std::begin(bits_sent), std::end(bits_sent),
                          std::int64_t{0});
+}
+
+void ProcessMetrics::write_json(json::Writer& w) const {
+  w.begin_object();
+  w.key("messages");
+  write_kind_counts(w, messages_sent, total_messages());
+  w.key("bits");
+  write_kind_counts(w, bits_sent, total_bits());
+  w.field("work_units", work_units);
+  w.field("peak_buffered_bytes", peak_buffered_bytes);
+  w.end_object();
+}
+
+std::int64_t RunStats::total_packets() const {
+  return std::accumulate(std::begin(packets_delivered),
+                         std::end(packets_delivered), std::int64_t{0});
+}
+
+void RunStats::write_json(json::Writer& w, bool include_wall_clock) const {
+  w.begin_object();
+  w.field("events_processed", events_processed);
+  w.field("peak_queue_depth", peak_queue_depth);
+  w.key("packets_delivered");
+  write_kind_counts(w, packets_delivered, total_packets());
+  if (include_wall_clock) w.field("wall_ms", wall_ms);
+  w.end_object();
 }
 
 void Metrics::record_send(ProcessId from, MsgKind kind, std::int64_t bits) {
@@ -123,6 +164,31 @@ std::string Metrics::summary() const {
       << " token_hops=" << token_hops_
       << " peak_buf_bytes=" << max_peak_buffered_bytes();
   return oss.str();
+}
+
+void Metrics::write_json(json::Writer& w, bool per_process) const {
+  std::int64_t messages[kNumMsgKinds];
+  std::int64_t bits[kNumMsgKinds];
+  for (std::size_t k = 0; k < kNumMsgKinds; ++k) {
+    messages[k] = total_messages(static_cast<MsgKind>(k));
+    bits[k] = total_bits(static_cast<MsgKind>(k));
+  }
+  w.begin_object();
+  w.key("messages");
+  write_kind_counts(w, messages, total_messages());
+  w.key("bits");
+  write_kind_counts(w, bits, total_bits());
+  w.field("work_units", total_work());
+  w.field("max_work_per_process", max_work_per_process());
+  w.field("token_hops", token_hops_);
+  w.field("peak_buffered_bytes", max_peak_buffered_bytes());
+  if (per_process) {
+    w.key("per_process");
+    w.begin_array();
+    for (const auto& pm : per_process_) pm.write_json(w);
+    w.end_array();
+  }
+  w.end_object();
 }
 
 std::ostream& operator<<(std::ostream& os, const Metrics& m) {

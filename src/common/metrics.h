@@ -17,6 +17,10 @@
 
 namespace wcp {
 
+namespace json {
+class Writer;
+}  // namespace json
+
 /// Classification of monitor-layer traffic, mirroring the paper's counting
 /// argument (snapshots from application processes; token; polls; replies).
 enum class MsgKind : std::uint8_t {
@@ -43,6 +47,25 @@ struct ProcessMetrics {
 
   [[nodiscard]] std::int64_t total_messages() const;
   [[nodiscard]] std::int64_t total_bits() const;
+
+  /// One JSON object: per-kind message/bit counts plus work and buffering.
+  void write_json(json::Writer& w) const;
+};
+
+/// Execution statistics of one simulator run (observability layer): event
+/// loop totals, scheduler pressure, and delivered traffic per kind.
+/// `wall_ms` is host wall-clock and therefore the ONE field excluded from
+/// the determinism guarantee; everything else is a pure function of
+/// (computation, seed, latency model).
+struct RunStats {
+  std::int64_t events_processed = 0;
+  std::int64_t peak_queue_depth = 0;  ///< event-queue high-water mark
+  std::int64_t packets_delivered[kNumMsgKinds] = {};
+  double wall_ms = 0.0;               ///< host time inside the event loop
+
+  [[nodiscard]] std::int64_t total_packets() const;
+
+  void write_json(json::Writer& w, bool include_wall_clock = true) const;
 };
 
 /// Aggregated metrics for one detection run.
@@ -78,6 +101,10 @@ class Metrics {
 
   /// Human-readable one-run summary table.
   [[nodiscard]] std::string summary() const;
+
+  /// One JSON object: totals per kind plus work/space aggregates; with
+  /// `per_process`, also the full per-process counter breakdown.
+  void write_json(json::Writer& w, bool per_process = false) const;
 
  private:
   std::vector<ProcessMetrics> per_process_;

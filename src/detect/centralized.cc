@@ -136,6 +136,7 @@ DetectionResult run_centralized(const Computation& comp,
   r.detect_time = shared->detect_time;
   r.end_time = net.simulator().now();
   r.sim_events = net.simulator().events_processed();
+  r.stats = net.run_stats();
   r.token_hops = 0;
   r.app_metrics = net.app_metrics();
   r.monitor_metrics = net.monitor_metrics();

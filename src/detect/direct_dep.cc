@@ -234,6 +234,7 @@ DetectionResult run_direct_dep(const Computation& comp, const RunOptions& opts,
   r.detect_time = shared->detect_time;
   r.end_time = net.simulator().now();
   r.sim_events = net.simulator().events_processed();
+  r.stats = net.run_stats();
   r.token_hops = net.monitor_metrics().token_hops();
   r.app_metrics = net.app_metrics();
   r.monitor_metrics = net.monitor_metrics();

@@ -159,6 +159,7 @@ DetectionResult run_gcp_centralized(const Computation& comp,
   r.detect_time = shared->detect_time;
   r.end_time = net.simulator().now();
   r.sim_events = net.simulator().events_processed();
+  r.stats = net.run_stats();
   r.app_metrics = net.app_metrics();
   r.monitor_metrics = net.monitor_metrics();
   return r;

@@ -1,0 +1,66 @@
+// Machine-readable run reports (schema "wcp-run-report/1").
+//
+// One record per detection run:
+//   {
+//     "schema": "wcp-run-report/1",
+//     "bench":  "<bench or cli identifier>",
+//     "params": {"N": ..., "n": ..., "m": ..., "seed": ...},
+//     "metrics": { totals + full DetectionResult breakdown },
+//     "bound":  <paper's asymptotic budget for this run, or null>,
+//     "ratio":  <measured cost / bound, or null>
+//   }
+// The bench reporter (bench/bench_common.h) collects these records into
+// BENCH_summary.json; `wcp_cli detect --json` emits a single record. With
+// wall-clock excluded, a record is a pure function of (computation, seed,
+// latency model) — the determinism property the tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "detect/result.h"
+
+namespace wcp::detect {
+
+inline constexpr std::string_view kRunReportSchema = "wcp-run-report/1";
+
+/// The experiment shape parameters every report carries (the paper's N, n,
+/// m plus the run seed). Fields that do not apply to a bench stay 0.
+struct ReportParams {
+  std::int64_t N = 0;        ///< all processes
+  std::int64_t n = 0;        ///< predicate processes
+  std::int64_t m = 0;        ///< max relevant events per process
+  std::uint64_t seed = 0;
+};
+
+/// Writes one run-report record for a simulator-hosted detection run.
+/// `bound` is the paper's asymptotic budget the bench checks against and
+/// `ratio` the measured-over-bound normalization; pass nullopt when the
+/// bench has no single scalar bound.
+void write_run_report(json::Writer& w, std::string_view bench,
+                      const ReportParams& params, const DetectionResult& r,
+                      std::optional<double> bound, std::optional<double> ratio,
+                      bool include_wall_clock = true);
+
+/// Same record shape for experiments without a DetectionResult (e.g. the
+/// adversary game or the lattice baseline): `metrics` is emitted verbatim
+/// as a flat object in insertion order.
+void write_run_report(json::Writer& w, std::string_view bench,
+                      const ReportParams& params,
+                      const std::vector<std::pair<std::string, double>>& metrics,
+                      std::optional<double> bound, std::optional<double> ratio);
+
+/// Convenience: one record rendered to a string (indent 0 = compact line).
+std::string run_report_string(std::string_view bench,
+                              const ReportParams& params,
+                              const DetectionResult& r,
+                              std::optional<double> bound,
+                              std::optional<double> ratio,
+                              bool include_wall_clock = true, int indent = 2);
+
+}  // namespace wcp::detect

@@ -2,7 +2,45 @@
 
 #include <ostream>
 
+#include "common/json.h"
+
 namespace wcp::detect {
+
+namespace {
+
+void write_cut(json::Writer& w, const std::vector<StateIndex>& cut) {
+  w.begin_array();
+  for (StateIndex s : cut) w.value(static_cast<std::int64_t>(s));
+  w.end_array();
+}
+
+}  // namespace
+
+void DetectionResult::write_json(json::Writer& w, bool include_wall_clock,
+                                 bool per_process) const {
+  w.begin_object();
+  w.field("detected", detected);
+  w.key("cut");
+  write_cut(w, cut);
+  if (!full_cut.empty()) {
+    w.key("full_cut");
+    write_cut(w, full_cut);
+  }
+  if (!frozen_cut.empty()) {
+    w.key("frozen_cut");
+    write_cut(w, frozen_cut);
+  }
+  w.field("detect_time", static_cast<std::int64_t>(detect_time));
+  w.field("end_time", static_cast<std::int64_t>(end_time));
+  w.field("token_hops", token_hops);
+  w.key("sim");
+  stats.write_json(w, include_wall_clock);
+  w.key("app");
+  app_metrics.write_json(w, per_process);
+  w.key("monitor");
+  monitor_metrics.write_json(w, per_process);
+  w.end_object();
+}
 
 std::ostream& operator<<(std::ostream& os, const DetectionResult& r) {
   os << (r.detected ? "DETECTED" : "not-detected");

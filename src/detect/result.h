@@ -48,8 +48,17 @@ struct DetectionResult {
   SimTime end_time = 0;     ///< virtual time when the run ended
   std::int64_t token_hops = 0;
   std::int64_t sim_events = 0;
+  /// Simulator/network execution statistics (all-zero for offline runs).
+  RunStats stats;
   Metrics app_metrics;      ///< per application process
   Metrics monitor_metrics;  ///< per monitor process (+ one coordinator slot)
+
+  /// One JSON object with the outcome, both metric layers, and the
+  /// execution statistics. `include_wall_clock=false` drops the only
+  /// nondeterministic field, making the output a pure function of
+  /// (computation, seed, latency model).
+  void write_json(json::Writer& w, bool include_wall_clock = true,
+                  bool per_process = false) const;
 };
 
 std::ostream& operator<<(std::ostream& os, const DetectionResult& r);

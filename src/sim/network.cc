@@ -1,6 +1,7 @@
 #include "sim/network.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/error.h"
@@ -44,6 +45,7 @@ Node* Network::node(NodeAddr addr) {
 }
 
 void Network::start_and_run(std::int64_t max_events) {
+  const auto wall_start = std::chrono::steady_clock::now();
   // Deterministic start order: sort addresses.
   std::vector<NodeAddr> addrs;
   addrs.reserve(nodes_.size());
@@ -51,6 +53,19 @@ void Network::start_and_run(std::int64_t max_events) {
   std::sort(addrs.begin(), addrs.end());
   for (NodeAddr a : addrs) nodes_.at(a)->on_start();
   sim_.run(max_events);
+  wall_ms_ += std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - wall_start)
+                  .count();
+}
+
+RunStats Network::run_stats() const {
+  RunStats s;
+  s.events_processed = sim_.events_processed();
+  s.peak_queue_depth = sim_.peak_queue_depth();
+  for (std::size_t k = 0; k < kNumMsgKinds; ++k)
+    s.packets_delivered[k] = packets_delivered_[k];
+  s.wall_ms = wall_ms_;
+  return s;
 }
 
 bool Network::is_fifo(NodeAddr from, NodeAddr to) const {
@@ -92,7 +107,8 @@ void Network::send(NodeAddr from, NodeAddr to, MsgKind kind, std::any payload,
   Node* dst = nodes_.at(to).get();
   Packet p{from, to, kind, bits, std::move(payload)};
   sim_.schedule_at(deliver_at,
-                   [dst, pkt = std::move(p)]() mutable {
+                   [this, dst, pkt = std::move(p)]() mutable {
+                     ++packets_delivered_[static_cast<std::size_t>(pkt.kind)];
                      dst->on_packet(std::move(pkt));
                    });
 }

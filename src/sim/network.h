@@ -101,6 +101,11 @@ class Network {
             std::int64_t bits);
 
   // ---- accounting ---------------------------------------------------------
+  /// Execution statistics of the run so far: event-loop totals, scheduler
+  /// pressure, delivered packets per kind, and host wall-clock spent inside
+  /// start_and_run (the one nondeterministic field).
+  [[nodiscard]] RunStats run_stats() const;
+
   [[nodiscard]] Metrics& app_metrics() { return app_metrics_; }
   [[nodiscard]] Metrics& monitor_metrics() { return monitor_metrics_; }
   [[nodiscard]] const Metrics& app_metrics() const { return app_metrics_; }
@@ -128,6 +133,8 @@ class Network {
   std::unordered_map<std::uint64_t, SimTime> fifo_last_;  // channel key -> time
   Metrics app_metrics_;
   Metrics monitor_metrics_;
+  std::int64_t packets_delivered_[kNumMsgKinds] = {};
+  double wall_ms_ = 0.0;  // host time spent inside start_and_run
 };
 
 }  // namespace wcp::sim

@@ -1,20 +1,23 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace wcp::sim {
 
 void Simulator::schedule_at(SimTime t, Callback cb) {
   WCP_REQUIRE(t >= now_, "scheduling into the past: t=" << t << " now=" << now_);
-  queue_.push(Entry{t, seq_++, std::move(cb)});
+  heap_.push_back(Entry{t, seq_++, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  peak_depth_ = std::max(peak_depth_, static_cast<std::int64_t>(heap_.size()));
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the callback handle (std::function copy) instead.
-  Entry e = queue_.top();
-  queue_.pop();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
   now_ = e.t;
   ++processed_;
   e.cb();

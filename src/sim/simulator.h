@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/types.h"
@@ -35,8 +34,12 @@ class Simulator {
   /// Run until no events remain or `max_events` have been processed.
   void run(std::int64_t max_events = -1);
 
-  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] bool idle() const { return heap_.empty(); }
   [[nodiscard]] std::int64_t events_processed() const { return processed_; }
+
+  /// High-water mark of pending events (scheduler-pressure metric for run
+  /// reports; monotone over the run).
+  [[nodiscard]] std::int64_t peak_queue_depth() const { return peak_depth_; }
 
   /// Request the loop to stop after the current event (used on detection).
   void stop() { stopped_ = true; }
@@ -54,10 +57,15 @@ class Simulator {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  // Explicit binary heap (std::push_heap/pop_heap over a vector) instead of
+  // std::priority_queue: top() there is const, which forced a deep
+  // std::function copy of every callback on the hottest line of every
+  // online run; popping to the back lets the entry be moved out.
+  std::vector<Entry> heap_;
   SimTime now_ = 0;
   std::int64_t seq_ = 0;
   std::int64_t processed_ = 0;
+  std::int64_t peak_depth_ = 0;
   bool stopped_ = false;
 };
 

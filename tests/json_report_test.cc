@@ -1,0 +1,188 @@
+// The observability layer: json::Writer formatting, json::parse round
+// trips, metrics serialization, and the determinism contract of the
+// wcp-run-report records ("identical (computation, seed, latency model) ->
+// byte-identical report modulo wall-clock").
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "detect/report.h"
+#include "detect/token_vc.h"
+#include "workload/random_workload.h"
+
+namespace wcp {
+namespace {
+
+std::string render(const std::function<void(json::Writer&)>& body,
+                   int indent = 0) {
+  std::ostringstream os;
+  json::Writer w(os, indent);
+  body(w);
+  EXPECT_TRUE(w.complete());
+  return os.str();
+}
+
+TEST(JsonWriter, CompactObjectAndArray) {
+  const auto s = render([](json::Writer& w) {
+    w.begin_object();
+    w.field("a", 1).field("b", true).field("c", nullptr);
+    w.key("list").begin_array().value(1).value(2.5).value("x").end_array();
+    w.end_object();
+  });
+  EXPECT_EQ(s, R"({"a":1,"b":true,"c":null,"list":[1,2.5,"x"]})");
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  const auto s = render([](json::Writer& w) {
+    w.begin_object();
+    w.field("k", std::string_view("a\"b\\c\n\t\x01z"));
+    w.end_object();
+  });
+  EXPECT_EQ(s, "{\"k\":\"a\\\"b\\\\c\\n\\t\\u0001z\"}");
+}
+
+TEST(JsonWriter, DoublesUseShortestRoundTrip) {
+  const auto s = render([](json::Writer& w) {
+    w.begin_array();
+    w.value(0.1).value(1.0).value(-2.5e300);
+    w.end_array();
+  });
+  EXPECT_EQ(s, "[0.1,1,-2.5e+300]");
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  const std::string doc =
+      R"({"schema":"x/1","n":3,"pi":3.25,"ok":true,"none":null,)"
+      R"("arr":[1,2,3],"nested":{"deep":[{"a":1}]}})";
+  const auto v = json::parse(doc);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->dump(0), doc);  // parse -> dump is the identity on our output
+  ASSERT_NE(v->find("n"), nullptr);
+  EXPECT_EQ(v->find("n")->integer, 3);
+  EXPECT_DOUBLE_EQ(v->find("pi")->as_number(), 3.25);
+  EXPECT_EQ(v->find("arr")->array.size(), 3u);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,2", R"({"a":})", "tru", "1 2", R"({"a" 1})",
+        R"({"a":1,})", "[1,]", "\"unterminated"}) {
+    EXPECT_FALSE(json::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(JsonParse, KeepsInsertionOrderAndErases) {
+  auto v = json::parse(R"({"z":1,"a":2,"m":3})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->object.size(), 3u);
+  EXPECT_EQ(v->object[0].first, "z");
+  EXPECT_EQ(v->object[2].first, "m");
+  EXPECT_TRUE(v->erase("a"));
+  EXPECT_FALSE(v->erase("a"));
+  EXPECT_EQ(v->dump(0), R"({"z":1,"m":3})");
+}
+
+TEST(JsonReport, MetricsExportCarriesAllKinds) {
+  Metrics m(2);
+  m.at(ProcessId(0))
+      .messages_sent[static_cast<std::size_t>(MsgKind::kToken)] = 4;
+  m.at(ProcessId(1)).work_units = 7;
+  const auto s = render([&](json::Writer& w) { m.write_json(w); }, 0);
+  const auto v = json::parse(s);
+  ASSERT_TRUE(v.has_value());
+  const auto* msgs = v->find("messages");
+  ASSERT_NE(msgs, nullptr);
+  EXPECT_EQ(msgs->find("token")->integer, 4);
+  EXPECT_EQ(msgs->find("total")->integer, 4);
+  EXPECT_EQ(v->find("work_units")->integer, 7);
+}
+
+TEST(JsonReport, RunReportValidatesAgainstSchema) {
+  workload::RandomSpec spec;
+  spec.num_processes = 5;
+  spec.num_predicate = 3;
+  spec.events_per_process = 15;
+  spec.ensure_detectable = true;
+  spec.seed = 11;
+  const auto comp = workload::make_random(spec);
+
+  detect::RunOptions o;
+  o.seed = 3;
+  o.latency = sim::LatencyModel::uniform(1, 6);
+  const auto r = detect::run_token_vc(comp, o);
+
+  detect::ReportParams rp;
+  rp.N = 5;
+  rp.n = 3;
+  rp.m = comp.max_messages_per_process();
+  rp.seed = 3;
+  const auto s = detect::run_report_string("test:token", rp, r, 100.0, 0.5);
+  const auto v = json::parse(s);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("schema")->string, detect::kRunReportSchema);
+  EXPECT_EQ(v->find("bench")->string, "test:token");
+  EXPECT_EQ(v->find("params")->find("N")->integer, 5);
+  EXPECT_EQ(v->find("params")->find("seed")->integer, 3);
+  const auto* metrics = v->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  for (const char* k : {"detected", "messages", "bits", "work_units",
+                        "token_hops", "detect_time", "result"}) {
+    EXPECT_NE(metrics->find(k), nullptr) << k;
+  }
+  const auto* sim = metrics->find("result")->find("sim");
+  ASSERT_NE(sim, nullptr);
+  EXPECT_GT(sim->find("events_processed")->integer, 0);
+  EXPECT_GT(sim->find("peak_queue_depth")->integer, 0);
+  EXPECT_DOUBLE_EQ(v->find("bound")->as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(v->find("ratio")->as_number(), 0.5);
+}
+
+TEST(JsonReport, IdenticalRunsProduceByteIdenticalReports) {
+  workload::RandomSpec spec;
+  spec.num_processes = 6;
+  spec.num_predicate = 4;
+  spec.events_per_process = 20;
+  spec.seed = 23;
+  const auto comp = workload::make_random(spec);
+
+  detect::RunOptions o;
+  o.seed = 9;
+  o.latency = sim::LatencyModel::uniform(1, 6);
+
+  detect::ReportParams rp;
+  rp.N = 6;
+  rp.n = 4;
+  rp.m = comp.max_messages_per_process();
+  rp.seed = 9;
+
+  // Two independent end-to-end runs. With wall-clock excluded the rendered
+  // record is a pure function of (computation, seed, latency model).
+  const auto a = detect::run_report_string(
+      "det", rp, detect::run_token_vc(comp, o), std::nullopt, std::nullopt,
+      /*include_wall_clock=*/false);
+  const auto b = detect::run_report_string(
+      "det", rp, detect::run_token_vc(comp, o), std::nullopt, std::nullopt,
+      /*include_wall_clock=*/false);
+  EXPECT_EQ(a, b);
+
+  // With wall-clock included, stripping the one nondeterministic field
+  // restores byte equality.
+  auto strip = [&]() {
+    auto v = json::parse(detect::run_report_string(
+        "det", rp, detect::run_token_vc(comp, o), std::nullopt,
+        std::nullopt));
+    EXPECT_TRUE(v.has_value());
+    auto* metrics = const_cast<json::Value*>(v->find("metrics"));
+    auto* result = const_cast<json::Value*>(metrics->find("result"));
+    auto* sim = const_cast<json::Value*>(result->find("sim"));
+    EXPECT_TRUE(sim->erase("wall_ms"));
+    return v->dump();
+  };
+  EXPECT_EQ(strip(), strip());
+}
+
+}  // namespace
+}  // namespace wcp

@@ -1,0 +1,126 @@
+// End-of-stream starvation: when the WCP never holds, every detector must
+// drain to an idle simulator with detected == false instead of deadlocking
+// or spinning. The token algorithm additionally exposes *why* it stopped:
+// the monitor holding the token is starved() — still waiting for a
+// candidate whose application stream has ended (§3.3's blocking receive,
+// resolved by the kControl end-of-stream marker).
+#include <gtest/gtest.h>
+
+#include "app/app_driver.h"
+#include "detect/direct_dep.h"
+#include "detect/token_vc.h"
+#include "sim/network.h"
+#include "trace/computation.h"
+
+namespace wcp::detect {
+namespace {
+
+RunOptions opts(std::uint64_t seed = 1) {
+  RunOptions o;
+  o.seed = seed;
+  o.latency = sim::LatencyModel::uniform(1, 6);
+  return o;
+}
+
+/// P0's local predicate never holds; everyone else is true in every state
+/// and keeps messaging P0. The conjunction is unsatisfiable, so slot 0 can
+/// never supply a candidate and the token blocks there forever.
+Computation starvation_workload(std::size_t n, std::int64_t rounds) {
+  ComputationBuilder b(n);
+  for (std::size_t p = 1; p < n; ++p)
+    b.set_default_pred(ProcessId(static_cast<int>(p)), true);
+  for (std::int64_t round = 0; round < rounds; ++round)
+    for (std::size_t p = 1; p < n; ++p)
+      b.transfer(ProcessId(static_cast<int>(p)), ProcessId(0));
+  return b.build();
+}
+
+TEST(Starvation, TokenVcDrainsIdleAndReportsStarvedMonitor) {
+  const std::size_t n = 4;
+  const auto comp = starvation_workload(n, /*rounds=*/5);
+  const auto o = opts();
+
+  // Assemble the network by hand (run_token_vc tears it down before we can
+  // inspect monitor state).
+  sim::NetworkConfig ncfg;
+  ncfg.num_processes = comp.num_processes();
+  ncfg.latency = o.latency;
+  ncfg.seed = o.seed;
+  sim::Network net(ncfg);
+
+  const auto preds = comp.predicate_processes();
+  std::vector<ProcessId> slot_to_pid(preds.begin(), preds.end());
+  auto shared = install_token_vc_monitors(net, slot_to_pid);
+
+  app::AppDriverOptions drv;
+  drv.mode = app::Instrumentation::kVectorClock;
+  drv.step_delay = o.step_delay;
+  app::install_app_drivers(net, comp, drv);
+
+  net.start_and_run();
+
+  // The run ended because the event queue drained, not via detection.
+  EXPECT_FALSE(shared->detected);
+  EXPECT_TRUE(net.simulator().idle());
+
+  // The token is parked at slot 0's monitor, starved: still waiting for a
+  // candidate after P0's end-of-stream.
+  int holders = 0, starved = 0;
+  for (ProcessId pid : slot_to_pid) {
+    auto* m = dynamic_cast<TokenVcMonitor*>(
+        net.node(sim::NodeAddr::monitor(pid)));
+    ASSERT_NE(m, nullptr);
+    holders += m->holding_token() ? 1 : 0;
+    starved += m->starved() ? 1 : 0;
+  }
+  EXPECT_EQ(holders, 1);
+  EXPECT_EQ(starved, 1);
+  auto* slot0 = dynamic_cast<TokenVcMonitor*>(
+      net.node(sim::NodeAddr::monitor(slot_to_pid[0])));
+  ASSERT_NE(slot0, nullptr);
+  EXPECT_TRUE(slot0->holding_token());
+  EXPECT_TRUE(slot0->starved());
+
+  // Every application process announced end-of-stream exactly once.
+  EXPECT_EQ(net.app_metrics().total_messages(MsgKind::kControl),
+            static_cast<std::int64_t>(comp.num_processes()));
+}
+
+TEST(Starvation, TokenVcRunHarnessAgrees) {
+  const auto comp = starvation_workload(4, /*rounds=*/5);
+  const auto r = run_token_vc(comp, opts());
+  EXPECT_FALSE(r.detected);
+  EXPECT_TRUE(r.cut.empty());
+  // The drained run still accounted for its control traffic.
+  EXPECT_EQ(r.app_metrics.total_messages(MsgKind::kControl),
+            static_cast<std::int64_t>(comp.num_processes()));
+  EXPECT_EQ(r.stats.packets_delivered[static_cast<std::size_t>(
+                MsgKind::kControl)],
+            static_cast<std::int64_t>(comp.num_processes()));
+}
+
+TEST(Starvation, DirectDepDrainsIdleWithoutDetection) {
+  const auto comp = starvation_workload(4, /*rounds=*/5);
+  for (const bool parallel : {false, true}) {
+    DdRunOptions dd;
+    dd.parallel = parallel;
+    const auto r = run_direct_dep(comp, opts(), dd);
+    EXPECT_FALSE(r.detected) << "parallel=" << parallel;
+    EXPECT_TRUE(r.cut.empty()) << "parallel=" << parallel;
+    // End-of-stream control messages flowed from every process.
+    EXPECT_GE(r.app_metrics.total_messages(MsgKind::kControl),
+              static_cast<std::int64_t>(comp.num_processes()))
+        << "parallel=" << parallel;
+  }
+}
+
+TEST(Starvation, SeedsDoNotRescueAnUnsatisfiablePredicate) {
+  const auto comp = starvation_workload(3, /*rounds=*/4);
+  for (std::uint64_t seed : {1ull, 7ull, 99ull}) {
+    EXPECT_FALSE(run_token_vc(comp, opts(seed)).detected) << seed;
+    EXPECT_FALSE(run_direct_dep(comp, opts(seed)).detected) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace wcp::detect
