@@ -9,6 +9,8 @@
 // crosses 1 near n ~ sqrt(N).
 #include "bench_common.h"
 #include "detect/direct_dep.h"
+#include "detect/lattice.h"
+#include "detect/sliced.h"
 #include "detect/token_vc.h"
 
 namespace wcp::bench {
@@ -74,6 +76,54 @@ BENCHMARK(BM_Crossover_SweepPredicateWidth)
     ->Args({48, 14})
     ->Args({48, 28})
     ->Args({48, 48});
+
+// Same sweep, offline: the Cooper-Marzullo lattice baseline against the
+// slice-pruned detector. The lattice cost grows with the number of
+// consistent cuts below the minimal satisfying cut (worst case m^n); the
+// sliced cost stays O(n^2 m) regardless of n, so the prune factor widens as
+// the predicate touches more processes.
+void BM_Crossover_SlicedVsLattice(benchmark::State& state) {
+  const std::size_t N = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  const auto& comp = cached_random(N, n, /*events=*/30, /*seed=*/17,
+                                   /*pred_prob=*/0.3);
+  const double m = static_cast<double>(comp.max_messages_per_process());
+
+  detect::LatticeResult lat, sliced;
+  for (auto _ : state) {
+    lat = detect::detect_lattice(comp, /*max_cuts=*/10'000'000);
+    sliced = detect::detect_lattice_sliced(comp);
+    benchmark::DoNotOptimize(sliced.detected);
+  }
+
+  const double lc = static_cast<double>(lat.cuts_explored);
+  const double sc = static_cast<double>(sliced.cuts_explored);
+  state.counters["N"] = static_cast<double>(N);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["lattice_cuts"] = lc;
+  state.counters["sliced_cuts"] = sc;
+  state.counters["prune"] = lc / sc;
+
+  // bound = n^2 m, the sliced detector's work budget; ratio certifies it.
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(N);
+  rp.n = static_cast<std::int64_t>(n);
+  rp.m = static_cast<std::int64_t>(m);
+  rp.seed = 17;
+  const double bound = static_cast<double>(n) * static_cast<double>(n) * m;
+  report_run(state, "E5_sliced_crossover", rp,
+             {{"lattice_cuts", lc},
+              {"sliced_cuts", sc},
+              {"prune", lc / sc},
+              {"lattice_frontier", static_cast<double>(lat.max_frontier)}},
+             bound, sc / bound);
+}
+BENCHMARK(BM_Crossover_SlicedVsLattice)
+    ->Args({24, 3})
+    ->Args({24, 8})
+    ->Args({24, 16})
+    ->Args({48, 7})
+    ->Args({48, 24});
 
 }  // namespace
 }  // namespace wcp::bench

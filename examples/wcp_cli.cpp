@@ -25,7 +25,9 @@
 #include "detect/lattice.h"
 #include "detect/multi_token.h"
 #include "detect/report.h"
+#include "detect/sliced.h"
 #include "detect/token_vc.h"
+#include "slice/slice.h"
 #include "trace/diagram.h"
 #include "trace/dot_export.h"
 #include "trace/trace_io.h"
@@ -86,8 +88,10 @@ int usage() {
       "  wcp_cli generate <out.trace> [--N k] [--n k] [--events k]\n"
       "                   [--pred-prob p] [--seed s] [--detectable 0|1]\n"
       "  wcp_cli detect   <in.trace> [--algo token|multi|dd|dd-par|checker|"
-      "lattice|lattice-online|oracle]\n"
+      "lattice|lattice-online|lattice-sliced|definitely|definitely-sliced|"
+      "oracle]\n"
       "                   [--groups g] [--seed s] [--halt 0|1] [--json]\n"
+      "  wcp_cli slice    <in.trace> [--max-cuts k] [--json]\n"
       "  wcp_cli info     <in.trace>\n"
       "  wcp_cli diagram  <in.trace> [--max-states k]\n"
       "  wcp_cli dot      <in.trace>\n";
@@ -205,14 +209,17 @@ int cmd_detect(const Args& a) {
     }
     return 0;
   }
-  if (algo == "lattice-online" || algo == "lattice") {
+  if (algo == "lattice-online" || algo == "lattice" ||
+      algo == "lattice-sliced") {
     const auto report_lattice = [&](bool detected,
                                     const std::vector<StateIndex>& cut,
                                     std::int64_t cuts_explored,
+                                    std::int64_t max_frontier,
                                     bool truncated) {
       if (as_json) {
         emit_flat({{"detected", detected ? 1.0 : 0.0},
                    {"cuts_explored", static_cast<double>(cuts_explored)},
+                   {"max_frontier", static_cast<double>(max_frontier)},
                    {"truncated", truncated ? 1.0 : 0.0}});
         return;
       }
@@ -222,15 +229,48 @@ int cmd_detect(const Args& a) {
         print_cut(cut);
       }
       std::cout << " cuts_explored=" << cuts_explored
+                << " max_frontier=" << max_frontier
                 << (truncated ? " (truncated)" : "") << "\n";
     };
     if (algo == "lattice") {
       const auto r = detect::detect_lattice(comp, 10'000'000);
-      report_lattice(r.detected, r.cut, r.cuts_explored, r.truncated);
+      report_lattice(r.detected, r.cut, r.cuts_explored, r.max_frontier,
+                     r.truncated);
+    } else if (algo == "lattice-sliced") {
+      const auto r = detect::detect_lattice_sliced(comp);
+      report_lattice(r.detected, r.cut, r.cuts_explored, r.max_frontier,
+                     r.truncated);
     } else {
       const auto r = detect::run_lattice_online(comp, opts, 10'000'000);
-      report_lattice(r.detected, r.cut, r.cuts_explored, r.truncated);
+      report_lattice(r.detected, r.cut, r.cuts_explored, r.max_frontier,
+                     r.truncated);
     }
+    return 0;
+  }
+  if (algo == "definitely" || algo == "definitely-sliced") {
+    const auto r = algo == "definitely"
+                       ? detect::detect_definitely(comp, 10'000'000)
+                       : detect::detect_definitely_sliced(comp, 10'000'000);
+    if (as_json) {
+      double witness_level = 0;
+      for (StateIndex k : r.witness) witness_level += static_cast<double>(k);
+      emit_flat({{"definitely", r.definitely ? 1.0 : 0.0},
+                 {"cuts_explored", static_cast<double>(r.cuts_explored)},
+                 {"truncated", r.truncated ? 1.0 : 0.0},
+                 {"witness_found", r.witness.empty() ? 0.0 : 1.0},
+                 {"witness_level", witness_level}});
+      return 0;
+    }
+    std::cout << algo << ": "
+              << (r.truncated ? "inconclusive"
+                              : (r.definitely ? "DEFINITELY" : "not-definitely"))
+              << " cuts_explored=" << r.cuts_explored
+              << (r.truncated ? " (truncated)" : "");
+    if (!r.witness.empty()) {
+      std::cout << " witness=";
+      print_cut(r.witness);
+    }
+    std::cout << "\n";
     return 0;
   }
 
@@ -283,6 +323,64 @@ int cmd_detect(const Args& a) {
   return 0;
 }
 
+int cmd_slice(const Args& a) {
+  if (a.positional.size() < 2) return usage();
+  const auto comp = load_trace_file(a.positional[1]);
+  const bool as_json = a.flags.contains("json");
+  const std::int64_t max_cuts = flag_int(a, "max-cuts", 1'000'000);
+
+  slice::SliceBuildCounters ctr;
+  const auto sl = slice::Slice::build(comp, &ctr);
+  const auto cc = sl.num_cuts(max_cuts);
+  const auto possibly = detect::detect_lattice_sliced(comp);
+  const auto definitely = detect::detect_definitely_sliced(comp, 10'000'000);
+
+  if (as_json) {
+    const detect::ReportParams rp = report_params(comp, 0);
+    json::Writer w(std::cout);
+    detect::write_run_report(
+        w, "cli:slice", rp,
+        {{"possibly", possibly.detected ? 1.0 : 0.0},
+         {"definitely", definitely.definitely ? 1.0 : 0.0},
+         {"definitely_truncated", definitely.truncated ? 1.0 : 0.0},
+         {"slice_groups", static_cast<double>(sl.num_groups())},
+         {"slice_edges", static_cast<double>(sl.num_edges())},
+         {"slice_cuts", static_cast<double>(cc.count)},
+         {"slice_cuts_saturated", cc.saturated ? 1.0 : 0.0},
+         {"jil_advances", static_cast<double>(ctr.jil.advances)},
+         {"jil_clock_lookups", static_cast<double>(ctr.jil.clock_lookups)},
+         {"possibly_cuts_explored",
+          static_cast<double>(possibly.cuts_explored)},
+         {"definitely_cuts_explored",
+          static_cast<double>(definitely.cuts_explored)}},
+        std::nullopt, std::nullopt);
+    std::cout << "\n";
+    return 0;
+  }
+
+  std::cout << "slice: " << (sl.empty() ? "EMPTY" : "non-empty")
+            << " groups=" << sl.num_groups() << " edges=" << sl.num_edges()
+            << " satisfying_cuts=" << cc.count
+            << (cc.saturated ? "+ (capped)" : "") << "\n";
+  if (!sl.empty()) {
+    std::cout << "  bottom: ";
+    print_cut(sl.bottom());
+    std::cout << "\n  top:    ";
+    print_cut(sl.top());
+    std::cout << "\n";
+  }
+  std::cout << "  possibly=" << (possibly.detected ? "yes" : "no")
+            << " (cuts_explored=" << possibly.cuts_explored << ")"
+            << " definitely=" << (definitely.definitely ? "yes" : "no")
+            << " (cuts_explored=" << definitely.cuts_explored << ")\n";
+  if (!definitely.witness.empty()) {
+    std::cout << "  avoiding-observation witness: ";
+    print_cut(definitely.witness);
+    std::cout << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -292,6 +390,7 @@ int main(int argc, char** argv) {
     const std::string& cmd = a.positional[0];
     if (cmd == "generate") return cmd_generate(a);
     if (cmd == "detect") return cmd_detect(a);
+    if (cmd == "slice") return cmd_slice(a);
     if (cmd == "info") return cmd_info(a);
     if (cmd == "diagram") return cmd_diagram(a);
     if (cmd == "dot") return cmd_dot(a);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/error.h"
@@ -115,9 +116,12 @@ DefinitelyResult detect_definitely(const Computation& comp,
   }
 
   std::queue<std::vector<StateIndex>> frontier;
-  std::unordered_set<std::vector<StateIndex>, CutHash> visited;
+  // Maps each visited cut to its BFS predecessor (the bottom cut to itself)
+  // so the avoiding observation can be reconstructed for the witness.
+  std::unordered_map<std::vector<StateIndex>, std::vector<StateIndex>, CutHash>
+      parent;
   frontier.push(initial);
-  visited.insert(initial);
+  parent.emplace(initial, initial);
 
   while (!frontier.empty()) {
     std::vector<StateIndex> cut = std::move(frontier.front());
@@ -125,6 +129,32 @@ DefinitelyResult detect_definitely(const Computation& comp,
     ++res.cuts_explored;
     if (cut == top) {
       res.definitely = false;  // an observation avoided the predicate
+      // Witness: walk the avoiding path back to the bottom, then pick the
+      // first cut that diverges past the minimal satisfying cut B — the
+      // point where this observation provably leaves every chance of
+      // satisfying the WCP behind. With no satisfying cut at all, every
+      // cut avoids the predicate and the bottom cut is the witness.
+      std::vector<std::vector<StateIndex>> path;
+      for (std::vector<StateIndex> c = cut;;) {
+        path.push_back(c);
+        const auto& p = parent.at(c);
+        if (p == c) break;
+        c = p;
+      }
+      std::reverse(path.begin(), path.end());
+      res.witness = path.front();  // bottom
+      if (const auto min_sat = comp.first_wcp_cut()) {
+        const auto leq = [&](const std::vector<StateIndex>& a) {
+          for (std::size_t s = 0; s < n; ++s)
+            if (a[s] > (*min_sat)[s]) return false;
+          return true;
+        };
+        for (const auto& c : path)
+          if (!leq(c)) {
+            res.witness = c;
+            break;
+          }
+      }
       return res;
     }
     if (max_cuts >= 0 && res.cuts_explored >= max_cuts) {
@@ -144,7 +174,7 @@ DefinitelyResult detect_definitely(const Computation& comp,
           consistent = false;
       }
       if (!consistent || satisfies(next)) continue;  // blocked by the WCP
-      if (visited.insert(next).second) frontier.push(std::move(next));
+      if (parent.emplace(next, cut).second) frontier.push(std::move(next));
     }
   }
   // Every avoiding path got stuck before the top: all observations hit the

@@ -42,6 +42,13 @@ struct DefinitelyResult {
   bool definitely = false;
   bool truncated = false;
   std::int64_t cuts_explored = 0;
+  /// When definitely == false (and not truncated): a consistent,
+  /// non-satisfying cut proving it — the first cut where a discovered
+  /// avoiding observation diverges past the pointwise-minimal satisfying
+  /// cut. When the predicate never holds at all, every observation avoids
+  /// it from the start and the witness is the bottom cut. Empty when
+  /// definitely == true or the search was truncated.
+  std::vector<StateIndex> witness;
 };
 
 DefinitelyResult detect_definitely(const Computation& comp,

@@ -1,0 +1,93 @@
+#include "slice/jil.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace wcp::slice {
+
+ComputationInput::ComputationInput(const Computation& comp) : comp_(comp) {
+  procs_.assign(comp.predicate_processes().begin(),
+                comp.predicate_processes().end());
+  WCP_REQUIRE(!procs_.empty(), "empty predicate");
+}
+
+namespace {
+
+std::optional<std::vector<StateIndex>> advance_fixpoint(
+    const SliceInput& in, std::span<const StateIndex> lower_bounds,
+    bool require_pred, JilCounters* counters) {
+  const std::size_t n = in.num_slots();
+  WCP_REQUIRE(lower_bounds.size() == n, "lower-bound width mismatch");
+  JilCounters local;
+  JilCounters& ctr = counters ? *counters : local;
+  ++ctr.calls;
+
+  // Advance C[s] to the first admissible state >= lo; false on overrun.
+  // `advances` counts the states eliminated, the slice-side analogue of the
+  // lattice baseline's cuts_explored.
+  std::vector<StateIndex> cut(n);
+  auto advance_to = [&](std::size_t s, StateIndex lo) {
+    const StateIndex from = std::max<StateIndex>(cut[s], 1);
+    StateIndex k = std::max(from, lo);
+    const StateIndex last = in.num_states(s);
+    while (k <= last && require_pred && !in.pred(s, k)) ++k;
+    if (k > last) {
+      ctr.advances += last - from + 1;
+      return false;
+    }
+    ctr.advances += k - from;
+    cut[s] = k;
+    return true;
+  };
+
+  for (std::size_t s = 0; s < n; ++s) {
+    cut[s] = 0;
+    if (!advance_to(s, lower_bounds[s])) return std::nullopt;
+  }
+
+  // Pairwise consistency fixpoint: (s, C[s]) -> (t, C[t]) forces C[s] past
+  // everything (t, C[t]) has seen of s. Each pass either stabilizes or
+  // advances some component, and components only move up, so the loop
+  // terminates after at most sum(num_states) advances.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t t = 0; t < n && !changed; ++t) {
+      for (std::size_t s = 0; s < n && !changed; ++s) {
+        if (s == t) continue;
+        ++ctr.clock_lookups;
+        const StateIndex floor = in.causal_floor(t, cut[t], s);
+        if (cut[s] <= floor) {
+          if (!advance_to(s, floor + 1)) return std::nullopt;
+          changed = true;
+        }
+      }
+    }
+  }
+  return cut;
+}
+
+}  // namespace
+
+std::optional<std::vector<StateIndex>> least_satisfying_cut(
+    const SliceInput& in, std::span<const StateIndex> lower_bounds,
+    JilCounters* counters) {
+  return advance_fixpoint(in, lower_bounds, /*require_pred=*/true, counters);
+}
+
+std::optional<std::vector<StateIndex>> jil(const SliceInput& in,
+                                           std::size_t slot, StateIndex k,
+                                           JilCounters* counters) {
+  std::vector<StateIndex> lo(in.num_slots(), 1);
+  lo.at(slot) = k;
+  return least_satisfying_cut(in, lo, counters);
+}
+
+std::optional<std::vector<StateIndex>> least_consistent_cut(
+    const SliceInput& in, std::span<const StateIndex> lower_bounds,
+    JilCounters* counters) {
+  return advance_fixpoint(in, lower_bounds, /*require_pred=*/false, counters);
+}
+
+}  // namespace wcp::slice

@@ -1,0 +1,109 @@
+#include "slice/online_slicer.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace wcp::slice {
+
+OnlineSlicer::OnlineSlicer(Config cfg) : cfg_(std::move(cfg)) {
+  WCP_REQUIRE(!cfg_.slot_to_pid.empty(), "empty predicate");
+  states_.resize(n());
+  eos_.assign(n(), false);
+  cut_.assign(n(), 1);
+}
+
+void OnlineSlicer::on_packet(sim::Packet&& p) {
+  WCP_CHECK_MSG(p.kind == MsgKind::kSnapshot || p.kind == MsgKind::kControl,
+                "online slicer got unexpected " << to_string(p.kind));
+  if (detected_ || impossible_) return;
+
+  if (slot_of_pid_.empty()) {
+    slot_of_pid_.assign(net().num_processes(), -1);
+    for (std::size_t s = 0; s < n(); ++s)
+      slot_of_pid_[cfg_.slot_to_pid[s].idx()] = static_cast<int>(s);
+  }
+
+  if (p.kind == MsgKind::kControl) {
+    if (std::any_cast<app::EndOfStream>(&p.payload) != nullptr) {
+      const int slot = slot_of_pid_.at(p.from.pid.idx());
+      if (slot >= 0) {
+        eos_[static_cast<std::size_t>(slot)] = true;
+        advance_candidate();
+      }
+    }
+    return;
+  }
+
+  auto snap = std::any_cast<app::VcSnapshot>(std::move(p.payload));
+  const ProcessId coord(static_cast<int>(net().num_processes()));
+  net().monitor_buffer_change(coord, snap.bytes(), +1);
+
+  const int slot = slot_of_pid_.at(p.from.pid.idx());
+  WCP_CHECK_MSG(slot >= 0, "snapshot from non-predicate process " << p.from);
+  const auto su = static_cast<std::size_t>(slot);
+
+  // FIFO app->coordinator gives states in order; index == own component.
+  const StateIndex k = snap.vclock[su];
+  WCP_CHECK_MSG(k == static_cast<StateIndex>(states_[su].size()) + 1,
+                "state stream gap at slot " << slot);
+  states_[su].push_back(std::move(snap));
+  ++states_received_;
+
+  advance_candidate();
+}
+
+void OnlineSlicer::advance_candidate() {
+  const ProcessId coord(static_cast<int>(net().num_processes()));
+  const auto arrived = [&](std::size_t s) {
+    return cut_[s] <= static_cast<StateIndex>(states_[s].size());
+  };
+
+  // Run the jil.h fixpoint over whatever has arrived. Every advance is
+  // forced by arrived data only (a false state, or a state causally
+  // dominated by another candidate component), so the candidate is always
+  // a lower bound of the true least satisfying cut.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t s = 0; s < n() && !changed; ++s) {
+      if (!arrived(s)) {
+        if (eos_[s]) {
+          impossible_ = true;
+          net().simulator().stop();
+          return;
+        }
+        continue;
+      }
+      const auto& snap = states_[s][static_cast<std::size_t>(cut_[s] - 1)];
+      if (!snap.pred) {
+        ++cut_[s];
+        ++jil_advances_;
+        changed = true;
+        break;
+      }
+      for (std::size_t t = 0; t < n() && !changed; ++t) {
+        if (t == s || !arrived(t)) continue;
+        ++clock_lookups_;
+        net().add_monitor_work(coord, 1);
+        // (s, cut_[s]) -> (t, cut_[t]): advance s past what t has seen.
+        const StateIndex floor =
+            states_[t][static_cast<std::size_t>(cut_[t] - 1)].vclock[s];
+        if (cut_[s] <= floor) {
+          jil_advances_ += floor + 1 - cut_[s];
+          cut_[s] = floor + 1;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Stable and fully arrived: cut_ is the least satisfying consistent cut.
+  for (std::size_t s = 0; s < n(); ++s)
+    if (!arrived(s)) return;
+  detected_ = true;
+  detect_time_ = net().simulator().now();
+  net().simulator().stop();
+}
+
+}  // namespace wcp::slice

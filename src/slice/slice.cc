@@ -1,0 +1,172 @@
+#include "slice/slice.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/error.h"
+
+namespace wcp::slice {
+
+Slice Slice::build(const SliceInput& in, SliceBuildCounters* counters) {
+  SliceBuildCounters local;
+  SliceBuildCounters& ctr = counters ? *counters : local;
+  const std::size_t n = in.num_slots();
+  WCP_REQUIRE(n >= 1, "empty predicate");
+
+  Slice s;
+  s.slots_.resize(n);
+
+  const auto bottom = jil(in, 0, 1, &ctr.jil);
+  if (!bottom) return s;  // no satisfying cut: empty slice
+  s.bottom_ = *bottom;
+
+  // Per slot, compute J_s(k) for k = 1..top[s]. J_s is pointwise monotone
+  // in k, so each fixpoint resumes from the previous J (amortized O(n^2 m)
+  // per slot instead of O(n^2 m) per state). States whose J coincide form
+  // one strongly connected component of the constraint graph (mutual
+  // inclusion); deduplicate via the cut -> group map.
+  std::map<std::vector<StateIndex>, int> group_of_cut;
+  auto intern = [&](const std::vector<StateIndex>& cut) {
+    auto [it, inserted] =
+        group_of_cut.emplace(cut, static_cast<int>(s.groups_.size()));
+    if (inserted) s.groups_.push_back(cut);
+    return it->second;
+  };
+
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    auto& per = s.slots_[slot];
+    per.group.assign(static_cast<std::size_t>(in.num_states(slot)), -1);
+    std::vector<StateIndex> prev = s.bottom_;  // J_slot(1) == bottom
+    for (StateIndex k = 1; k <= in.num_states(slot); ++k) {
+      std::vector<StateIndex> lo = prev;
+      lo[slot] = std::max(lo[slot], k);
+      const auto j = least_satisfying_cut(in, lo, &ctr.jil);
+      if (!j) break;  // no satisfying cut includes (slot, k) or beyond
+      per.group[static_cast<std::size_t>(k - 1)] = intern(*j);
+      prev = *j;
+    }
+  }
+
+  // Slice top = join of all JILs == the greatest satisfying cut; since the
+  // per-slot J sequences are monotone, that is the pointwise max of the
+  // last existing J per slot — equivalently each slot's deepest state that
+  // still has a group.
+  s.top_.assign(n, 0);
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const auto& g = s.slots_[slot].group;
+    StateIndex k = static_cast<StateIndex>(g.size());
+    while (k >= 1 && g[static_cast<std::size_t>(k - 1)] < 0) --k;
+    WCP_CHECK_MSG(k >= 1, "nonempty slice must cover every slot");
+    s.top_[slot] = k;
+  }
+
+  // Quotient-DAG edges: group of (t, J[t]) -> group holding the state whose
+  // J is this cut, for every constraint component. Deduplicate pairs.
+  std::set<std::pair<int, int>> edges;
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const auto& g = s.slots_[slot].group;
+    for (StateIndex k = 1; k <= static_cast<StateIndex>(g.size()); ++k) {
+      const int to = g[static_cast<std::size_t>(k - 1)];
+      if (to < 0) continue;
+      const auto& j = s.groups_[static_cast<std::size_t>(to)];
+      for (std::size_t t = 0; t < n; ++t) {
+        if (t == slot) continue;
+        const int from = s.group_of(t, j[t]);
+        if (from >= 0 && from != to) edges.insert({from, to});
+      }
+    }
+  }
+  s.num_edges_ = static_cast<std::int64_t>(edges.size());
+  return s;
+}
+
+Slice Slice::build(const Computation& comp, SliceBuildCounters* counters) {
+  return build(ComputationInput(comp), counters);
+}
+
+int Slice::group_of(std::size_t slot, StateIndex k) const {
+  const auto& g = slots_.at(slot).group;
+  if (k < 1 || k > static_cast<StateIndex>(g.size())) return -1;
+  return g[static_cast<std::size_t>(k - 1)];
+}
+
+bool Slice::contains(std::span<const StateIndex> cut) const {
+  if (empty() || cut.size() != slots_.size()) return false;
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    const int g = group_of(s, cut[s]);
+    if (g < 0) return false;
+    const auto& j = groups_[static_cast<std::size_t>(g)];
+    for (std::size_t t = 0; t < slots_.size(); ++t)
+      if (cut[t] < j[t]) return false;
+  }
+  return true;
+}
+
+void Slice::successors(
+    const std::vector<StateIndex>& cut,
+    const std::function<void(std::vector<StateIndex>)>& emit) const {
+  const std::size_t n = slots_.size();
+  for (std::size_t s = 0; s < n; ++s) {
+    const int g = group_of(s, cut[s] + 1);
+    if (g < 0) continue;  // slot exhausted or state sliced away
+    const auto& j = groups_[static_cast<std::size_t>(g)];
+    // C join J_s(C[s]+1): the least satisfying cut strictly above C in
+    // slot s. Every cover of C in the satisfying lattice has this shape.
+    std::vector<StateIndex> next(n);
+    for (std::size_t t = 0; t < n; ++t) next[t] = std::max(cut[t], j[t]);
+    next[s] = std::max(next[s], cut[s] + 1);
+    emit(std::move(next));
+  }
+}
+
+Slice::CutCount Slice::num_cuts(std::int64_t cap) const {
+  CutCount out;
+  // Enumerate one past the cap so an exact-cap count is not misreported as
+  // saturated.
+  out.count = for_each_cut(
+      [](const std::vector<StateIndex>&) { return true; },
+      cap < 0 ? -1 : cap + 1);
+  if (cap >= 0 && out.count > cap) {
+    out.count = cap;
+    out.saturated = true;
+  }
+  return out;
+}
+
+std::int64_t Slice::for_each_cut(
+    const std::function<bool(const std::vector<StateIndex>&)>& fn,
+    std::int64_t cap) const {
+  std::int64_t visited = 0;
+  CutIterator it(*this);
+  while (cap < 0 || visited < cap) {
+    const auto cut = it.next();
+    if (!cut) break;
+    ++visited;
+    if (!fn(*cut)) break;
+  }
+  return visited;
+}
+
+Slice::CutIterator::CutIterator(const Slice& slice) : slice_(slice) {
+  if (!slice_.empty()) push(slice_.bottom_);
+}
+
+void Slice::CutIterator::push(std::vector<StateIndex> cut) {
+  if (!seen_.insert(cut).second) return;
+  StateIndex level = 0;
+  for (StateIndex k : cut) level += k;
+  ready_.push(Entry{level, seq_++, std::move(cut)});
+}
+
+std::optional<std::vector<StateIndex>> Slice::CutIterator::next() {
+  if (ready_.empty()) return std::nullopt;
+  std::vector<StateIndex> cut = ready_.top().cut;
+  ready_.pop();
+  slice_.successors(cut,
+                    [this](std::vector<StateIndex> n) { push(std::move(n)); });
+  return cut;
+}
+
+}  // namespace wcp::slice

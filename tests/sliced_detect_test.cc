@@ -1,0 +1,214 @@
+// Slice-pruned detectors (detect/sliced.h): same verdicts and cuts as the
+// Cooper-Marzullo baselines on every randomized case, valid witnesses, and
+// an order-of-magnitude pruning guarantee on the E10 blowup shape.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "detect/lattice.h"
+#include "detect/lattice_online.h"
+#include "detect/sliced.h"
+#include "workload/random_workload.h"
+
+namespace wcp::detect {
+namespace {
+
+using Cut = std::vector<StateIndex>;
+
+Computation random_case(std::uint64_t seed, std::size_t N = 4,
+                        std::size_t n = 3, std::int64_t events = 6) {
+  workload::RandomSpec spec;
+  spec.num_processes = N;
+  spec.num_predicate = n;
+  spec.events_per_process = events;
+  spec.local_pred_prob = (seed % 3 == 0) ? 0.6 : 0.3;
+  spec.ensure_detectable = (seed % 2 == 0);
+  spec.seed = seed;
+  return workload::make_random(spec);
+}
+
+/// The E10 workload: n processes, no cross-causality, predicate true only
+/// in the last states.
+Computation blowup_case(std::size_t n, std::int64_t states) {
+  ComputationBuilder b(n);
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::int64_t k = 1; k < states; ++k)
+      b.send(ProcessId(static_cast<int>(p)),
+             ProcessId(static_cast<int>((p + 1) % n)));  // never delivered
+  for (std::size_t p = 0; p < n; ++p)
+    b.mark_pred(ProcessId(static_cast<int>(p)), true);
+  return b.build();
+}
+
+void expect_consistent_non_satisfying(const Computation& comp, const Cut& cut,
+                                      const char* what) {
+  const auto procs = comp.predicate_processes();
+  ASSERT_EQ(cut.size(), procs.size()) << what;
+  bool satisfies = true;
+  for (std::size_t s = 0; s < procs.size(); ++s) {
+    ASSERT_GE(cut[s], 1) << what;
+    ASSERT_LE(cut[s], comp.num_states(procs[s])) << what;
+    if (!comp.local_pred(procs[s], cut[s])) satisfies = false;
+    for (std::size_t t = s + 1; t < procs.size(); ++t)
+      EXPECT_FALSE(
+          comp.happened_before(procs[s], cut[s], procs[t], cut[t]) ||
+          comp.happened_before(procs[t], cut[t], procs[s], cut[s]))
+          << what << ": witness cut not consistent";
+  }
+  EXPECT_FALSE(satisfies) << what << ": witness cut satisfies the WCP";
+}
+
+TEST(SlicedDetect, PossiblyMatchesLatticeOnRandomCases) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const auto comp = random_case(seed);
+    const auto base = detect_lattice(comp);
+    const auto sliced = detect_lattice_sliced(comp);
+    ASSERT_EQ(sliced.detected, base.detected) << "seed " << seed;
+    if (base.detected) {
+      EXPECT_EQ(sliced.cut, base.cut) << "seed " << seed;
+    }
+    EXPECT_FALSE(sliced.truncated);
+  }
+}
+
+TEST(SlicedDetect, DefinitelyMatchesBaselineOnRandomCases) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const auto comp = random_case(seed, /*N=*/4, /*n=*/4, /*events=*/7);
+    const auto base = detect_definitely(comp, 1'000'000);
+    const auto sliced = detect_definitely_sliced(comp);
+    ASSERT_FALSE(base.truncated) << "seed " << seed;
+    ASSERT_FALSE(sliced.truncated) << "seed " << seed;
+    ASSERT_EQ(sliced.definitely, base.definitely) << "seed " << seed;
+
+    // Both witnesses, when present, must be consistent non-satisfying cuts.
+    if (!base.definitely) {
+      expect_consistent_non_satisfying(comp, base.witness, "baseline");
+      expect_consistent_non_satisfying(comp, sliced.witness, "sliced");
+    } else {
+      EXPECT_TRUE(base.witness.empty()) << "seed " << seed;
+      EXPECT_TRUE(sliced.witness.empty()) << "seed " << seed;
+    }
+  }
+}
+
+TEST(SlicedDetect, DefinitelyBottomSatisfiesShortCircuits) {
+  ComputationBuilder b(2);
+  b.mark_pred(ProcessId(0), true);
+  b.mark_pred(ProcessId(1), true);
+  b.transfer(ProcessId(0), ProcessId(1));
+  const auto comp = b.build();
+  const auto base = detect_definitely(comp);
+  const auto sliced = detect_definitely_sliced(comp);
+  EXPECT_TRUE(base.definitely);
+  EXPECT_TRUE(sliced.definitely);
+  EXPECT_EQ(base.cuts_explored, 1);
+  EXPECT_EQ(sliced.cuts_explored, 1);
+}
+
+TEST(SlicedDetect, WitnessIsBottomWhenPredicateNeverHolds) {
+  ComputationBuilder b(2);
+  b.transfer(ProcessId(0), ProcessId(1));
+  const auto comp = b.build();
+  const auto base = detect_definitely(comp);
+  const auto sliced = detect_definitely_sliced(comp);
+  ASSERT_FALSE(base.definitely);
+  ASSERT_FALSE(sliced.definitely);
+  // With no satisfying cut anywhere, every observation avoids the WCP from
+  // the very start: the witness is the bottom cut.
+  EXPECT_EQ(base.witness, (Cut{1, 1}));
+  expect_consistent_non_satisfying(comp, sliced.witness, "sliced");
+}
+
+TEST(SlicedDetect, DefinitelyTruncationReported) {
+  // Large all-false computation: the interval handoff graph is big enough
+  // for a tiny cap to bite.
+  ComputationBuilder b(3);
+  for (int p = 0; p < 3; ++p)
+    for (int k = 0; k < 8; ++k) {
+      b.send(ProcessId(p), ProcessId((p + 1) % 3));  // undelivered
+      b.mark_pred(ProcessId(p), k % 2 == 0);         // alternate T/F
+    }
+  const auto comp = b.build();
+  const auto r = detect_definitely_sliced(comp, /*max_cuts=*/2);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_TRUE(r.witness.empty());
+}
+
+// The acceptance gate: on the E10 blowup shape both sliced detectors must
+// explore >= 10x fewer cuts than the capped baselines while agreeing with
+// the oracle about the verdict.
+TEST(SlicedDetect, BlowupShapePrunesTenfold) {
+  const auto comp = blowup_case(/*n=*/5, /*states=*/20);
+  constexpr std::int64_t kCap = 200'000;
+
+  const auto base_pos = detect_lattice(comp, kCap);
+  ASSERT_TRUE(base_pos.truncated);  // 20^5 cuts; the baseline drowns
+  const auto sliced_pos = detect_lattice_sliced(comp);
+  ASSERT_TRUE(sliced_pos.detected);
+  EXPECT_EQ(sliced_pos.cut, *comp.first_wcp_cut());
+  EXPECT_EQ(sliced_pos.cut, Cut(5, 20));
+  EXPECT_GE(base_pos.cuts_explored, 10 * sliced_pos.cuts_explored)
+      << "possibly prune factor below 10x: baseline="
+      << base_pos.cuts_explored << " sliced=" << sliced_pos.cuts_explored;
+
+  const auto base_def = detect_definitely(comp, kCap);
+  ASSERT_TRUE(base_def.truncated);
+  const auto sliced_def = detect_definitely_sliced(comp);
+  ASSERT_FALSE(sliced_def.truncated);
+  // Every observation ends at the top cut, which satisfies the predicate.
+  EXPECT_TRUE(sliced_def.definitely);
+  EXPECT_GE(base_def.cuts_explored, 10 * sliced_def.cuts_explored)
+      << "definitely prune factor below 10x: baseline="
+      << base_def.cuts_explored << " sliced=" << sliced_def.cuts_explored;
+}
+
+TEST(SlicedDetect, OnlineSlicerMatchesOracle) {
+  RunOptions o;
+  o.seed = 3;
+  o.latency = sim::LatencyModel::uniform(1, 4);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto comp = random_case(seed, /*N=*/5, /*n=*/3, /*events=*/8);
+    const auto oracle = comp.first_wcp_cut();
+    const auto r = run_slice_online(comp, o);
+    ASSERT_EQ(r.detected, oracle.has_value()) << "seed " << seed;
+    if (oracle) {
+      EXPECT_EQ(r.cut, *oracle) << "seed " << seed;
+    }
+    EXPECT_GT(r.states_received, 0) << "seed " << seed;
+  }
+}
+
+TEST(SlicedDetect, OnlineSlicerAgreesWithOnlineLattice) {
+  RunOptions o;
+  o.seed = 5;
+  o.latency = sim::LatencyModel::uniform(1, 4);
+  const auto comp = random_case(9, /*N=*/5, /*n=*/3, /*events=*/8);
+  const auto sliced = run_slice_online(comp, o);
+  const auto lattice = run_lattice_online(comp, o, 1'000'000);
+  ASSERT_EQ(sliced.detected, lattice.detected);
+  if (lattice.detected) {
+    EXPECT_EQ(sliced.cut, lattice.cut);
+  }
+}
+
+TEST(SlicedDetect, OnlineSlicerReportsSliceCounters) {
+  RunOptions o;
+  o.seed = 3;
+  o.latency = sim::LatencyModel::uniform(1, 4);
+  const auto comp = blowup_case(/*n=*/4, /*states=*/6);
+  const auto r = run_slice_online(comp, o);
+  ASSERT_TRUE(r.detected);
+  EXPECT_EQ(r.cut, Cut(4, 6));
+  EXPECT_EQ(r.slice_cuts, 1);  // only the all-last cut satisfies
+  EXPECT_FALSE(r.slice_cuts_saturated);
+  EXPECT_GT(r.slice_groups, 0);
+  EXPECT_GT(r.jil_advances, 0);
+
+  const auto metrics = slice_report_metrics(r);
+  ASSERT_FALSE(metrics.empty());
+  EXPECT_EQ(metrics.front().first, "detected");
+  EXPECT_EQ(metrics.front().second, 1.0);
+}
+
+}  // namespace
+}  // namespace wcp::detect
