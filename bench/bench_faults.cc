@@ -1,0 +1,129 @@
+// E16 — cost of surviving a faulty network. The paper's complexity results
+// (§3.2, §3.5) assume loss-free channels; this experiment prices that
+// assumption: sweep the per-transmission drop rate for both token
+// detectors, with the reliable transport restoring exactly-once FIFO
+// delivery, and report the wire-message overhead relative to the
+// fault-free run (retransmits + acks + duplicate copies). A companion
+// sweep adds a mid-run token-holder crash to price token regeneration.
+#include "bench_common.h"
+#include "detect/multi_token.h"
+#include "detect/token_vc.h"
+
+namespace wcp::bench {
+namespace {
+
+// drop = range(0) / 100; range(1) selects the detector (0 = single token,
+// g > 0 = multi-token with g groups).
+void BM_Faults_DropSweep(benchmark::State& state) {
+  const double drop = static_cast<double>(state.range(0)) / 100.0;
+  const int g = static_cast<int>(state.range(1));
+  const std::size_t n = 8;
+  const auto& comp = cached_random(/*N=*/8, n, /*events=*/20, /*seed=*/51);
+
+  detect::RunOptions opts = default_opts();
+  opts.latency = sim::LatencyModel::uniform(1, 6);
+  if (drop > 0) opts.faults = sim::FaultPlan::lossy_dup(drop, drop / 4, 71);
+
+  detect::DetectionResult last;
+  for (auto _ : state) {
+    if (g == 0) {
+      last = detect::run_token_vc(comp, opts);
+    } else {
+      detect::MultiTokenOptions mt;
+      mt.num_groups = g;
+      last = detect::run_multi_token(comp, opts, mt);
+    }
+    benchmark::DoNotOptimize(last.detected);
+  }
+
+  // Fault-free baseline of the same detector: the overhead denominator.
+  detect::RunOptions clean = opts;
+  clean.faults = {};
+  detect::DetectionResult base;
+  if (g == 0) {
+    base = detect::run_token_vc(comp, clean);
+  } else {
+    detect::MultiTokenOptions mt;
+    mt.num_groups = g;
+    base = detect::run_multi_token(comp, clean, mt);
+  }
+  const double base_msgs = static_cast<double>(
+      base.app_metrics.total_messages() + base.monitor_metrics.total_messages());
+  const double faulty_msgs = static_cast<double>(
+      last.app_metrics.total_messages() + last.monitor_metrics.total_messages());
+
+  state.counters["drop"] = drop;
+  state.counters["g"] = static_cast<double>(g);
+  state.counters["detected"] = last.detected ? 1 : 0;
+  state.counters["drops_total"] = static_cast<double>(last.faults.total_drops());
+  state.counters["retransmits"] = static_cast<double>(last.faults.retransmits);
+  state.counters["acks"] = static_cast<double>(last.faults.acks);
+  state.counters["dup_suppressed"] =
+      static_cast<double>(last.faults.dup_suppressed);
+  state.counters["msg_overhead"] =
+      base_msgs > 0 ? faulty_msgs / base_msgs : 0.0;
+  state.counters["virtual_detect_time"] =
+      static_cast<double>(last.detect_time);
+
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(comp.num_processes());
+  rp.n = static_cast<std::int64_t>(n);
+  rp.m = static_cast<std::int64_t>(comp.max_messages_per_process());
+  rp.seed = 51;
+  const std::string id =
+      std::string("E16_faults/") + (g == 0 ? "token" : "multi") +
+      "/drop=" + std::to_string(state.range(0));
+  report_run(state, id, rp, last, std::nullopt, std::nullopt);
+}
+BENCHMARK(BM_Faults_DropSweep)
+    ->ArgsProduct({{0, 5, 10, 20, 30}, {0, 2}});
+
+// A lossy run (drop=0.2, dup=0.05) with one monitor crash/restart window:
+// prices the heartbeat/lease machinery and token regeneration.
+void BM_Faults_HolderCrash(benchmark::State& state) {
+  const int g = static_cast<int>(state.range(0));
+  const std::size_t n = 8;
+  const auto& comp = cached_random(/*N=*/8, n, /*events=*/20, /*seed=*/51);
+
+  detect::RunOptions opts = default_opts();
+  opts.latency = sim::LatencyModel::uniform(1, 6);
+  opts.faults = sim::FaultPlan::lossy_dup(0.2, 0.05, 71);
+  opts.faults.crashes.push_back({sim::NodeAddr::monitor(
+                                     comp.predicate_processes().front()),
+                                 /*at=*/20, /*restart=*/80});
+
+  detect::DetectionResult last;
+  for (auto _ : state) {
+    if (g == 0) {
+      last = detect::run_token_vc(comp, opts);
+    } else {
+      detect::MultiTokenOptions mt;
+      mt.num_groups = g;
+      last = detect::run_multi_token(comp, opts, mt);
+    }
+    benchmark::DoNotOptimize(last.detected);
+  }
+
+  state.counters["g"] = static_cast<double>(g);
+  state.counters["detected"] = last.detected ? 1 : 0;
+  state.counters["crashes"] = static_cast<double>(last.faults.crashes);
+  state.counters["restarts"] = static_cast<double>(last.faults.restarts);
+  state.counters["token_regenerations"] =
+      static_cast<double>(last.faults.token_regenerations);
+  state.counters["heartbeats"] = static_cast<double>(last.faults.heartbeats);
+  state.counters["virtual_detect_time"] =
+      static_cast<double>(last.detect_time);
+
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(comp.num_processes());
+  rp.n = static_cast<std::int64_t>(n);
+  rp.m = static_cast<std::int64_t>(comp.max_messages_per_process());
+  rp.seed = 51;
+  report_run(state,
+             std::string("E16_faults/crash/") + (g == 0 ? "token" : "multi"),
+             rp, last, std::nullopt, std::nullopt);
+}
+BENCHMARK(BM_Faults_HolderCrash)->Arg(0)->Arg(2);
+
+}  // namespace
+}  // namespace wcp::bench

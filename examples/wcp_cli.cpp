@@ -91,6 +91,8 @@ int usage() {
       "lattice|lattice-online|lattice-sliced|definitely|definitely-sliced|"
       "oracle]\n"
       "                   [--groups g] [--seed s] [--halt 0|1] [--json]\n"
+      "                   [--faults spec]   e.g. "
+      "--faults drop=0.2,dup=0.05,seed=7,crash=m1@40+30\n"
       "  wcp_cli slice    <in.trace> [--max-cuts k] [--json]\n"
       "  wcp_cli info     <in.trace>\n"
       "  wcp_cli diagram  <in.trace> [--max-states k]\n"
@@ -184,7 +186,12 @@ int cmd_detect(const Args& a) {
   opts.seed = static_cast<std::uint64_t>(flag_int(a, "seed", 1));
   opts.latency = sim::LatencyModel::uniform(1, 6);
   opts.halt_on_detect = flag_int(a, "halt", 0) != 0;
-  const detect::ReportParams rp = report_params(comp, opts.seed);
+  const std::string fault_spec = flag_str(a, "faults", "");
+  if (!fault_spec.empty()) opts.faults = sim::FaultPlan::parse(fault_spec);
+  detect::ReportParams rp = report_params(comp, opts.seed);
+  // Echo the canonical (round-tripped) spec so the report pins down the
+  // exact fault schedule the run used.
+  if (opts.faults.enabled()) rp.faults = opts.faults.to_string();
 
   const auto emit_flat =
       [&](const std::vector<std::pair<std::string, double>>& metrics) {

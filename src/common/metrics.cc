@@ -72,6 +72,47 @@ void RunStats::write_json(json::Writer& w, bool include_wall_clock) const {
   w.end_object();
 }
 
+bool FaultCounters::any() const {
+  return total_drops() + dups + crashes + restarts + retransmits + acks +
+             dup_suppressed + resequenced + token_regenerations + heartbeats !=
+         0;
+}
+
+void FaultCounters::merge(const FaultCounters& other) {
+  drops_random += other.drops_random;
+  drops_burst += other.drops_burst;
+  drops_partition += other.drops_partition;
+  drops_crash += other.drops_crash;
+  dups += other.dups;
+  crashes += other.crashes;
+  restarts += other.restarts;
+  retransmits += other.retransmits;
+  acks += other.acks;
+  dup_suppressed += other.dup_suppressed;
+  resequenced += other.resequenced;
+  token_regenerations += other.token_regenerations;
+  heartbeats += other.heartbeats;
+}
+
+void FaultCounters::write_json(json::Writer& w) const {
+  w.begin_object();
+  w.field("drops_random", drops_random);
+  w.field("drops_burst", drops_burst);
+  w.field("drops_partition", drops_partition);
+  w.field("drops_crash", drops_crash);
+  w.field("drops_total", total_drops());
+  w.field("dups", dups);
+  w.field("crashes", crashes);
+  w.field("restarts", restarts);
+  w.field("retransmits", retransmits);
+  w.field("acks", acks);
+  w.field("dup_suppressed", dup_suppressed);
+  w.field("resequenced", resequenced);
+  w.field("token_regenerations", token_regenerations);
+  w.field("heartbeats", heartbeats);
+  w.end_object();
+}
+
 void Metrics::record_send(ProcessId from, MsgKind kind, std::int64_t bits) {
   auto& pm = at(from);
   ++pm.messages_sent[static_cast<std::size_t>(kind)];

@@ -68,6 +68,39 @@ struct RunStats {
   void write_json(json::Writer& w, bool include_wall_clock = true) const;
 };
 
+/// Counters for the fault-injection layer and the reliable transport that
+/// compensates for it (sim/fault.h, sim/reliable.h). All-zero on fault-free
+/// runs; fully deterministic per (seed, fault plan) otherwise — wall-clock
+/// is not involved anywhere.
+struct FaultCounters {
+  // Injected faults.
+  std::int64_t drops_random = 0;     ///< Bernoulli per-transmission loss
+  std::int64_t drops_burst = 0;      ///< lost inside a burst-loss window
+  std::int64_t drops_partition = 0;  ///< lost across a partition
+  std::int64_t drops_crash = 0;      ///< destination was down at delivery
+  std::int64_t dups = 0;             ///< duplicated transmissions injected
+  std::int64_t crashes = 0;          ///< crash events fired
+  std::int64_t restarts = 0;         ///< restart events fired
+  // Reliable-transport reactions.
+  std::int64_t retransmits = 0;      ///< timeout-driven re-sends
+  std::int64_t acks = 0;             ///< cumulative acks sent
+  std::int64_t dup_suppressed = 0;   ///< duplicate frames discarded
+  std::int64_t resequenced = 0;      ///< frames buffered out of order
+  // Token recovery (detect/token_vc, detect/multi_token).
+  std::int64_t token_regenerations = 0;  ///< tokens rebuilt after a lease expiry
+  std::int64_t heartbeats = 0;           ///< holder heartbeats sent
+
+  [[nodiscard]] std::int64_t total_drops() const {
+    return drops_random + drops_burst + drops_partition + drops_crash;
+  }
+  [[nodiscard]] bool any() const;
+
+  void merge(const FaultCounters& other);
+
+  /// One flat JSON object (the `faults` block of wcp-run-report/1).
+  void write_json(json::Writer& w) const;
+};
+
 /// Aggregated metrics for one detection run.
 class Metrics {
  public:

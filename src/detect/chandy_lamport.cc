@@ -106,14 +106,10 @@ ClResult run_chandy_lamport(const Computation& comp, const RunOptions& opts,
                             const ClOptions& cl) {
   const std::size_t N = comp.num_processes();
 
-  sim::NetworkConfig ncfg;
-  ncfg.num_processes = N;
-  ncfg.latency = opts.latency;
-  ncfg.monitor_latency = opts.monitor_latency;
+  sim::NetworkConfig ncfg = network_config(opts, N);
   // The classic Chandy-Lamport FIFO-channel assumption.
   ncfg.fifo_all = true;
-  ncfg.seed = opts.seed;
-  sim::Network net(ncfg);
+  sim::Network net(std::move(ncfg));
 
   auto shared = std::make_shared<SharedDetection>();
   auto snapshots = std::make_unique<std::vector<ClSnapshot>>();

@@ -198,13 +198,7 @@ DetectionResult run_direct_dep(const Computation& comp, const RunOptions& opts,
                                const DdInspector& inspector) {
   const std::size_t N = comp.num_processes();
 
-  sim::NetworkConfig ncfg;
-  ncfg.num_processes = N;
-  ncfg.latency = opts.latency;
-  ncfg.monitor_latency = opts.monitor_latency;
-  ncfg.fifo_all = opts.fifo_all;
-  ncfg.seed = opts.seed;
-  sim::Network net(ncfg);
+  sim::Network net(network_config(opts, N));
 
   auto monitors = std::make_shared<std::vector<DdMonitor*>>();
   DdHandoffObserver observer;
@@ -230,14 +224,7 @@ DetectionResult run_direct_dep(const Computation& comp, const RunOptions& opts,
     r.frozen_cut.reserve(drivers.size());
     for (const auto* d : drivers) r.frozen_cut.push_back(d->current_state());
   }
-  r.detected = shared->detected;
-  r.detect_time = shared->detect_time;
-  r.end_time = net.simulator().now();
-  r.sim_events = net.simulator().events_processed();
-  r.stats = net.run_stats();
-  r.token_hops = net.monitor_metrics().token_hops();
-  r.app_metrics = net.app_metrics();
-  r.monitor_metrics = net.monitor_metrics();
+  finish_result(r, net, *shared);
   if (r.detected) {
     r.full_cut.resize(N);
     for (std::size_t p = 0; p < N; ++p) r.full_cut[p] = (*monitors)[p]->G();

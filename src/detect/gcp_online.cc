@@ -127,13 +127,7 @@ DetectionResult run_gcp_centralized(const Computation& comp,
                                        << " is not a predicate process");
   }
 
-  sim::NetworkConfig ncfg;
-  ncfg.num_processes = comp.num_processes();
-  ncfg.latency = opts.latency;
-  ncfg.monitor_latency = opts.monitor_latency;
-  ncfg.fifo_all = opts.fifo_all;
-  ncfg.seed = opts.seed;
-  sim::Network net(ncfg);
+  sim::Network net(network_config(opts, comp.num_processes()));
 
   auto shared = std::make_shared<SharedDetection>();
 
@@ -154,14 +148,7 @@ DetectionResult run_gcp_centralized(const Computation& comp,
   net.start_and_run(opts.max_events);
 
   DetectionResult r;
-  r.detected = shared->detected;
-  r.cut = shared->cut;
-  r.detect_time = shared->detect_time;
-  r.end_time = net.simulator().now();
-  r.sim_events = net.simulator().events_processed();
-  r.stats = net.run_stats();
-  r.app_metrics = net.app_metrics();
-  r.monitor_metrics = net.monitor_metrics();
+  finish_result(r, net, *shared);
   return r;
 }
 

@@ -152,13 +152,7 @@ LatticeOnlineResult run_lattice_online(const Computation& comp,
   const auto preds = comp.predicate_processes();
   WCP_REQUIRE(!preds.empty(), "empty predicate");
 
-  sim::NetworkConfig ncfg;
-  ncfg.num_processes = comp.num_processes();
-  ncfg.latency = opts.latency;
-  ncfg.monitor_latency = opts.monitor_latency;
-  ncfg.fifo_all = opts.fifo_all;
-  ncfg.seed = opts.seed;
-  sim::Network net(ncfg);
+  sim::Network net(network_config(opts, comp.num_processes()));
 
   auto shared = std::make_shared<SharedDetection>();
   LatticeChecker::Config lc;

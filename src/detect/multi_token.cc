@@ -13,6 +13,11 @@ MultiTokenLeader::MultiTokenLeader(Config cfg) : cfg_(std::move(cfg)) {
   WCP_REQUIRE(cfg_.shared != nullptr, "leader needs shared detection state");
   WCP_REQUIRE(cfg_.num_groups >= 1, "need at least one group");
   canonical_ = VcToken(n());
+  const auto g = static_cast<std::size_t>(cfg_.num_groups);
+  incarnation_.assign(g, 0);
+  outstanding_group_.assign(g, 0);
+  starved_.assign(g, 0);
+  deadline_.assign(g, 0);
 }
 
 void MultiTokenLeader::on_start() {
@@ -21,11 +26,49 @@ void MultiTokenLeader::on_start() {
 }
 
 void MultiTokenLeader::on_packet(sim::Packet&& p) {
+  if (p.kind == MsgKind::kControl) {
+    const SimTime now = net().simulator().now();
+    if (p.payload.type() == typeid(TokenHeartbeat)) {
+      const auto hb = std::any_cast<TokenHeartbeat>(std::move(p.payload));
+      const auto g = static_cast<std::size_t>(hb.group);
+      if (hb.group >= 0 && g < outstanding_group_.size() &&
+          outstanding_group_[g] && hb.incarnation == incarnation_[g])
+        deadline_[g] = now + cfg_.recovery.lease;
+      return;
+    }
+    if (p.payload.type() == typeid(TokenStarved)) {
+      const auto st = std::any_cast<TokenStarved>(std::move(p.payload));
+      const auto g = static_cast<std::size_t>(st.group);
+      if (st.group >= 0 && g < outstanding_group_.size() &&
+          st.incarnation == incarnation_[g]) {
+        starved_[g] = 1;
+        group_done(st.group);
+      }
+      return;
+    }
+    WCP_CHECK_MSG(false, "leader got unexpected control payload");
+  }
   WCP_CHECK_MSG(p.kind == MsgKind::kToken,
                 "leader got unexpected " << to_string(p.kind));
   auto tok = std::any_cast<VcToken>(std::move(p.payload));
   net().bump_token_hops();
   merge(tok);
+  // A stale incarnation is a duplicate the guardian logic already replaced:
+  // its information was merged above, but only the live token's return may
+  // close out the group.
+  const auto g = static_cast<std::size_t>(tok.group);
+  WCP_CHECK(tok.group >= 0 && g < outstanding_group_.size());
+  if (!outstanding_group_[g] || tok.incarnation != incarnation_[g]) {
+    WCP_CHECK_MSG(cfg_.recovery.enabled, "stale token without recovery");
+    return;
+  }
+  group_done(tok.group);
+}
+
+void MultiTokenLeader::group_done(int group) {
+  const auto g = static_cast<std::size_t>(group);
+  if (!outstanding_group_[g]) return;
+  outstanding_group_[g] = 0;
   --outstanding_;
   WCP_CHECK(outstanding_ >= 0);
   if (outstanding_ == 0) cross_check_and_dispatch();
@@ -37,18 +80,9 @@ void MultiTokenLeader::merge(const VcToken& tok) {
   // marked red with a raised G (an elimination). Merge keeps, per slot, the
   // furthest-advanced view; at equal G a red mark wins because it records a
   // proof that the candidate state is eliminated.
-  for (std::size_t s = 0; s < n(); ++s) {
-    net().add_monitor_work(ProcessId(static_cast<int>(net().num_processes())),
-                           1);
-    if (tok.G[s] > canonical_.G[s]) {
-      canonical_.G[s] = tok.G[s];
-      canonical_.color[s] = tok.color[s];
-      canonical_.V[s] = tok.V[s];
-    } else if (tok.G[s] == canonical_.G[s] &&
-               tok.color[s] == Color::kRed) {
-      canonical_.color[s] = Color::kRed;
-    }
-  }
+  net().add_monitor_work(ProcessId(static_cast<int>(net().num_processes())),
+                         static_cast<std::int64_t>(n()));
+  merge_token(canonical_, tok);
 }
 
 void MultiTokenLeader::cross_check_and_dispatch() {
@@ -95,31 +129,83 @@ void MultiTokenLeader::cross_check_and_dispatch() {
   }
 
   std::vector<bool> needs(static_cast<std::size_t>(cfg_.num_groups), false);
-  for (std::size_t s = 0; s < n(); ++s)
-    if (canonical_.color[s] == Color::kRed)
-      needs[static_cast<std::size_t>(cfg_.group_of_slot[s])] = true;
+  bool starved_red = false;
+  for (std::size_t s = 0; s < n(); ++s) {
+    if (canonical_.color[s] != Color::kRed) continue;
+    const auto g = static_cast<std::size_t>(cfg_.group_of_slot[s]);
+    if (starved_[g]) {
+      // The group's candidate stream dried up while a slot still needs to
+      // advance: the predicate is undetectable; let the run drain.
+      starved_red = true;
+      continue;
+    }
+    needs[g] = true;
+  }
 
   for (int g = 0; g < cfg_.num_groups; ++g)
-    if (needs[static_cast<std::size_t>(g)]) dispatch(g);
-  WCP_CHECK_MSG(outstanding_ > 0, "leader stuck: red slots but no dispatch");
+    if (needs[static_cast<std::size_t>(g)]) dispatch(g, /*regenerated=*/false);
+  WCP_CHECK_MSG(outstanding_ > 0 || starved_red,
+                "leader stuck: red slots but no dispatch");
 }
 
-void MultiTokenLeader::dispatch(int group) {
+void MultiTokenLeader::dispatch(int group, bool regenerated) {
+  const auto gi = static_cast<std::size_t>(group);
   int target = -1;
   for (std::size_t s = 0; s < n(); ++s) {
-    if (cfg_.group_of_slot[s] == group &&
-        canonical_.color[s] == Color::kRed) {
-      target = static_cast<int>(s);
-      break;
-    }
+    if (cfg_.group_of_slot[s] != group || canonical_.color[s] != Color::kRed)
+      continue;
+    // Under recovery, skip slots whose monitor died for good — their
+    // candidates can never advance, but another member's might.
+    if (cfg_.recovery.enabled &&
+        net().is_down_forever(sim::NodeAddr::monitor(cfg_.slot_to_pid[s])))
+      continue;
+    target = static_cast<int>(s);
+    break;
   }
-  WCP_CHECK(target >= 0);
-  ++outstanding_;
+  if (target < 0) {
+    // Every red slot of the group is permanently dead: undetectable.
+    WCP_CHECK(cfg_.recovery.enabled);
+    starved_[gi] = 1;
+    if (regenerated) group_done(group);
+    return;
+  }
+  if (!regenerated) {
+    ++outstanding_;
+    outstanding_group_[gi] = 1;
+  }
+  ++incarnation_[gi];
+  deadline_[gi] = net().simulator().now() + cfg_.recovery.lease;
+  if (cfg_.recovery.enabled) arm_watchdog();
   VcToken copy = canonical_;
+  copy.group = group;
+  copy.incarnation = incarnation_[gi];
   const std::int64_t bits = copy.bits(/*with_v=*/true);
   send(sim::NodeAddr::monitor(
            cfg_.slot_to_pid[static_cast<std::size_t>(target)]),
        MsgKind::kToken, std::move(copy), bits);
+}
+
+void MultiTokenLeader::arm_watchdog() {
+  if (wd_armed_) return;
+  wd_armed_ = true;
+  after(cfg_.recovery.heartbeat, [this] {
+    wd_armed_ = false;
+    if (cfg_.shared->detected) return;
+    const SimTime now = net().simulator().now();
+    bool any = false;
+    for (int g = 0; g < cfg_.num_groups; ++g) {
+      const auto gi = static_cast<std::size_t>(g);
+      if (!outstanding_group_[gi]) continue;
+      if (now >= deadline_[gi]) {
+        // Lease expired: the group's token (and maybe its holder) is gone.
+        // Re-issue from the canonical merged state under a new incarnation.
+        ++net().fault_counters().token_regenerations;
+        dispatch(g, /*regenerated=*/true);
+      }
+      if (outstanding_group_[gi]) any = true;
+    }
+    if (any) arm_watchdog();
+  });
 }
 
 DetectionResult run_multi_token(const Computation& comp,
@@ -130,13 +216,8 @@ DetectionResult run_multi_token(const Computation& comp,
   WCP_REQUIRE(n >= 1, "empty predicate");
   const int g = std::clamp(mt.num_groups, 1, static_cast<int>(n));
 
-  sim::NetworkConfig ncfg;
-  ncfg.num_processes = comp.num_processes();
-  ncfg.latency = opts.latency;
-  ncfg.monitor_latency = opts.monitor_latency;
-  ncfg.fifo_all = opts.fifo_all;
-  ncfg.seed = opts.seed;
-  sim::Network net(ncfg);
+  sim::Network net(network_config(opts, comp.num_processes()));
+  const TokenRecoveryOptions recovery = effective_recovery(opts);
 
   auto shared = std::make_shared<SharedDetection>();
   std::vector<ProcessId> slot_to_pid(preds.begin(), preds.end());
@@ -152,6 +233,7 @@ DetectionResult run_multi_token(const Computation& comp,
     mc.shared = shared;
     mc.group_of_slot = group_of_slot;
     mc.leader = sim::NodeAddr::coordinator();
+    mc.recovery = recovery;
     net.add_node(sim::NodeAddr::monitor(slot_to_pid[s]),
                  std::make_unique<TokenVcMonitor>(std::move(mc)));
   }
@@ -162,6 +244,7 @@ DetectionResult run_multi_token(const Computation& comp,
   lc.num_groups = g;
   lc.halt_apps = opts.halt_on_detect;
   lc.shared = shared;
+  lc.recovery = recovery;
   auto leader = std::make_unique<MultiTokenLeader>(std::move(lc));
   net.add_node(sim::NodeAddr::coordinator(), std::move(leader));
 
@@ -178,15 +261,7 @@ DetectionResult run_multi_token(const Computation& comp,
     r.frozen_cut.reserve(drivers.size());
     for (const auto* d : drivers) r.frozen_cut.push_back(d->current_state());
   }
-  r.detected = shared->detected;
-  r.cut = shared->cut;
-  r.detect_time = shared->detect_time;
-  r.end_time = net.simulator().now();
-  r.sim_events = net.simulator().events_processed();
-  r.stats = net.run_stats();
-  r.token_hops = net.monitor_metrics().token_hops();
-  r.app_metrics = net.app_metrics();
-  r.monitor_metrics = net.monitor_metrics();
+  finish_result(r, net, *shared);
   return r;
 }
 

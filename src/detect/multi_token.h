@@ -36,6 +36,13 @@ class MultiTokenLeader final : public sim::Node {
     int num_groups = 1;
     bool halt_apps = false;  // distributed breakpoint on detection
     std::shared_ptr<SharedDetection> shared;
+
+    // Crash recovery: the leader is the guardian of every group token. A
+    // dispatched token whose lease expires without a heartbeat or a return
+    // is regenerated from the canonical merged state (the last "acked"
+    // state) under a bumped per-group incarnation; stale returns are still
+    // merged (sound) but only an incarnation match clears `outstanding`.
+    TokenRecoveryOptions recovery;
   };
 
   explicit MultiTokenLeader(Config cfg);
@@ -49,13 +56,22 @@ class MultiTokenLeader final : public sim::Node {
  private:
   void merge(const VcToken& tok);
   void cross_check_and_dispatch();
-  void dispatch(int group);
+  void dispatch(int group, bool regenerated);
+  void group_done(int group);
+  void arm_watchdog();
   [[nodiscard]] std::size_t n() const { return cfg_.slot_to_pid.size(); }
 
   Config cfg_;
   VcToken canonical_;
   int outstanding_ = 0;
   std::int64_t rounds_ = 0;
+
+  // Per-group recovery state (indexed by group id).
+  std::vector<std::int64_t> incarnation_;
+  std::vector<char> outstanding_group_;
+  std::vector<char> starved_;  // group's holder starved; stop regenerating
+  std::vector<SimTime> deadline_;
+  bool wd_armed_ = false;
 };
 
 DetectionResult run_multi_token(const Computation& comp,

@@ -19,6 +19,7 @@ void write_header(json::Writer& w, std::string_view bench,
   w.field("n", params.n);
   w.field("m", params.m);
   w.field("seed", params.seed);
+  if (!params.faults.empty()) w.field("faults", params.faults);
   w.end_object();
 }
 
@@ -57,6 +58,12 @@ void write_run_report(json::Writer& w, std::string_view bench,
                    r.monitor_metrics.max_peak_buffered_bytes()));
   w.field("detect_time", static_cast<std::int64_t>(r.detect_time));
   w.field("end_time", static_cast<std::int64_t>(r.end_time));
+  // Fault-injection summary (only on faulty runs, so fault-free reports
+  // stay byte-identical across schema revisions).
+  if (r.faults.any()) {
+    w.key("faults");
+    r.faults.write_json(w);
+  }
   // The full per-layer breakdown for downstream tooling.
   w.key("result");
   r.write_json(w, include_wall_clock);

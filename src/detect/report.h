@@ -36,6 +36,9 @@ struct ReportParams {
   std::int64_t n = 0;        ///< predicate processes
   std::int64_t m = 0;        ///< max relevant events per process
   std::uint64_t seed = 0;
+  /// Canonical fault-plan spec (FaultPlan::to_string) when the run injected
+  /// faults; empty — and absent from the report — otherwise.
+  std::string faults;
 };
 
 /// Writes one run-report record for a simulator-hosted detection run.

@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "common/json.h"
+#include "sim/network.h"
 
 namespace wcp::detect {
 
@@ -39,7 +40,47 @@ void DetectionResult::write_json(json::Writer& w, bool include_wall_clock,
   app_metrics.write_json(w, per_process);
   w.key("monitor");
   monitor_metrics.write_json(w, per_process);
+  // Only present on faulty runs, keeping fault-free reports byte-identical
+  // to earlier schema revisions.
+  if (faults.any()) {
+    w.key("faults");
+    faults.write_json(w);
+  }
   w.end_object();
+}
+
+sim::NetworkConfig network_config(const RunOptions& opts,
+                                  std::size_t num_processes) {
+  sim::NetworkConfig ncfg;
+  ncfg.num_processes = num_processes;
+  ncfg.latency = opts.latency;
+  ncfg.monitor_latency = opts.monitor_latency;
+  ncfg.fifo_all = opts.fifo_all;
+  ncfg.seed = opts.seed;
+  ncfg.faults = opts.faults;
+  ncfg.reliable = opts.reliable;
+  ncfg.reliable_all = opts.faults.enabled();
+  return ncfg;
+}
+
+TokenRecoveryOptions effective_recovery(const RunOptions& opts) {
+  TokenRecoveryOptions rec = opts.recovery;
+  rec.enabled = rec.enabled || opts.faults.has_crashes();
+  return rec;
+}
+
+void finish_result(DetectionResult& r, sim::Network& net,
+                   const SharedDetection& shared) {
+  r.detected = shared.detected;
+  r.cut = shared.cut;
+  r.detect_time = shared.detect_time;
+  r.end_time = net.simulator().now();
+  r.sim_events = net.simulator().events_processed();
+  r.stats = net.run_stats();
+  r.token_hops = net.monitor_metrics().token_hops();
+  r.app_metrics = net.app_metrics();
+  r.monitor_metrics = net.monitor_metrics();
+  r.faults = net.fault_counters();
 }
 
 std::ostream& operator<<(std::ostream& os, const DetectionResult& r) {

@@ -9,9 +9,28 @@
 
 #include "common/metrics.h"
 #include "common/types.h"
+#include "sim/fault.h"
 #include "sim/latency.h"
+#include "sim/reliable.h"
+
+namespace wcp::sim {
+struct NetworkConfig;
+class Network;
+}  // namespace wcp::sim
 
 namespace wcp::detect {
+
+/// Token-recovery tuning for the token-based detectors (token_vc and
+/// multi_token): a token holder that blocks waiting for candidates
+/// heartbeats its guardian (the monitor or leader that sent it the token);
+/// a guardian whose lease expires without a heartbeat regenerates the token
+/// from its checkpoint. Auto-enabled whenever the fault plan schedules
+/// crashes; all timings are virtual-time units.
+struct TokenRecoveryOptions {
+  bool enabled = false;
+  SimTime lease = 240;     ///< guardian watchdog deadline per heartbeat
+  SimTime heartbeat = 60;  ///< holder heartbeat period while blocked
+};
 
 /// Options common to every online (simulator-hosted) detection run.
 struct RunOptions {
@@ -31,6 +50,17 @@ struct RunOptions {
   /// simulation; the run then drains and DetectionResult::frozen_cut holds
   /// the states the processes froze in.
   bool halt_on_detect = false;
+
+  /// Fault injection (sim/fault.h). When the plan is enabled, every channel
+  /// is automatically run over the reliable transport (see network_config),
+  /// since the detectors assume loss-free channels and FIFO app->monitor
+  /// links (§2, §3.1).
+  sim::FaultPlan faults;
+  /// Ack/retransmission transport tuning for faulty runs.
+  sim::ReliableConfig reliable;
+  /// Token-holder crash recovery; auto-enabled when `faults` schedules
+  /// crashes (see effective_recovery).
+  TokenRecoveryOptions recovery;
 };
 
 /// Outcome of one detection run.
@@ -52,6 +82,9 @@ struct DetectionResult {
   RunStats stats;
   Metrics app_metrics;      ///< per application process
   Metrics monitor_metrics;  ///< per monitor process (+ one coordinator slot)
+  /// Injected faults and transport/recovery reactions (all-zero on
+  /// fault-free runs; deterministic per seed + fault plan otherwise).
+  FaultCounters faults;
 
   /// One JSON object with the outcome, both metric layers, and the
   /// execution statistics. `include_wall_clock=false` drops the only
@@ -70,5 +103,20 @@ struct SharedDetection {
   std::vector<StateIndex> cut;
   SimTime detect_time = 0;
 };
+
+/// Builds the NetworkConfig every online runner uses from the common run
+/// options. When the fault plan is enabled, all channels are switched onto
+/// the reliable transport (the detectors' channel assumptions require it).
+sim::NetworkConfig network_config(const RunOptions& opts,
+                                  std::size_t num_processes);
+
+/// Recovery options with the auto-enable rule applied: crashes in the fault
+/// plan imply token recovery.
+TokenRecoveryOptions effective_recovery(const RunOptions& opts);
+
+/// Fills the network-derived fields of a result (timings, stats, metrics,
+/// fault counters) after start_and_run, plus the shared detection outcome.
+void finish_result(DetectionResult& r, sim::Network& net,
+                   const SharedDetection& shared);
 
 }  // namespace wcp::detect

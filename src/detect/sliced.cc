@@ -176,13 +176,7 @@ SliceOnlineResult run_slice_online(const Computation& comp,
   const auto preds = comp.predicate_processes();
   WCP_REQUIRE(!preds.empty(), "empty predicate");
 
-  sim::NetworkConfig ncfg;
-  ncfg.num_processes = comp.num_processes();
-  ncfg.latency = opts.latency;
-  ncfg.monitor_latency = opts.monitor_latency;
-  ncfg.fifo_all = opts.fifo_all;
-  ncfg.seed = opts.seed;
-  sim::Network net(ncfg);
+  sim::Network net(network_config(opts, comp.num_processes()));
 
   slice::OnlineSlicer::Config sc;
   sc.slot_to_pid.assign(preds.begin(), preds.end());

@@ -7,6 +7,20 @@
 
 namespace wcp::detect {
 
+void merge_token(VcToken& into, const VcToken& from) {
+  WCP_CHECK(into.width() == from.width());
+  for (std::size_t s = 0; s < into.width(); ++s) {
+    if (from.G[s] > into.G[s]) {
+      into.G[s] = from.G[s];
+      into.color[s] = from.color[s];
+      into.V[s] = from.V[s];
+    } else if (from.G[s] == into.G[s] && from.color[s] == Color::kRed) {
+      into.color[s] = Color::kRed;
+    }
+  }
+  into.incarnation = std::max(into.incarnation, from.incarnation);
+}
+
 TokenVcMonitor::TokenVcMonitor(Config cfg) : cfg_(std::move(cfg)) {
   WCP_REQUIRE(cfg_.shared != nullptr, "monitor needs shared detection state");
   WCP_REQUIRE(cfg_.slot >= 0 &&
@@ -21,6 +35,29 @@ void TokenVcMonitor::on_start() {
   }
 }
 
+void TokenVcMonitor::on_crash() {
+  // The held token is the one genuinely volatile piece of monitor state;
+  // everything else (inbox log, last-accept memory, guardian checkpoint) is
+  // modeled as stable storage. The guardian that forwarded us the token
+  // regenerates it when our heartbeats stop.
+  token_.reset();
+  waiting_ = false;
+  starved_notified_ = false;
+}
+
+void TokenVcMonitor::on_restart() {
+  if (!cfg_.recovery.enabled || cfg_.shared->detected) return;
+  // Genesis regeneration: if this monitor created the token and it never
+  // left (so no guardian holds a checkpoint), the crash destroyed the only
+  // copy — recreate it. The fast-forward rule in process_token restores the
+  // progress recorded in the durable last-accept memory.
+  if (cfg_.starts_with_token && !forwarded_ever_ && !token_.has_value()) {
+    ++net().fault_counters().token_regenerations;
+    token_.emplace(n());
+    process_token();
+  }
+}
+
 void TokenVcMonitor::on_packet(sim::Packet&& p) {
   switch (p.kind) {
     case MsgKind::kSnapshot: {
@@ -30,33 +67,68 @@ void TokenVcMonitor::on_packet(sim::Packet&& p) {
       if (waiting_) process_token();
       break;
     }
-    case MsgKind::kToken: {
-      WCP_CHECK(!token_.has_value());
-      token_ = std::any_cast<VcToken>(std::move(p.payload));
-      net().bump_token_hops();
-      // The token is only ever sent to a red slot (Fig. 3 routing).
-      WCP_CHECK(token_->color[static_cast<std::size_t>(cfg_.slot)] ==
-                Color::kRed);
-      process_token();
+    case MsgKind::kToken:
+      on_token(std::move(p));
       break;
-    }
     case MsgKind::kControl:
-      eos_ = true;  // stream ended; if we starve now, the run ends idle
+      if (p.payload.type() == typeid(TokenRelease)) {
+        checkpoint_.reset();  // successor moved the token on (or starved)
+        break;
+      }
+      if (p.payload.type() == typeid(TokenHeartbeat)) {
+        if (checkpoint_.has_value())
+          watch_deadline_ = net().simulator().now() + cfg_.recovery.lease;
+        break;
+      }
+      eos_ = true;  // EndOfStream: if we starve now, the run ends idle
+      if (cfg_.recovery.enabled && starved()) notify_starved();
       break;
     default:
       WCP_CHECK_MSG(false, "token-VC monitor got " << to_string(p.kind));
   }
 }
 
+void TokenVcMonitor::on_token(sim::Packet&& p) {
+  auto in = std::any_cast<VcToken>(std::move(p.payload));
+  net().bump_token_hops();
+  const auto s = static_cast<std::size_t>(cfg_.slot);
+  if (!cfg_.recovery.enabled) {
+    WCP_CHECK(!token_.has_value());
+    // The token is only ever sent to a red slot (Fig. 3 routing).
+    WCP_CHECK(in.color[s] == Color::kRed);
+  }
+  starved_notified_ = false;  // a fresh token deserves a fresh starve notice
+  if (token_.has_value()) {
+    // Duplicate from a guardian's false-positive regeneration: fold it into
+    // the live token (per-slot max — see merge_token) and re-examine.
+    merge_token(*token_, in);
+  } else {
+    token_ = std::move(in);
+    token_sender_ = p.from;
+    has_sender_ = true;
+  }
+  process_token();
+}
+
 void TokenVcMonitor::process_token() {
   auto& tok = *token_;
   const auto s = static_cast<std::size_t>(cfg_.slot);
+
+  // Fast-forward (recovery): a regenerated token can lag this monitor's
+  // durable last-accept memory. Catch it up before consuming candidates,
+  // otherwise a stale token would wait for candidates that were already
+  // accepted — and consumed — by its lost predecessor.
+  if (has_last_ && tok.color[s] == Color::kRed && last_G_ > tok.G[s]) {
+    tok.G[s] = last_G_;
+    tok.color[s] = Color::kGreen;
+    tok.V[s] = last_V_;
+  }
 
   // Fig. 3 while-loop: consume candidates until one survives the current
   // elimination threshold G[s].
   while (tok.color[s] == Color::kRed) {
     if (inbox_.empty()) {
-      waiting_ = true;
+      enter_waiting();
       return;
     }
     app::VcSnapshot snap = std::move(inbox_.front());
@@ -68,23 +140,103 @@ void TokenVcMonitor::process_token() {
     if (snap.vclock[s] > tok.G[s]) {
       tok.G[s] = snap.vclock[s];
       tok.color[s] = Color::kGreen;
-      accepted_ = std::move(snap);
+      tok.V[s] = std::move(snap.vclock);
+      last_G_ = tok.G[s];
+      last_V_ = tok.V[s];
+      has_last_ = true;
     }
   }
   waiting_ = false;
   accept_and_route();
 }
 
+void TokenVcMonitor::enter_waiting() {
+  waiting_ = true;
+  if (!cfg_.recovery.enabled) return;
+  if (starved()) {
+    notify_starved();
+    return;
+  }
+  arm_heartbeat();
+}
+
+void TokenVcMonitor::notify_starved() {
+  // Blocked with the stream over: this token will never move again. Tell
+  // whoever would regenerate it to stand down, so no recovery timer keeps
+  // the simulation alive on an undetectable run.
+  if (starved_notified_) return;
+  starved_notified_ = true;
+  if (grouped()) {
+    send(cfg_.leader, MsgKind::kControl,
+         TokenStarved{token_->group, token_->incarnation}, /*bits=*/96);
+  } else if (has_sender_) {
+    send(token_sender_, MsgKind::kControl, TokenRelease{}, /*bits=*/1);
+  }
+}
+
+void TokenVcMonitor::arm_heartbeat() {
+  if (hb_armed_) return;
+  // Genesis holder before the first forward has no guardian to reassure
+  // (it self-recovers in on_restart instead).
+  if (!grouped() && !has_sender_) return;
+  hb_armed_ = true;
+  after(cfg_.recovery.heartbeat, [this] {
+    hb_armed_ = false;
+    if (!waiting_ || !token_.has_value() || cfg_.shared->detected) return;
+    if (starved()) {
+      notify_starved();
+      return;
+    }
+    const sim::NodeAddr guardian = grouped() ? cfg_.leader : token_sender_;
+    send(guardian, MsgKind::kControl,
+         TokenHeartbeat{token_->group, token_->incarnation}, /*bits=*/96);
+    ++net().fault_counters().heartbeats;
+    arm_heartbeat();
+  });
+}
+
+void TokenVcMonitor::arm_watchdog(SimTime delay) {
+  if (wd_armed_) return;
+  wd_armed_ = true;
+  after(delay, [this] {
+    wd_armed_ = false;
+    on_watchdog();
+  });
+}
+
+void TokenVcMonitor::on_watchdog() {
+  if (!checkpoint_.has_value() || cfg_.shared->detected) return;
+  const SimTime now = net().simulator().now();
+  if (now < watch_deadline_) {  // a heartbeat extended the lease
+    arm_watchdog(watch_deadline_ - now);
+    return;
+  }
+  const sim::NodeAddr succ = sim::NodeAddr::monitor(
+      cfg_.slot_to_pid[static_cast<std::size_t>(successor_slot_)]);
+  if (net().is_down_forever(succ)) return;  // undetectable; let the run drain
+  // Lease expired without a heartbeat or release: the successor lost the
+  // token. Re-issue the checkpointed copy under a new incarnation. If the
+  // successor was merely slow, the duplicate is folded away by merge_token.
+  ++net().fault_counters().token_regenerations;
+  VcToken copy = *checkpoint_;
+  ++copy.incarnation;
+  checkpoint_->incarnation = copy.incarnation;
+  const std::int64_t bits = copy.bits(/*with_v=*/grouped());
+  send(succ, MsgKind::kToken, std::move(copy), bits);
+  watch_deadline_ = now + cfg_.recovery.lease;
+  arm_watchdog(cfg_.recovery.lease);
+}
+
 void TokenVcMonitor::accept_and_route() {
   auto& tok = *token_;
   const auto s = static_cast<std::size_t>(cfg_.slot);
-  const VectorClock& cand = accepted_.vclock;
+  const VectorClock& cand = tok.V[s];
   WCP_CHECK(cand.width() == n() && cand[s] == tok.G[s]);
 
-  tok.V[s] = cand;
-
   // Fig. 3 for-loop: any j whose candidate state is dominated by ours
-  // ((j, G[j]) happened before (s, G[s])) is eliminated.
+  // ((j, G[j]) happened before (s, G[s])) is eliminated. Re-applying this
+  // after a merge is sound and idempotent: V[s] is the live accepted
+  // candidate, so its elimination evidence never goes stale.
   net().add_monitor_work(pid(), static_cast<std::int64_t>(n()));
   for (std::size_t j = 0; j < n(); ++j) {
     if (j == s) continue;
@@ -94,36 +246,47 @@ void TokenVcMonitor::accept_and_route() {
     }
   }
 
-  const bool grouped = !cfg_.group_of_slot.empty();
-  const int my_group = grouped ? cfg_.group_of_slot[s] : 0;
+  const int my_group = grouped() ? cfg_.group_of_slot[s] : 0;
 
   // Route to the first red slot (own group only in §3.5 mode), or finish.
   int red = -1;
   for (std::size_t j = 0; j < n(); ++j) {
     if (tok.color[j] == Color::kRed &&
-        (!grouped || cfg_.group_of_slot[j] == my_group)) {
+        (!grouped() || cfg_.group_of_slot[j] == my_group)) {
       red = static_cast<int>(j);
       break;
     }
   }
 
-  if (cfg_.observer) cfg_.observer(tok, cfg_.slot, !grouped && red < 0);
+  if (cfg_.observer) cfg_.observer(tok, cfg_.slot, !grouped() && red < 0);
 
   VcToken out = std::move(tok);
   token_.reset();
 
   if (red >= 0) {
-    const std::int64_t bits = out.bits(/*with_v=*/grouped);
+    const std::int64_t bits = out.bits(/*with_v=*/grouped());
+    if (cfg_.recovery.enabled && !grouped()) {
+      // Become the successor's guardian: checkpoint what we forward and
+      // watch for its heartbeats; release our own guardian.
+      checkpoint_ = out;
+      successor_slot_ = red;
+      watch_deadline_ = net().simulator().now() + cfg_.recovery.lease;
+      arm_watchdog(cfg_.recovery.lease);
+      if (has_sender_)
+        send(token_sender_, MsgKind::kControl, TokenRelease{}, /*bits=*/1);
+    }
+    forwarded_ever_ = true;
     send(sim::NodeAddr::monitor(
              cfg_.slot_to_pid[static_cast<std::size_t>(red)]),
          MsgKind::kToken, std::move(out), bits);
     return;
   }
 
-  if (grouped) {
+  if (grouped()) {
     // No red state left inside this group: return the token to the leader,
     // which merges it with the other groups' tokens (§3.5).
     const std::int64_t bits = out.bits(/*with_v=*/true);
+    forwarded_ever_ = true;
     send(cfg_.leader, MsgKind::kToken, std::move(out), bits);
     return;
   }
@@ -133,6 +296,8 @@ void TokenVcMonitor::accept_and_route() {
   shared.detected = true;
   shared.cut = out.G;
   shared.detect_time = net().simulator().now();
+  if (cfg_.recovery.enabled && has_sender_)
+    send(token_sender_, MsgKind::kControl, TokenRelease{}, /*bits=*/1);
   if (cfg_.halt_apps) {
     // Distributed breakpoint: freeze the application and let the run
     // drain; the harness reads the frozen states afterwards.
@@ -146,7 +311,8 @@ void TokenVcMonitor::accept_and_route() {
 
 std::shared_ptr<SharedDetection> install_token_vc_monitors(
     sim::Network& net, const std::vector<ProcessId>& slot_to_pid,
-    const VcTokenObserver& observer, bool halt_apps) {
+    const VcTokenObserver& observer, bool halt_apps,
+    const TokenRecoveryOptions& recovery) {
   WCP_REQUIRE(!slot_to_pid.empty(), "empty predicate");
   auto shared = std::make_shared<SharedDetection>();
   for (std::size_t s = 0; s < slot_to_pid.size(); ++s) {
@@ -157,6 +323,7 @@ std::shared_ptr<SharedDetection> install_token_vc_monitors(
     mc.shared = shared;
     mc.observer = observer;
     mc.halt_apps = halt_apps;
+    mc.recovery = recovery;
     net.add_node(sim::NodeAddr::monitor(slot_to_pid[s]),
                  std::make_unique<TokenVcMonitor>(std::move(mc)));
   }
@@ -169,17 +336,11 @@ DetectionResult run_token_vc(const Computation& comp, const RunOptions& opts,
   const std::size_t n = preds.size();
   WCP_REQUIRE(n >= 1, "empty predicate");
 
-  sim::NetworkConfig ncfg;
-  ncfg.num_processes = comp.num_processes();
-  ncfg.latency = opts.latency;
-  ncfg.monitor_latency = opts.monitor_latency;
-  ncfg.fifo_all = opts.fifo_all;
-  ncfg.seed = opts.seed;
-  sim::Network net(ncfg);
+  sim::Network net(network_config(opts, comp.num_processes()));
 
   std::vector<ProcessId> slot_to_pid(preds.begin(), preds.end());
-  auto shared = install_token_vc_monitors(net, slot_to_pid, observer,
-                                          opts.halt_on_detect);
+  auto shared = install_token_vc_monitors(
+      net, slot_to_pid, observer, opts.halt_on_detect, effective_recovery(opts));
 
   app::AppDriverOptions drv;
   drv.mode = app::Instrumentation::kVectorClock;
@@ -194,15 +355,7 @@ DetectionResult run_token_vc(const Computation& comp, const RunOptions& opts,
     r.frozen_cut.reserve(drivers.size());
     for (const auto* d : drivers) r.frozen_cut.push_back(d->current_state());
   }
-  r.detected = shared->detected;
-  r.cut = shared->cut;
-  r.detect_time = shared->detect_time;
-  r.end_time = net.simulator().now();
-  r.sim_events = net.simulator().events_processed();
-  r.stats = net.run_stats();
-  r.token_hops = net.monitor_metrics().token_hops();
-  r.app_metrics = net.app_metrics();
-  r.monitor_metrics = net.monitor_metrics();
+  finish_result(r, net, *shared);
   return r;
 }
 

@@ -36,6 +36,15 @@ struct VcToken {
   std::vector<Color> color;      // all red initially
   std::vector<VectorClock> V;    // accepted candidate clocks (width n each)
 
+  // Recovery header (fault-tolerant runs only; see TokenRecoveryOptions).
+  // `group` is the §3.5 group this token serves (-1 in single-token mode);
+  // `incarnation` is bumped each time a guardian or the leader regenerates
+  // the token, so stale duplicates can be told from the live one. Neither
+  // field is charged in bits(): they are a constant-size extension header
+  // and the paper's O(n) token-size claim is measured without it.
+  int group = -1;
+  std::int64_t incarnation = 0;
+
   explicit VcToken(std::size_t n)
       : G(n, 0), color(n, Color::kRed), V(n, VectorClock(n)) {}
   VcToken() = default;
@@ -51,6 +60,34 @@ struct VcToken {
       for (const auto& vc : V) b += vc.bits();
     return b;
   }
+};
+
+/// Folds `from` into `into`, slot by slot: the higher G wins and brings its
+/// color and accepted clock; at equal G a red mark wins because it records
+/// an elimination proof. This is the §3.5 leader merge, reused to fold a
+/// duplicate token (produced by a guardian's false-positive regeneration)
+/// into the live one — both are sound states of the same lineage, and the
+/// per-slot maximum preserves both soundness invariants.
+void merge_token(VcToken& into, const VcToken& from);
+
+// ---- recovery control payloads (MsgKind::kControl) -----------------------
+
+/// Holder -> guardian: the token moved on (or starved); drop the checkpoint
+/// and stop the watchdog.
+struct TokenRelease {};
+
+/// Holder -> guardian (or group leader): still alive and holding, extend
+/// the lease.
+struct TokenHeartbeat {
+  int group = -1;
+  std::int64_t incarnation = 0;
+};
+
+/// Grouped holder -> leader: holder is blocked with the stream ended, so
+/// this group's token will never return; stop regenerating it.
+struct TokenStarved {
+  int group = -1;
+  std::int64_t incarnation = 0;
 };
 
 /// Observation hook fired every time the token is about to be forwarded (or
@@ -77,12 +114,18 @@ class TokenVcMonitor final : public sim::Node {
     // Distributed breakpoint: on detection, freeze all application
     // processes instead of stopping the simulation.
     bool halt_apps = false;
+
+    // Token-holder crash recovery (lease/heartbeat + guardian regeneration;
+    // disabled by default so fault-free runs are byte-identical).
+    TokenRecoveryOptions recovery;
   };
 
   explicit TokenVcMonitor(Config cfg);
 
   void on_start() override;
   void on_packet(sim::Packet&& p) override;
+  void on_crash() override;
+  void on_restart() override;
 
   [[nodiscard]] bool holding_token() const { return token_.has_value(); }
   [[nodiscard]] bool starved() const { return waiting_ && eos_; }
@@ -90,14 +133,40 @@ class TokenVcMonitor final : public sim::Node {
  private:
   void process_token();
   void accept_and_route();
+  void on_token(sim::Packet&& p);
+  void enter_waiting();
+  void notify_starved();
+  void arm_heartbeat();
+  void arm_watchdog(SimTime delay);
+  void on_watchdog();
+  [[nodiscard]] bool grouped() const { return !cfg_.group_of_slot.empty(); }
   [[nodiscard]] std::size_t n() const { return cfg_.slot_to_pid.size(); }
 
   Config cfg_;
+  std::optional<VcToken> token_;  // volatile: lost on crash
+  bool waiting_ = false;          // holding the token, blocked on a candidate
+
+  // State a real monitor would keep on stable storage (survives on_crash):
+  // the logged snapshot inbox and stream-end flag, the last accepted own
+  // candidate (G and clock; restored into stale tokens by the fast-forward
+  // rule in process_token), and the guardian checkpoint of the last token
+  // this monitor forwarded.
   std::deque<app::VcSnapshot> inbox_;
-  std::optional<VcToken> token_;
-  app::VcSnapshot accepted_{};  // candidate accepted in the current visit
-  bool waiting_ = false;        // holding the token, blocked on a candidate
-  bool eos_ = false;            // application stream ended
+  bool eos_ = false;              // application stream ended
+  StateIndex last_G_ = 0;
+  VectorClock last_V_{};
+  bool has_last_ = false;
+  std::optional<VcToken> checkpoint_;
+  int successor_slot_ = -1;       // slot the checkpointed token went to
+  SimTime watch_deadline_ = 0;
+  bool forwarded_ever_ = false;
+
+  // Bookkeeping (recomputable, so volatility does not matter).
+  sim::NodeAddr token_sender_{};  // guardian of the token we hold
+  bool has_sender_ = false;
+  bool wd_armed_ = false;
+  bool hb_armed_ = false;
+  bool starved_notified_ = false;
 };
 
 /// Installs single-token monitors (one per predicate slot; slot 0 starts
@@ -106,7 +175,8 @@ class TokenVcMonitor final : public sim::Node {
 /// is built on this.
 std::shared_ptr<SharedDetection> install_token_vc_monitors(
     sim::Network& net, const std::vector<ProcessId>& slot_to_pid,
-    const VcTokenObserver& observer = {}, bool halt_apps = false);
+    const VcTokenObserver& observer = {}, bool halt_apps = false,
+    const TokenRecoveryOptions& recovery = {});
 
 /// Runs the single-token algorithm online over a replay of `comp`.
 DetectionResult run_token_vc(const Computation& comp, const RunOptions& opts,

@@ -1,0 +1,169 @@
+#include "sim/fault.h"
+
+#include <charconv>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace wcp::sim {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+double parse_double(const std::string& s) {
+  double v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  WCP_REQUIRE(ec == std::errc() && p == s.data() + s.size(),
+              "bad number '" << s << "' in fault spec");
+  return v;
+}
+
+std::int64_t parse_int(const std::string& s) {
+  std::int64_t v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  WCP_REQUIRE(ec == std::errc() && p == s.data() + s.size(),
+              "bad integer '" << s << "' in fault spec");
+  return v;
+}
+
+NodeAddr parse_node(const std::string& s) {
+  WCP_REQUIRE(!s.empty(), "empty crash target in fault spec");
+  if (s == "c") return NodeAddr::coordinator();
+  const char role = s[0];
+  WCP_REQUIRE(role == 'm' || role == 'a',
+              "crash target '" << s << "' must be mK, aK or c");
+  const int pid = static_cast<int>(parse_int(s.substr(1)));
+  return role == 'm' ? NodeAddr::monitor(ProcessId(pid))
+                     : NodeAddr::app(ProcessId(pid));
+}
+
+std::string node_spec(const NodeAddr& a) {
+  if (a.role == NodeRole::kCoordinator) return "c";
+  std::ostringstream oss;
+  oss << (a.role == NodeRole::kMonitor ? 'm' : 'a') << a.pid.value();
+  return oss.str();
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) return plan;
+  for (const std::string& item : split(spec, ',')) {
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    WCP_REQUIRE(eq != std::string::npos,
+                "fault spec item '" << item << "' needs key=value");
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    if (key == "drop") {
+      plan.drop = parse_double(val);
+    } else if (key == "dup") {
+      plan.dup = parse_double(val);
+    } else if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(parse_int(val));
+    } else if (key == "burst") {
+      // START+LEN
+      const auto plus = val.find('+');
+      WCP_REQUIRE(plus != std::string::npos, "burst needs START+LEN: " << val);
+      plan.bursts.push_back({parse_int(val.substr(0, plus)),
+                             parse_int(val.substr(plus + 1))});
+    } else if (key == "part") {
+      // A-B@START-END
+      const auto dash = val.find('-');
+      const auto at = val.find('@');
+      WCP_REQUIRE(dash != std::string::npos && at != std::string::npos &&
+                      dash < at,
+                  "partition needs A-B@START-END: " << val);
+      const auto dash2 = val.find('-', at);
+      WCP_REQUIRE(dash2 != std::string::npos,
+                  "partition needs A-B@START-END: " << val);
+      plan.partitions.push_back(
+          {static_cast<int>(parse_int(val.substr(0, dash))),
+           static_cast<int>(parse_int(val.substr(dash + 1, at - dash - 1))),
+           parse_int(val.substr(at + 1, dash2 - at - 1)),
+           parse_int(val.substr(dash2 + 1))});
+    } else if (key == "crash") {
+      // NODE@AT[+LEN]
+      const auto at = val.find('@');
+      WCP_REQUIRE(at != std::string::npos, "crash needs NODE@AT[+LEN]: " << val);
+      CrashEvent ev;
+      ev.node = parse_node(val.substr(0, at));
+      const auto plus = val.find('+', at);
+      if (plus == std::string::npos) {
+        ev.at = parse_int(val.substr(at + 1));
+        ev.restart = -1;
+      } else {
+        ev.at = parse_int(val.substr(at + 1, plus - at - 1));
+        ev.restart = ev.at + parse_int(val.substr(plus + 1));
+      }
+      plan.crashes.push_back(ev);
+    } else {
+      WCP_REQUIRE(false, "unknown fault spec key '" << key << "'");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream oss;
+  const char* sep = "";
+  const auto emit = [&](auto&&... parts) {
+    oss << sep;
+    (oss << ... << parts);
+    sep = ",";
+  };
+  if (drop > 0) emit("drop=", drop);
+  if (dup > 0) emit("dup=", dup);
+  if (seed != 1) emit("seed=", seed);
+  for (const auto& b : bursts) emit("burst=", b.start, "+", b.length);
+  for (const auto& p : partitions)
+    emit("part=", p.a, "-", p.b, "@", p.start, "-", p.end);
+  for (const auto& c : crashes) {
+    emit("crash=", node_spec(c.node), "@", c.at);
+    if (c.restart >= 0) oss << "+" << (c.restart - c.at);
+  }
+  return oss.str();
+}
+
+FaultPlan FaultPlan::lossy(double drop_prob, std::uint64_t seed) {
+  FaultPlan p;
+  p.drop = drop_prob;
+  p.seed = seed;
+  return p;
+}
+
+FaultPlan FaultPlan::lossy_dup(double drop_prob, double dup_prob,
+                               std::uint64_t seed) {
+  FaultPlan p;
+  p.drop = drop_prob;
+  p.dup = dup_prob;
+  p.seed = seed;
+  return p;
+}
+
+FaultPlan FaultPlan::flaky(std::uint64_t seed) {
+  FaultPlan p;
+  p.drop = 0.15;
+  p.dup = 0.1;
+  p.bursts.push_back({60, 25});
+  p.bursts.push_back({200, 15});
+  p.seed = seed;
+  return p;
+}
+
+}  // namespace wcp::sim

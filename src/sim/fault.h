@@ -1,0 +1,85 @@
+// Deterministic fault injection for the simulated network.
+//
+// The paper's algorithms (§2, §3.1) assume reliable loss-free channels; a
+// FaultPlan deliberately breaks that assumption so the detectors can be
+// exercised over the kind of substrate a real deployment provides: random
+// per-message loss, duplication, burst outages, pairwise partitions, and
+// scheduled process crash/restart. All sampling draws from a dedicated Rng
+// seeded by `FaultPlan::seed`, so a run's fault schedule — and therefore
+// the `faults` block of its JSON run report — is a pure function of
+// (computation, seed, latency model, fault plan).
+//
+// Companion pieces:
+//   - sim/reliable.h   regains exactly-once FIFO delivery over the faults,
+//   - detect/token_vc  token lease/heartbeat recovery across crashes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/address.h"
+
+namespace wcp::sim {
+
+/// One scheduled crash window: the node is unreachable (deliveries dropped,
+/// local timers deferred) in [at, restart); its volatile state is discarded
+/// via Node::on_crash and it resumes via Node::on_restart. `restart < 0`
+/// means the node never comes back.
+struct CrashEvent {
+  NodeAddr node;
+  SimTime at = 0;
+  SimTime restart = -1;
+};
+
+/// A window during which every channel drops every message.
+struct BurstLoss {
+  SimTime start = 0;
+  SimTime length = 0;
+};
+
+/// A window during which processes `a` and `b` cannot exchange messages in
+/// either direction (any role pair except the coordinator, whose pid would
+/// alias application process 0).
+struct PartitionWindow {
+  int a = 0;
+  int b = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+/// Declarative, seed-deterministic fault schedule for one run.
+struct FaultPlan {
+  double drop = 0.0;  ///< per-transmission loss probability
+  double dup = 0.0;   ///< per-transmission duplication probability
+  std::vector<BurstLoss> bursts;
+  std::vector<PartitionWindow> partitions;
+  std::vector<CrashEvent> crashes;
+  /// Drop exactly these raw transmissions (0-based global send indices).
+  /// Used by the exhaustive single-drop schedule exploration tests.
+  std::vector<std::int64_t> drop_exact;
+  std::uint64_t seed = 1;  ///< fault-sampling stream (separate from latency)
+
+  [[nodiscard]] bool enabled() const {
+    return drop > 0 || dup > 0 || !bursts.empty() || !partitions.empty() ||
+           !crashes.empty() || !drop_exact.empty();
+  }
+  [[nodiscard]] bool has_crashes() const { return !crashes.empty(); }
+
+  /// Round-trippable compact spec, e.g.
+  ///   "drop=0.2,dup=0.05,seed=7,crash=m1@40+30,burst=100+20,part=0-2@50-110"
+  /// Crash targets: mK = monitor of process K, aK = application process K,
+  /// c = coordinator; "@AT+LEN" gives the outage window (omit +LEN for a
+  /// crash without restart). Throws wcp::Error on a malformed spec.
+  static FaultPlan parse(const std::string& spec);
+  [[nodiscard]] std::string to_string() const;
+
+  // Presets for the chaos sweeps.
+  static FaultPlan lossy(double drop_prob, std::uint64_t seed = 1);
+  static FaultPlan lossy_dup(double drop_prob, double dup_prob,
+                             std::uint64_t seed = 1);
+  static FaultPlan flaky(std::uint64_t seed = 1);  ///< drop+dup+burst mix
+};
+
+}  // namespace wcp::sim

@@ -19,17 +19,24 @@ void Node::send(NodeAddr to, MsgKind kind, std::any payload,
 }
 
 void Node::after(SimTime delay, std::function<void()> fn) {
-  net().simulator().schedule_after(delay, std::move(fn));
+  net().node_after(addr_, delay, std::move(fn));
 }
 
 Network::Network(NetworkConfig cfg)
     : cfg_(cfg),
       rng_(cfg.seed),
+      fault_rng_(cfg.faults.seed),
       app_metrics_(cfg.num_processes),
       // one extra monitor-layer slot for a coordinator node
       monitor_metrics_(cfg.num_processes + 1) {
   WCP_REQUIRE(cfg.num_processes >= 1, "network needs at least one process");
+  drop_exact_.insert(cfg_.faults.drop_exact.begin(),
+                     cfg_.faults.drop_exact.end());
+  if (cfg_.reliable_all || cfg_.reliable_channels)
+    transport_ = std::make_unique<ReliableTransport>(*this, cfg_.reliable);
 }
+
+Network::~Network() = default;
 
 void Network::add_node(NodeAddr addr, std::unique_ptr<Node> node) {
   WCP_REQUIRE(node != nullptr, "null node");
@@ -46,6 +53,29 @@ Node* Network::node(NodeAddr addr) {
 
 void Network::start_and_run(std::int64_t max_events) {
   const auto wall_start = std::chrono::steady_clock::now();
+  if (!crashes_scheduled_) {
+    crashes_scheduled_ = true;
+    for (const CrashEvent& ev : cfg_.faults.crashes) {
+      // A plan may name roles this detector variant does not instantiate
+      // (e.g. a coordinator crash against the single-token runner).
+      if (!nodes_.contains(ev.node)) continue;
+      if (ev.restart >= 0) restart_at_[ev.node] = ev.restart;
+      sim_.schedule_at(ev.at, [this, ev] {
+        if (down_.contains(ev.node)) return;  // overlapping windows
+        set_down(ev.node, true);
+        ++fault_counters_.crashes;
+        nodes_.at(ev.node)->on_crash();
+      });
+      if (ev.restart >= 0) {
+        sim_.schedule_at(ev.restart, [this, ev] {
+          if (!down_.contains(ev.node)) return;
+          set_down(ev.node, false);
+          ++fault_counters_.restarts;
+          nodes_.at(ev.node)->on_restart();
+        });
+      }
+    }
+  }
   // Deterministic start order: sort addresses.
   std::vector<NodeAddr> addrs;
   addrs.reserve(nodes_.size());
@@ -75,11 +105,77 @@ bool Network::is_fifo(NodeAddr from, NodeAddr to) const {
          (to.role == NodeRole::kMonitor || to.role == NodeRole::kCoordinator);
 }
 
+bool Network::is_reliable(NodeAddr from, NodeAddr to) const {
+  if (!transport_) return false;
+  return cfg_.reliable_all ||
+         (cfg_.reliable_channels && cfg_.reliable_channels(from, to));
+}
+
+void Network::node_after(NodeAddr who, SimTime delay, std::function<void()> fn) {
+  sim_.schedule_after(delay, [this, who, fn = std::move(fn)]() mutable {
+    if (is_down(who)) {
+      const auto it = restart_at_.find(who);
+      if (it == restart_at_.end()) return;  // crashed for good: timer dies
+      const SimTime wait = it->second - sim_.now();
+      // Re-queue at the restart instant; the restart event carries an older
+      // sequence number, so on_restart runs before any deferred timer.
+      node_after(who, wait > 0 ? wait : 0, std::move(fn));
+      return;
+    }
+    fn();
+  });
+}
+
+void Network::set_down(NodeAddr a, bool down) {
+  if (down)
+    down_.insert(a);
+  else
+    down_.erase(a);
+}
+
 void Network::send(NodeAddr from, NodeAddr to, MsgKind kind, std::any payload,
                    std::int64_t bits) {
   WCP_REQUIRE(nodes_.contains(to), "send to unknown node " << to);
+  if (is_reliable(from, to)) {
+    transport_->send(from, to, kind, std::move(payload), bits);
+    return;
+  }
+  raw_send(from, to, kind, std::move(payload), bits);
+}
 
-  // Account the send against the proper layer.
+bool Network::fault_dropped(NodeAddr from, NodeAddr to) {
+  const FaultPlan& f = cfg_.faults;
+  const SimTime now = sim_.now();
+  for (const PartitionWindow& p : f.partitions) {
+    if (now < p.start || now >= p.end) continue;
+    if (from.role == NodeRole::kCoordinator || to.role == NodeRole::kCoordinator)
+      continue;
+    const int fp = from.pid.value();
+    const int tp = to.pid.value();
+    if ((fp == p.a && tp == p.b) || (fp == p.b && tp == p.a)) {
+      ++fault_counters_.drops_partition;
+      return true;
+    }
+  }
+  for (const BurstLoss& b : f.bursts) {
+    if (now >= b.start && now < b.start + b.length) {
+      ++fault_counters_.drops_burst;
+      return true;
+    }
+  }
+  if (f.drop > 0 && fault_rng_.bernoulli(f.drop)) {
+    ++fault_counters_.drops_random;
+    return true;
+  }
+  return false;
+}
+
+void Network::raw_send(NodeAddr from, NodeAddr to, MsgKind kind,
+                       std::any payload, std::int64_t bits) {
+  WCP_REQUIRE(nodes_.contains(to), "send to unknown node " << to);
+
+  // Account every physical transmission against the proper layer, so that
+  // retransmits and acks show up as real overhead in the measured costs.
   if (from.role == NodeRole::kApplication) {
     app_metrics_.record_send(from.pid, kind, bits);
   } else {
@@ -89,28 +185,59 @@ void Network::send(NodeAddr from, NodeAddr to, MsgKind kind, std::any payload,
     monitor_metrics_.record_send(slot, kind, bits);
   }
 
+  const std::int64_t idx = raw_sends_++;
+  const FaultPlan& f = cfg_.faults;
+  if (!drop_exact_.empty() && drop_exact_.contains(idx)) {
+    ++fault_counters_.drops_random;
+    return;
+  }
+  if (f.enabled() && fault_dropped(from, to)) return;
+  const bool duplicate = f.dup > 0 && fault_rng_.bernoulli(f.dup);
+  if (duplicate) ++fault_counters_.dups;
+
   const LatencyModel& model =
       (from.role != NodeRole::kApplication && cfg_.monitor_latency)
           ? *cfg_.monitor_latency
           : cfg_.latency;
-  SimTime deliver_at = sim_.now() + model.sample(rng_);
-  if (is_fifo(from, to)) {
-    const std::size_t span = 2 * cfg_.num_processes + 1;
-    const std::uint64_t key =
-        static_cast<std::uint64_t>(from.index(cfg_.num_processes)) * span +
-        to.index(cfg_.num_processes);
-    auto& last = fifo_last_[key];
-    deliver_at = std::max(deliver_at, last + 1);
-    last = deliver_at;
+  // Raw FIFO clamping is skipped on reliable channels: the transport's
+  // resequencing buffer restores order end-to-end, and clamping could not
+  // survive a dropped frame anyway.
+  const bool clamp = !is_reliable(from, to) && is_fifo(from, to);
+  const int copies = duplicate ? 2 : 1;
+  for (int c = 0; c < copies; ++c) {
+    SimTime deliver_at = sim_.now() + model.sample(rng_);
+    if (clamp) {
+      const std::size_t span = 2 * cfg_.num_processes + 1;
+      const std::uint64_t key =
+          static_cast<std::uint64_t>(from.index(cfg_.num_processes)) * span +
+          to.index(cfg_.num_processes);
+      auto& last = fifo_last_[key];
+      deliver_at = std::max(deliver_at, last + 1);
+      last = deliver_at;
+    }
+    Packet p{from, to, kind, bits,
+             c + 1 < copies ? payload : std::move(payload)};
+    sim_.schedule_at(deliver_at, [this, pkt = std::move(p)]() mutable {
+      deliver(std::move(pkt));
+    });
   }
+}
 
-  Node* dst = nodes_.at(to).get();
-  Packet p{from, to, kind, bits, std::move(payload)};
-  sim_.schedule_at(deliver_at,
-                   [this, dst, pkt = std::move(p)]() mutable {
-                     ++packets_delivered_[static_cast<std::size_t>(pkt.kind)];
-                     dst->on_packet(std::move(pkt));
-                   });
+void Network::deliver(Packet&& p) {
+  if (is_down(p.to)) {
+    ++fault_counters_.drops_crash;
+    return;
+  }
+  if (transport_ && p.payload.type() == typeid(ReliableFrame)) {
+    transport_->on_frame(std::move(p));
+    return;
+  }
+  deliver_to_node(std::move(p));
+}
+
+void Network::deliver_to_node(Packet&& p) {
+  ++packets_delivered_[static_cast<std::size_t>(p.kind)];
+  nodes_.at(p.to)->on_packet(std::move(p));
 }
 
 }  // namespace wcp::sim

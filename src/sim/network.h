@@ -13,16 +13,20 @@
 
 #include <any>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "sim/address.h"
+#include "sim/fault.h"
 #include "sim/latency.h"
+#include "sim/reliable.h"
 #include "sim/simulator.h"
 
 namespace wcp::sim {
@@ -50,6 +54,13 @@ class Node {
   /// Called for every delivered packet.
   virtual void on_packet(Packet&& p) = 0;
 
+  /// Fault-injection hooks (FaultPlan crash schedule). on_crash must discard
+  /// the node's volatile state; state a real process would keep on stable
+  /// storage (e.g. a logged snapshot inbox) may survive. Timers scheduled
+  /// via after() are deferred across the outage, not lost.
+  virtual void on_crash() {}
+  virtual void on_restart() {}
+
  protected:
   [[nodiscard]] Network& net() const;
   [[nodiscard]] NodeAddr addr() const { return addr_; }
@@ -76,11 +87,25 @@ struct NetworkConfig {
   std::optional<LatencyModel> monitor_latency;
   bool fifo_all = false;               ///< FIFO on all channels, not just app->monitor
   std::uint64_t seed = 1;              ///< drives latency sampling only
+
+  /// Fault injection (loss, duplication, bursts, partitions, crashes).
+  /// Disabled by default; sampling uses its own Rng (faults.seed).
+  FaultPlan faults;
+  /// Reliable-transport tuning for channels that opt in.
+  ReliableConfig reliable;
+  /// Run EVERY channel over the ack/retransmit transport. Detection runners
+  /// set this whenever faults are enabled: under loss or duplication, raw
+  /// channels break both the replay and the snapshot streams.
+  bool reliable_all = false;
+  /// Per-channel opt-in: a channel is reliable iff reliable_all or this
+  /// predicate (when set) returns true for (from, to).
+  std::function<bool(const NodeAddr&, const NodeAddr&)> reliable_channels;
 };
 
 class Network {
  public:
   explicit Network(NetworkConfig cfg);
+  ~Network();
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -123,16 +148,62 @@ class Network {
 
   [[nodiscard]] Rng& rng() { return rng_; }
 
+  // ---- fault injection -----------------------------------------------------
+  [[nodiscard]] FaultCounters& fault_counters() { return fault_counters_; }
+  [[nodiscard]] const FaultCounters& fault_counters() const {
+    return fault_counters_;
+  }
+  /// True while `a` is inside a scheduled crash window.
+  [[nodiscard]] bool is_down(NodeAddr a) const { return down_.contains(a); }
+  /// True once `a` has crashed with no restart scheduled. Recovery logic
+  /// (transport retransmission, token regeneration) gives up on such nodes
+  /// so the simulation can drain.
+  [[nodiscard]] bool is_down_forever(NodeAddr a) const {
+    return down_.contains(a) && !restart_at_.contains(a);
+  }
+  /// Raw transmissions attempted so far (including retransmits and acks);
+  /// the index space FaultPlan::drop_exact addresses.
+  [[nodiscard]] std::int64_t raw_sends() const { return raw_sends_; }
+  /// Whether (from, to) runs over the ack/retransmit transport.
+  [[nodiscard]] bool is_reliable(NodeAddr from, NodeAddr to) const;
+
+  /// Schedule `fn` as a local timer of node `who`: if `who` is down when the
+  /// timer fires, it is deferred until just after the restart.
+  void node_after(NodeAddr who, SimTime delay, std::function<void()> fn);
+
  private:
+  friend class ReliableTransport;
+
   [[nodiscard]] bool is_fifo(NodeAddr from, NodeAddr to) const;
+
+  /// Physical-layer send: accounts metrics, applies the fault plan (drop /
+  /// duplicate), samples latency, and schedules delivery. Reliable-channel
+  /// frames and raw messages both go through here.
+  void raw_send(NodeAddr from, NodeAddr to, MsgKind kind, std::any payload,
+                std::int64_t bits);
+  /// Delivers one packet to its node (transport frames detour through
+  /// ReliableTransport first). Drops it if the destination is down.
+  void deliver(Packet&& p);
+  /// In-order logical delivery: bumps packet counters, calls on_packet.
+  void deliver_to_node(Packet&& p);
+  void set_down(NodeAddr a, bool down);
+  [[nodiscard]] bool fault_dropped(NodeAddr from, NodeAddr to);
 
   NetworkConfig cfg_;
   Simulator sim_;
   Rng rng_;
+  Rng fault_rng_;
   std::unordered_map<NodeAddr, std::unique_ptr<Node>> nodes_;
   std::unordered_map<std::uint64_t, SimTime> fifo_last_;  // channel key -> time
   Metrics app_metrics_;
   Metrics monitor_metrics_;
+  FaultCounters fault_counters_;
+  std::unique_ptr<ReliableTransport> transport_;  // set iff any channel opts in
+  std::unordered_set<NodeAddr> down_;
+  std::unordered_map<NodeAddr, SimTime> restart_at_;  // -1 entries excluded
+  std::unordered_set<std::int64_t> drop_exact_;
+  std::int64_t raw_sends_ = 0;
+  bool crashes_scheduled_ = false;
   std::int64_t packets_delivered_[kNumMsgKinds] = {};
   double wall_ms_ = 0.0;  // host time spent inside start_and_run
 };

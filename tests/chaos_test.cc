@@ -104,6 +104,85 @@ TEST(Chaos, SlowDetectionOverlayStillCorrect) {
   EXPECT_EQ(direct.cut, *oracle);
 }
 
+TEST(Chaos, FaultPlanPresetsKeepEveryDetectorOnTheOracle) {
+  // The real chaos axis: the presets from sim/fault.h actively drop,
+  // duplicate, and burst-lose wire traffic (the earlier sweeps only warp
+  // latency). Every detector must stay on the oracle, and the observed
+  // fault counters must prove the faults actually happened.
+  const struct {
+    const char* name;
+    sim::FaultPlan plan;
+  } presets[] = {
+      {"lossy", sim::FaultPlan::lossy(0.2, 5)},
+      {"lossy_dup", sim::FaultPlan::lossy_dup(0.2, 0.1, 6)},
+      {"flaky", sim::FaultPlan::flaky(7)},
+  };
+
+  for (const auto& preset : presets) {
+    FaultCounters totals;
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      workload::RandomSpec spec;
+      spec.num_processes = 6;
+      spec.num_predicate = 4;
+      spec.events_per_process = 14;
+      spec.local_pred_prob = 0.3;
+      spec.seed = seed + 333;
+      const auto comp = workload::make_random(spec);
+      const auto oracle = comp.first_wcp_cut();
+      const auto oracle_full = comp.first_wcp_cut_all_processes();
+
+      RunOptions o;
+      o.seed = seed * 11 + 2;
+      o.latency = sim::LatencyModel::uniform(1, 8);
+      o.faults = preset.plan;
+      o.faults.seed += seed * 101;
+
+      const auto token = run_token_vc(comp, o);
+      ASSERT_EQ(token.detected, oracle.has_value())
+          << preset.name << " seed " << seed;
+      if (oracle) {
+        EXPECT_EQ(token.cut, *oracle) << preset.name << " seed " << seed;
+      }
+      totals.merge(token.faults);
+
+      MultiTokenOptions mt;
+      mt.num_groups = 2;
+      const auto multi = run_multi_token(comp, o, mt);
+      ASSERT_EQ(multi.detected, oracle.has_value()) << preset.name;
+      if (oracle) {
+        EXPECT_EQ(multi.cut, *oracle) << preset.name;
+      }
+      totals.merge(multi.faults);
+
+      const auto direct = run_direct_dep(comp, o);
+      ASSERT_EQ(direct.detected, oracle.has_value()) << preset.name;
+      if (oracle) {
+        EXPECT_EQ(direct.full_cut, *oracle_full) << preset.name;
+      }
+      totals.merge(direct.faults);
+
+      const auto checker = run_centralized(comp, o);
+      ASSERT_EQ(checker.detected, oracle.has_value()) << preset.name;
+      if (oracle) {
+        EXPECT_EQ(checker.cut, *oracle) << preset.name;
+      }
+      totals.merge(checker.faults);
+    }
+
+    // The preset was not a no-op: loss happened and was repaired.
+    EXPECT_GT(totals.drops_random, 0) << preset.name;
+    EXPECT_GT(totals.retransmits, 0) << preset.name;
+    EXPECT_GT(totals.acks, 0) << preset.name;
+    if (preset.plan.dup > 0) {
+      EXPECT_GT(totals.dups, 0) << preset.name;
+      EXPECT_GT(totals.dup_suppressed, 0) << preset.name;
+    }
+    if (!preset.plan.bursts.empty()) {
+      EXPECT_GT(totals.drops_burst, 0) << preset.name;
+    }
+  }
+}
+
 TEST(Chaos, LatencySeedNeverChangesTheAnswer) {
   workload::RandomSpec spec;
   spec.num_processes = 5;
