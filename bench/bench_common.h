@@ -19,7 +19,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -99,6 +101,19 @@ inline detect::RunOptions default_opts(std::uint64_t seed = 1) {
   o.seed = seed;
   o.latency = sim::LatencyModel::uniform(1, 4);
   return o;
+}
+
+/// base^exp in saturating std::uint64_t arithmetic — exact where the old
+/// std::pow-based bounds silently rounded (2^53 onward) and pinned to
+/// uint64 max instead of overflowing past it.
+inline std::uint64_t saturating_pow(std::uint64_t base, std::uint64_t exp) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t out = 1;
+  for (; exp > 0; --exp) {
+    if (base != 0 && out > kMax / base) return kMax;
+    out *= base;
+  }
+  return out;
 }
 
 // ---- unified run reporter -------------------------------------------------
@@ -231,11 +246,12 @@ inline void report_run(benchmark::State& state, std::string_view bench,
 }
 
 /// Reports one run that has no DetectionResult (adversary game, lattice
-/// baseline, A-vs-B comparisons): `metrics` is written verbatim.
+/// baseline, A-vs-B comparisons): `metrics` is written verbatim. Counters
+/// passed as integers stay integers in BENCH_summary.json (no `1e+05`).
 inline void report_run(
     benchmark::State& state, std::string_view bench,
     const detect::ReportParams& params,
-    const std::vector<std::pair<std::string, double>>& metrics,
+    const std::vector<std::pair<std::string, detect::MetricValue>>& metrics,
     std::optional<double> bound, std::optional<double> ratio) {
   if (bound) state.counters["bound"] = *bound;
   if (ratio) state.counters["ratio"] = *ratio;

@@ -12,9 +12,13 @@
 //   lattice_cuts        consistent cuts the baseline explored
 //   token_work          the token algorithm's total work on the same run
 //   blowup              lattice_cuts / token_work
-#include <cmath>
-
+//
+// BM_Lattice_Parallel sweeps detect_lattice over thread counts on the
+// N=6, m=10 blowup point (the EXPERIMENTS.md E10 speedup row); the
+// parallel explorer returns bit-identical results, so only wall clock
+// moves. BM_Lattice_Sweep drives the detect/batch.h sweep runner.
 #include "bench_common.h"
+#include "detect/batch.h"
 #include "detect/lattice.h"
 #include "detect/token_vc.h"
 
@@ -57,21 +61,24 @@ void BM_Lattice_Blowup(benchmark::State& state) {
 
   // bound = states^n, the lattice size this workload forces the general
   // baseline to explore; ratio ~1 certifies the blowup is really realized.
+  // Exact saturating-uint64 arithmetic: std::pow went through double and
+  // already misrounds for bounds past 2^53.
   detect::ReportParams rp;
   rp.N = static_cast<std::int64_t>(n);
   rp.n = static_cast<std::int64_t>(n);
   rp.m = states;
-  const double bound =
-      std::pow(static_cast<double>(states), static_cast<double>(n));
+  const std::uint64_t bound =
+      saturating_pow(static_cast<std::uint64_t>(states), n);
   report_run(state, "E10_lattice", rp,
-             {{"lattice_cuts", static_cast<double>(lat.cuts_explored)},
-              {"lattice_frontier", static_cast<double>(lat.max_frontier)},
-              {"token_work",
-               static_cast<double>(token.monitor_metrics.total_work())},
+             {{"lattice_cuts", lat.cuts_explored},
+              {"lattice_frontier", lat.max_frontier},
+              {"token_work", token.monitor_metrics.total_work()},
               {"blowup",
                static_cast<double>(lat.cuts_explored) /
                    static_cast<double>(token.monitor_metrics.total_work())}},
-             bound, static_cast<double>(lat.cuts_explored) / bound);
+             static_cast<double>(bound),
+             static_cast<double>(lat.cuts_explored) /
+                 static_cast<double>(bound));
 }
 BENCHMARK(BM_Lattice_Blowup)
     ->Args({2, 10})
@@ -82,6 +89,72 @@ BENCHMARK(BM_Lattice_Blowup)
     ->Args({4, 5})
     ->Args({4, 20})
     ->Args({4, 40});
+
+// Thread sweep on the biggest square blowup point (n=6, m=10: 10^6 cuts).
+// The results are identical across thread counts — the row's value is the
+// wall-clock column, the EXPERIMENTS.md E10 speedup-vs-threads row.
+void BM_Lattice_Parallel(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 6;
+  const std::int64_t states = 10;
+  const auto comp = independent_workload(n, states);
+
+  detect::LatticeResult lat;
+  for (auto _ : state) {
+    lat = detect::detect_lattice(comp, /*max_cuts=*/50'000'000, threads);
+    benchmark::DoNotOptimize(lat.detected);
+  }
+
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["lattice_cuts"] = static_cast<double>(lat.cuts_explored);
+  state.counters["lattice_frontier"] = static_cast<double>(lat.max_frontier);
+
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(n);
+  rp.n = static_cast<std::int64_t>(n);
+  rp.m = states;
+  report_run(state, "E10_lattice_par_t" + std::to_string(threads), rp,
+             {{"threads", static_cast<std::int64_t>(threads)},
+              {"lattice_cuts", lat.cuts_explored},
+              {"lattice_frontier", lat.max_frontier}},
+             std::nullopt, std::nullopt);
+}
+BENCHMARK(BM_Lattice_Parallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Batch sweep runner (detect/batch.h): the whole one-trace × many-(algo,
+// seed) grid as one call, jobs fanned out across the pool.
+void BM_Lattice_Sweep(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const auto& comp = cached_random(/*N=*/8, /*n=*/4, /*events=*/25,
+                                   /*seed=*/11);
+  const auto jobs = detect::cross_jobs({"lattice", "lattice-sliced", "token"},
+                                       {1, 2, 3, 4});
+
+  std::vector<detect::SweepRow> rows;
+  for (auto _ : state) {
+    rows = detect::run_sweep(comp, jobs, threads);
+    benchmark::DoNotOptimize(rows.size());
+  }
+
+  std::int64_t cost = 0;
+  for (const auto& row : rows) cost += row.cost;
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["jobs"] = static_cast<double>(jobs.size());
+
+  detect::ReportParams rp;
+  rp.N = 8;
+  rp.n = 4;
+  rp.m = comp.max_messages_per_process();
+  rp.seed = 11;
+  report_run(state, "E10_sweep_t" + std::to_string(threads), rp,
+             {{"threads", static_cast<std::int64_t>(threads)},
+              {"jobs", static_cast<std::int64_t>(jobs.size())},
+              {"total_cost", cost}},
+             std::nullopt, std::nullopt);
+}
+BENCHMARK(BM_Lattice_Sweep)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 }  // namespace wcp::bench

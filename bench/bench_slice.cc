@@ -16,8 +16,10 @@
 //   sliced_def_cuts       handoff probes of the sliced definitely()
 //   definitely_prune      definitely_cuts / sliced_def_cuts
 //   slice_groups/edges    size of the slice itself
-#include <cmath>
-
+//
+// BM_Slice_Parallel sweeps the parallel Slice::build (one J column per
+// slot, see slice/slice.h) over thread counts — the EXPERIMENTS.md E15
+// speedup row; slice contents and counters stay identical.
 #include "bench_common.h"
 #include "detect/lattice.h"
 #include "detect/lattice_online.h"
@@ -75,23 +77,24 @@ void BM_Slice_Blowup(benchmark::State& state) {
 
   // bound = states^n, the lattice the baseline must explore; ratio is the
   // sliced cost against it — it should collapse toward 0 as n grows.
+  // Saturating uint64 keeps the bound exact where std::pow misrounds.
   detect::ReportParams rp;
   rp.N = static_cast<std::int64_t>(n);
   rp.n = static_cast<std::int64_t>(n);
   rp.m = states;
-  const double bound =
-      std::pow(static_cast<double>(states), static_cast<double>(n));
+  const std::uint64_t bound =
+      saturating_pow(static_cast<std::uint64_t>(states), n);
   report_run(state, "E15_slice_blowup", rp,
-             {{"lattice_cuts", lc},
-              {"sliced_cuts", sc},
+             {{"lattice_cuts", lat.cuts_explored},
+              {"sliced_cuts", sliced.cuts_explored},
               {"possibly_prune", lc / sc},
-              {"definitely_cuts", dc},
-              {"sliced_def_cuts", sdc},
+              {"definitely_cuts", defb.cuts_explored},
+              {"sliced_def_cuts", defs.cuts_explored},
               {"definitely_prune", dc / sdc},
-              {"slice_groups", static_cast<double>(sl.num_groups())},
-              {"slice_edges", static_cast<double>(sl.num_edges())},
-              {"slice_cuts", static_cast<double>(cc.count)}},
-             bound, sc / bound);
+              {"slice_groups", sl.num_groups()},
+              {"slice_edges", sl.num_edges()},
+              {"slice_cuts", cc.count}},
+             static_cast<double>(bound), sc / static_cast<double>(bound));
 }
 BENCHMARK(BM_Slice_Blowup)
     ->Args({3, 10})
@@ -131,11 +134,9 @@ void BM_Slice_Online(benchmark::State& state) {
   rp.m = comp.max_messages_per_process();
   rp.seed = 17;
   auto metrics = detect::slice_report_metrics(r);
-  metrics.emplace_back("lattice_cuts_explored", base_cuts);
-  metrics.emplace_back("lattice_max_frontier",
-                       static_cast<double>(base.max_frontier));
-  metrics.emplace_back("monitor_work",
-                       static_cast<double>(r.monitor_metrics.total_work()));
+  metrics.emplace_back("lattice_cuts_explored", base.cuts_explored);
+  metrics.emplace_back("lattice_max_frontier", base.max_frontier);
+  metrics.emplace_back("monitor_work", r.monitor_metrics.total_work());
   report_run(state, "E15_slice_online", rp, metrics, std::nullopt,
              std::nullopt);
 }
@@ -143,6 +144,42 @@ BENCHMARK(BM_Slice_Online)
     ->Args({8, 4})
     ->Args({16, 8})
     ->Args({24, 12});
+
+// Thread sweep of the parallel slice build on a wide random computation
+// (many slots => many independent J columns). Identical slice for every
+// thread count; the row's value is wall clock.
+void BM_Slice_Parallel(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const auto& comp = cached_random(/*N=*/24, /*n=*/16, /*events=*/60,
+                                   /*seed=*/9, /*pred_prob=*/0.6);
+
+  slice::SliceBuildCounters ctr;
+  slice::Slice sl;
+  for (auto _ : state) {
+    ctr = {};
+    sl = slice::Slice::build(comp, &ctr, threads);
+    benchmark::DoNotOptimize(sl.num_groups());
+  }
+
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["slice_groups"] = static_cast<double>(sl.num_groups());
+  state.counters["jil_advances"] = static_cast<double>(ctr.jil.advances);
+
+  detect::ReportParams rp;
+  rp.N = 24;
+  rp.n = 16;
+  rp.m = comp.max_messages_per_process();
+  rp.seed = 9;
+  report_run(state, "E15_slice_par_t" + std::to_string(threads), rp,
+             {{"threads", static_cast<std::int64_t>(threads)},
+              {"slice_groups", sl.num_groups()},
+              {"slice_edges", sl.num_edges()},
+              {"jil_advances", ctr.jil.advances},
+              {"jil_clock_lookups", ctr.jil.clock_lookups}},
+             std::nullopt, std::nullopt);
+}
+BENCHMARK(BM_Slice_Parallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 }  // namespace wcp::bench

@@ -16,9 +16,11 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "common/json.h"
+#include "detect/batch.h"
 #include "detect/centralized.h"
 #include "detect/lattice_online.h"
 #include "detect/direct_dep.h"
@@ -91,9 +93,12 @@ int usage() {
       "lattice|lattice-online|lattice-sliced|definitely|definitely-sliced|"
       "oracle]\n"
       "                   [--groups g] [--seed s] [--halt 0|1] [--json]\n"
+      "                   [--threads t]   t=0: WCP_THREADS env or hardware\n"
       "                   [--faults spec]   e.g. "
       "--faults drop=0.2,dup=0.05,seed=7,crash=m1@40+30\n"
-      "  wcp_cli slice    <in.trace> [--max-cuts k] [--json]\n"
+      "  wcp_cli slice    <in.trace> [--max-cuts k] [--threads t] [--json]\n"
+      "  wcp_cli sweep    <in.trace> [--algos a,b,..] [--seeds s1,s2,..]\n"
+      "                   [--threads t] [--json]\n"
       "  wcp_cli info     <in.trace>\n"
       "  wcp_cli diagram  <in.trace> [--max-states k]\n"
       "  wcp_cli dot      <in.trace>\n";
@@ -194,7 +199,8 @@ int cmd_detect(const Args& a) {
   if (opts.faults.enabled()) rp.faults = opts.faults.to_string();
 
   const auto emit_flat =
-      [&](const std::vector<std::pair<std::string, double>>& metrics) {
+      [&](const std::vector<std::pair<std::string, detect::MetricValue>>&
+              metrics) {
         json::Writer w(std::cout);
         detect::write_run_report(w, "cli:" + algo, rp, metrics, std::nullopt,
                                  std::nullopt);
@@ -204,7 +210,7 @@ int cmd_detect(const Args& a) {
   if (algo == "oracle") {
     const auto cut = comp.first_wcp_cut();
     if (as_json) {
-      emit_flat({{"detected", cut ? 1.0 : 0.0}});
+      emit_flat({{"detected", cut ? 1 : 0}});
       return 0;
     }
     if (cut) {
@@ -224,10 +230,10 @@ int cmd_detect(const Args& a) {
                                     std::int64_t max_frontier,
                                     bool truncated) {
       if (as_json) {
-        emit_flat({{"detected", detected ? 1.0 : 0.0},
-                   {"cuts_explored", static_cast<double>(cuts_explored)},
-                   {"max_frontier", static_cast<double>(max_frontier)},
-                   {"truncated", truncated ? 1.0 : 0.0}});
+        emit_flat({{"detected", detected ? 1 : 0},
+                   {"cuts_explored", cuts_explored},
+                   {"max_frontier", max_frontier},
+                   {"truncated", truncated ? 1 : 0}});
         return;
       }
       std::cout << algo << ": " << (detected ? "DETECTED" : "not-detected");
@@ -240,7 +246,9 @@ int cmd_detect(const Args& a) {
                 << (truncated ? " (truncated)" : "") << "\n";
     };
     if (algo == "lattice") {
-      const auto r = detect::detect_lattice(comp, 10'000'000);
+      const auto threads =
+          static_cast<std::size_t>(flag_int(a, "threads", 0));
+      const auto r = detect::detect_lattice(comp, 10'000'000, threads);
       report_lattice(r.detected, r.cut, r.cuts_explored, r.max_frontier,
                      r.truncated);
     } else if (algo == "lattice-sliced") {
@@ -255,16 +263,18 @@ int cmd_detect(const Args& a) {
     return 0;
   }
   if (algo == "definitely" || algo == "definitely-sliced") {
-    const auto r = algo == "definitely"
-                       ? detect::detect_definitely(comp, 10'000'000)
-                       : detect::detect_definitely_sliced(comp, 10'000'000);
+    const auto threads = static_cast<std::size_t>(flag_int(a, "threads", 0));
+    const auto r =
+        algo == "definitely"
+            ? detect::detect_definitely(comp, 10'000'000, threads)
+            : detect::detect_definitely_sliced(comp, 10'000'000);
     if (as_json) {
-      double witness_level = 0;
-      for (StateIndex k : r.witness) witness_level += static_cast<double>(k);
-      emit_flat({{"definitely", r.definitely ? 1.0 : 0.0},
-                 {"cuts_explored", static_cast<double>(r.cuts_explored)},
-                 {"truncated", r.truncated ? 1.0 : 0.0},
-                 {"witness_found", r.witness.empty() ? 0.0 : 1.0},
+      std::int64_t witness_level = 0;
+      for (StateIndex k : r.witness) witness_level += k;
+      emit_flat({{"definitely", r.definitely ? 1 : 0},
+                 {"cuts_explored", r.cuts_explored},
+                 {"truncated", r.truncated ? 1 : 0},
+                 {"witness_found", r.witness.empty() ? 0 : 1},
                  {"witness_level", witness_level}});
       return 0;
     }
@@ -335,9 +345,10 @@ int cmd_slice(const Args& a) {
   const auto comp = load_trace_file(a.positional[1]);
   const bool as_json = a.flags.contains("json");
   const std::int64_t max_cuts = flag_int(a, "max-cuts", 1'000'000);
+  const auto threads = static_cast<std::size_t>(flag_int(a, "threads", 0));
 
   slice::SliceBuildCounters ctr;
-  const auto sl = slice::Slice::build(comp, &ctr);
+  const auto sl = slice::Slice::build(comp, &ctr, threads);
   const auto cc = sl.num_cuts(max_cuts);
   const auto possibly = detect::detect_lattice_sliced(comp);
   const auto definitely = detect::detect_definitely_sliced(comp, 10'000'000);
@@ -347,19 +358,17 @@ int cmd_slice(const Args& a) {
     json::Writer w(std::cout);
     detect::write_run_report(
         w, "cli:slice", rp,
-        {{"possibly", possibly.detected ? 1.0 : 0.0},
-         {"definitely", definitely.definitely ? 1.0 : 0.0},
-         {"definitely_truncated", definitely.truncated ? 1.0 : 0.0},
-         {"slice_groups", static_cast<double>(sl.num_groups())},
-         {"slice_edges", static_cast<double>(sl.num_edges())},
-         {"slice_cuts", static_cast<double>(cc.count)},
-         {"slice_cuts_saturated", cc.saturated ? 1.0 : 0.0},
-         {"jil_advances", static_cast<double>(ctr.jil.advances)},
-         {"jil_clock_lookups", static_cast<double>(ctr.jil.clock_lookups)},
-         {"possibly_cuts_explored",
-          static_cast<double>(possibly.cuts_explored)},
-         {"definitely_cuts_explored",
-          static_cast<double>(definitely.cuts_explored)}},
+        {{"possibly", possibly.detected ? 1 : 0},
+         {"definitely", definitely.definitely ? 1 : 0},
+         {"definitely_truncated", definitely.truncated ? 1 : 0},
+         {"slice_groups", sl.num_groups()},
+         {"slice_edges", sl.num_edges()},
+         {"slice_cuts", cc.count},
+         {"slice_cuts_saturated", cc.saturated ? 1 : 0},
+         {"jil_advances", ctr.jil.advances},
+         {"jil_clock_lookups", ctr.jil.clock_lookups},
+         {"possibly_cuts_explored", possibly.cuts_explored},
+         {"definitely_cuts_explored", definitely.cuts_explored}},
         std::nullopt, std::nullopt);
     std::cout << "\n";
     return 0;
@@ -388,6 +397,49 @@ int cmd_slice(const Args& a) {
   return 0;
 }
 
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+int cmd_sweep(const Args& a) {
+  if (a.positional.size() < 2) return usage();
+  const auto comp = load_trace_file(a.positional[1]);
+  const bool as_json = a.flags.contains("json");
+  const auto threads = static_cast<std::size_t>(flag_int(a, "threads", 0));
+
+  const auto algos =
+      split_list(flag_str(a, "algos", "token,dd,lattice,lattice-sliced"));
+  std::vector<std::uint64_t> seeds;
+  for (const std::string& s : split_list(flag_str(a, "seeds", "1,2,3,4")))
+    seeds.push_back(std::strtoull(s.c_str(), nullptr, 10));
+  if (algos.empty() || seeds.empty()) return usage();
+
+  const auto rows =
+      detect::run_sweep(comp, detect::cross_jobs(algos, seeds), threads);
+  for (const auto& row : rows) {
+    if (as_json) {
+      std::cout << row.report << "\n";
+      continue;
+    }
+    const bool is_def = row.algo.rfind("definitely", 0) == 0;
+    std::cout << row.algo << " seed=" << row.seed << ": "
+              << (row.verdict ? (is_def ? "DEFINITELY" : "DETECTED")
+                              : (is_def ? "not-definitely" : "not-detected"))
+              << " cost=" << row.cost;
+    if (!row.cut.empty()) {
+      std::cout << " cut=";
+      print_cut(row.cut);
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -398,6 +450,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return cmd_generate(a);
     if (cmd == "detect") return cmd_detect(a);
     if (cmd == "slice") return cmd_slice(a);
+    if (cmd == "sweep") return cmd_sweep(a);
     if (cmd == "info") return cmd_info(a);
     if (cmd == "diagram") return cmd_diagram(a);
     if (cmd == "dot") return cmd_dot(a);

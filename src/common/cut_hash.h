@@ -1,0 +1,29 @@
+// FNV-1a hash over the components of a global-state cut.
+//
+// The one shared definition of the cut hash used by every detector that
+// keys hash containers on cuts (lattice BFS visited sets, slice quotient
+// interning, sharded parallel frontiers). Sharing one definition matters
+// for the parallel detectors: the visited shards are partitioned by this
+// hash, and the serial/parallel equivalence argument leans on every layer
+// agreeing on it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wcp {
+
+struct CutHash {
+  std::size_t operator()(const std::vector<StateIndex>& cut) const noexcept {
+    std::size_t h = 0xcbf29ce484222325ULL;
+    for (StateIndex k : cut) {
+      h ^= static_cast<std::size_t>(k);
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+}  // namespace wcp

@@ -112,6 +112,15 @@ Writer& Writer::value(double v) {
   before_value();
   if (!std::isfinite(v)) {
     os_ << "null";  // JSON has no Inf/NaN
+  } else if (v == std::floor(v) && std::abs(v) <= 9007199254740992.0) {
+    // Exactly representable integer: print without exponent notation so
+    // counters that passed through double (1e5 cuts, ...) stay grep-able
+    // and re-parse as kInt. 2^53 bounds the exactly-representable range.
+    char buf[24];
+    auto [end, ec] =
+        std::to_chars(buf, buf + sizeof buf, static_cast<std::int64_t>(v));
+    WCP_CHECK(ec == std::errc());
+    os_.write(buf, end - buf);
   } else {
     // Shortest round-trip representation: deterministic across runs, exact
     // on re-parse — the property the byte-identical-report guarantee needs.

@@ -1,37 +1,132 @@
 #include "detect/lattice.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <functional>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
+#include "common/cut_hash.h"
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace wcp::detect {
 
 namespace {
 
-struct CutHash {
-  std::size_t operator()(const std::vector<StateIndex>& cut) const noexcept {
-    std::size_t h = 0xcbf29ce484222325ULL;
-    for (StateIndex k : cut) {
-      h ^= static_cast<std::size_t>(k);
-      h *= 0x100000001b3ULL;
-    }
-    return h;
+using Cut = std::vector<StateIndex>;
+
+/// When definitely == false, the witness is the first cut on the avoiding
+/// path that diverges past the pointwise-minimal satisfying cut (the bottom
+/// cut when the predicate never holds). `parent_of` must map every visited
+/// cut to its BFS predecessor (the bottom cut to itself).
+Cut reconstruct_witness(const Computation& comp, std::size_t n, const Cut& top,
+                        const std::function<const Cut&(const Cut&)>& parent_of) {
+  std::vector<Cut> path;
+  for (Cut c = top;;) {
+    path.push_back(c);
+    const Cut& p = parent_of(c);
+    if (p == c) break;
+    c = p;
   }
+  std::reverse(path.begin(), path.end());
+  Cut witness = path.front();  // bottom
+  if (const auto min_sat = comp.first_wcp_cut()) {
+    const auto leq = [&](const Cut& a) {
+      for (std::size_t s = 0; s < n; ++s)
+        if (a[s] > (*min_sat)[s]) return false;
+      return true;
+    };
+    for (const Cut& c : path)
+      if (!leq(c)) {
+        witness = c;
+        break;
+      }
+  }
+  return witness;
+}
+
+// ---- level-parallel BFS machinery -----------------------------------------
+//
+// Both parallel detectors share the same level structure. Per level:
+//   phase A (parallel over the level's cuts): evaluate the predicate and
+//     generate the consistent successors of each cut, in slot order — the
+//     exact enumeration order of the serial loop;
+//   phase B (parallel over visited shards): deduplicate the flattened
+//     candidate list against the shards, each shard processing its
+//     candidates in global submission order, so "first occurrence wins"
+//     exactly as in the serial insert;
+//   serial epilogue: replay the serial loop's per-pop bookkeeping
+//     (cuts_explored, max_frontier, termination checks) from the per-cut
+//     results — acceptance of a candidate never depends on later
+//     candidates, so prefix counts equal what the serial interleaving of
+//     pops and pushes produced.
+
+/// Phase-A output for one cut of the current level.
+struct Expansion {
+  bool satisfies = false;
+  std::vector<Cut> succ;  // consistent successors, slot order
 };
 
-}  // namespace
+/// Flattened candidate: which level cut generated it (for prefix counts).
+struct Candidate {
+  std::size_t parent;
+  Cut cut;
+  std::size_t shard;
+};
 
-LatticeResult detect_lattice(const Computation& comp, std::int64_t max_cuts) {
+std::vector<Candidate> flatten_candidates(std::vector<Expansion>& exp,
+                                          std::size_t num_shards) {
+  const CutHash hasher;
+  std::size_t total = 0;
+  for (const Expansion& e : exp) total += e.succ.size();
+  std::vector<Candidate> out;
+  out.reserve(total);
+  for (std::size_t i = 0; i < exp.size(); ++i)
+    for (Cut& c : exp[i].succ) {
+      const std::size_t shard = hasher(c) % num_shards;
+      out.push_back(Candidate{i, std::move(c), shard});
+    }
+  return out;
+}
+
+/// Phase B over generic per-shard visited containers: `insert(shard, cut,
+/// parent)` must return true iff the cut was new. Returns per-candidate
+/// acceptance flags (std::uint8_t — vector<bool> is not safe to write
+/// concurrently).
+template <typename Insert>
+std::vector<std::uint8_t> dedup_sharded(common::ThreadPool& pool,
+                                        const std::vector<Candidate>& cand,
+                                        std::size_t num_shards,
+                                        const Insert& insert) {
+  // Group candidate indices per shard, preserving global submission order
+  // within each shard.
+  std::vector<std::vector<std::size_t>> by_shard(num_shards);
+  for (std::size_t j = 0; j < cand.size(); ++j)
+    by_shard[cand[j].shard].push_back(j);
+
+  std::vector<std::uint8_t> accepted(cand.size(), 0);
+  pool.parallel_for(
+      num_shards,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t shard = b; shard < e; ++shard)
+          for (std::size_t j : by_shard[shard])
+            accepted[j] = insert(shard, cand[j]) ? 1 : 0;
+      },
+      /*grain=*/1);
+  return accepted;
+}
+
+LatticeResult detect_lattice_serial(const Computation& comp,
+                                    std::int64_t max_cuts) {
   const auto procs = comp.predicate_processes();
   const std::size_t n = procs.size();
-  WCP_REQUIRE(n >= 1, "empty predicate");
 
   LatticeResult res;
 
-  auto satisfies = [&](const std::vector<StateIndex>& cut) {
+  auto satisfies = [&](const Cut& cut) {
     for (std::size_t s = 0; s < n; ++s)
       if (!comp.local_pred(procs[s], cut[s])) return false;
     return true;
@@ -39,17 +134,17 @@ LatticeResult detect_lattice(const Computation& comp, std::int64_t max_cuts) {
 
   // The initial cut (all 1s) is always consistent: state 1 has no receives
   // before it, so nothing happened before it on another process.
-  std::vector<StateIndex> initial(n, 1);
+  Cut initial(n, 1);
 
-  std::queue<std::vector<StateIndex>> frontier;
-  std::unordered_set<std::vector<StateIndex>, CutHash> visited;
+  std::queue<Cut> frontier;
+  std::unordered_set<Cut, CutHash> visited;
   frontier.push(initial);
   visited.insert(initial);
 
   while (!frontier.empty()) {
     res.max_frontier = std::max(
         res.max_frontier, static_cast<std::int64_t>(frontier.size()));
-    std::vector<StateIndex> cut = std::move(frontier.front());
+    Cut cut = std::move(frontier.front());
     frontier.pop();
     ++res.cuts_explored;
 
@@ -70,7 +165,7 @@ LatticeResult detect_lattice(const Computation& comp, std::int64_t max_cuts) {
     // rest of the cut was already consistent.
     for (std::size_t s = 0; s < n; ++s) {
       if (cut[s] + 1 > comp.num_states(procs[s])) continue;
-      std::vector<StateIndex> next = cut;
+      Cut next = cut;
       next[s] += 1;
       bool consistent = true;
       for (std::size_t t = 0; t < n && consistent; ++t) {
@@ -86,28 +181,115 @@ LatticeResult detect_lattice(const Computation& comp, std::int64_t max_cuts) {
   return res;
 }
 
-DefinitelyResult detect_definitely(const Computation& comp,
-                                   std::int64_t max_cuts) {
+LatticeResult detect_lattice_parallel(const Computation& comp,
+                                      std::int64_t max_cuts,
+                                      std::size_t threads) {
   const auto procs = comp.predicate_processes();
   const std::size_t n = procs.size();
-  WCP_REQUIRE(n >= 1, "empty predicate");
+
+  // Force the lazy ground-truth clocks before fanning out: the first
+  // happened_before call materializes them, and that must not race.
+  comp.ground_truth_clock(procs[0], 1);
+
+  common::ThreadPool pool(threads);
+  const std::size_t num_shards = pool.num_threads();
+
+  LatticeResult res;
+
+  auto satisfies = [&](const Cut& cut) {
+    for (std::size_t s = 0; s < n; ++s)
+      if (!comp.local_pred(procs[s], cut[s])) return false;
+    return true;
+  };
+  auto expand = [&](const Cut& cut) {
+    Expansion e;
+    e.satisfies = satisfies(cut);
+    for (std::size_t s = 0; s < n; ++s) {
+      if (cut[s] + 1 > comp.num_states(procs[s])) continue;
+      Cut next = cut;
+      next[s] += 1;
+      bool consistent = true;
+      for (std::size_t t = 0; t < n && consistent; ++t) {
+        if (t == s) continue;
+        if (comp.happened_before(procs[s], next[s], procs[t], next[t]) ||
+            comp.happened_before(procs[t], next[t], procs[s], next[s]))
+          consistent = false;
+      }
+      if (consistent) e.succ.push_back(std::move(next));
+    }
+    return e;
+  };
+
+  std::vector<std::unordered_set<Cut, CutHash>> shards(num_shards);
+  const CutHash hasher;
+  Cut initial(n, 1);
+  shards[hasher(initial) % num_shards].insert(initial);
+  std::vector<Cut> level{std::move(initial)};
+
+  while (!level.empty()) {
+    auto exp = pool.parallel_map<Expansion>(
+        level.size(), [&](std::size_t i) { return expand(level[i]); });
+    auto cand = flatten_candidates(exp, num_shards);
+    const auto accepted = dedup_sharded(
+        pool, cand, num_shards, [&](std::size_t shard, const Candidate& c) {
+          return shards[shard].insert(c.cut).second;
+        });
+
+    // Accepted-successor count per level cut, for the frontier-size replay.
+    std::vector<std::size_t> acc_succ(level.size(), 0);
+    for (std::size_t j = 0; j < cand.size(); ++j)
+      if (accepted[j]) ++acc_succ[cand[j].parent];
+
+    // Serial replay: the serial loop pops level[i] off a queue holding the
+    // rest of this level plus the already-pushed successors of level[0..i).
+    std::size_t pushed = 0;
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      res.max_frontier =
+          std::max(res.max_frontier,
+                   static_cast<std::int64_t>(level.size() - i + pushed));
+      ++res.cuts_explored;
+      if (exp[i].satisfies) {
+        res.detected = true;
+        res.cut = std::move(level[i]);
+        return res;
+      }
+      if (max_cuts >= 0 && res.cuts_explored >= max_cuts) {
+        res.truncated = true;
+        return res;
+      }
+      pushed += acc_succ[i];
+    }
+
+    std::vector<Cut> next_level;
+    next_level.reserve(pushed);
+    for (std::size_t j = 0; j < cand.size(); ++j)
+      if (accepted[j]) next_level.push_back(std::move(cand[j].cut));
+    level = std::move(next_level);
+  }
+  return res;
+}
+
+DefinitelyResult detect_definitely_serial(const Computation& comp,
+                                          std::int64_t max_cuts) {
+  const auto procs = comp.predicate_processes();
+  const std::size_t n = procs.size();
 
   DefinitelyResult res;
 
-  auto satisfies = [&](const std::vector<StateIndex>& cut) {
+  auto satisfies = [&](const Cut& cut) {
     for (std::size_t s = 0; s < n; ++s)
       if (!comp.local_pred(procs[s], cut[s])) return false;
     return true;
   };
 
-  std::vector<StateIndex> top(n);
+  Cut top(n);
   for (std::size_t s = 0; s < n; ++s) top[s] = comp.num_states(procs[s]);
 
   // Search for an observation that AVOIDS the predicate: BFS through
   // non-satisfying consistent cuts. If the top cut is reachable (or is
   // itself non-satisfying while reachable), some observation misses the
   // predicate => not definitely.
-  std::vector<StateIndex> initial(n, 1);
+  Cut initial(n, 1);
   if (satisfies(initial)) {
     // Every observation starts at the bottom cut.
     res.definitely = true;
@@ -115,46 +297,21 @@ DefinitelyResult detect_definitely(const Computation& comp,
     return res;
   }
 
-  std::queue<std::vector<StateIndex>> frontier;
+  std::queue<Cut> frontier;
   // Maps each visited cut to its BFS predecessor (the bottom cut to itself)
   // so the avoiding observation can be reconstructed for the witness.
-  std::unordered_map<std::vector<StateIndex>, std::vector<StateIndex>, CutHash>
-      parent;
+  std::unordered_map<Cut, Cut, CutHash> parent;
   frontier.push(initial);
   parent.emplace(initial, initial);
 
   while (!frontier.empty()) {
-    std::vector<StateIndex> cut = std::move(frontier.front());
+    Cut cut = std::move(frontier.front());
     frontier.pop();
     ++res.cuts_explored;
     if (cut == top) {
       res.definitely = false;  // an observation avoided the predicate
-      // Witness: walk the avoiding path back to the bottom, then pick the
-      // first cut that diverges past the minimal satisfying cut B — the
-      // point where this observation provably leaves every chance of
-      // satisfying the WCP behind. With no satisfying cut at all, every
-      // cut avoids the predicate and the bottom cut is the witness.
-      std::vector<std::vector<StateIndex>> path;
-      for (std::vector<StateIndex> c = cut;;) {
-        path.push_back(c);
-        const auto& p = parent.at(c);
-        if (p == c) break;
-        c = p;
-      }
-      std::reverse(path.begin(), path.end());
-      res.witness = path.front();  // bottom
-      if (const auto min_sat = comp.first_wcp_cut()) {
-        const auto leq = [&](const std::vector<StateIndex>& a) {
-          for (std::size_t s = 0; s < n; ++s)
-            if (a[s] > (*min_sat)[s]) return false;
-          return true;
-        };
-        for (const auto& c : path)
-          if (!leq(c)) {
-            res.witness = c;
-            break;
-          }
-      }
+      res.witness = reconstruct_witness(
+          comp, n, cut, [&](const Cut& c) -> const Cut& { return parent.at(c); });
       return res;
     }
     if (max_cuts >= 0 && res.cuts_explored >= max_cuts) {
@@ -164,7 +321,7 @@ DefinitelyResult detect_definitely(const Computation& comp,
 
     for (std::size_t s = 0; s < n; ++s) {
       if (cut[s] + 1 > comp.num_states(procs[s])) continue;
-      std::vector<StateIndex> next = cut;
+      Cut next = cut;
       next[s] += 1;
       bool consistent = true;
       for (std::size_t t = 0; t < n && consistent; ++t) {
@@ -181,6 +338,118 @@ DefinitelyResult detect_definitely(const Computation& comp,
   // predicate.
   res.definitely = true;
   return res;
+}
+
+DefinitelyResult detect_definitely_parallel(const Computation& comp,
+                                            std::int64_t max_cuts,
+                                            std::size_t threads) {
+  const auto procs = comp.predicate_processes();
+  const std::size_t n = procs.size();
+
+  comp.ground_truth_clock(procs[0], 1);  // materialize before fanning out
+
+  common::ThreadPool pool(threads);
+  const std::size_t num_shards = pool.num_threads();
+
+  DefinitelyResult res;
+
+  auto satisfies = [&](const Cut& cut) {
+    for (std::size_t s = 0; s < n; ++s)
+      if (!comp.local_pred(procs[s], cut[s])) return false;
+    return true;
+  };
+
+  Cut top(n);
+  for (std::size_t s = 0; s < n; ++s) top[s] = comp.num_states(procs[s]);
+
+  Cut initial(n, 1);
+  if (satisfies(initial)) {
+    res.definitely = true;
+    res.cuts_explored = 1;
+    return res;
+  }
+
+  // Successors blocked by the WCP (satisfying cuts) are filtered in phase A
+  // and never become candidates — mirroring the serial `continue`.
+  auto expand = [&](const Cut& cut) {
+    Expansion e;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (cut[s] + 1 > comp.num_states(procs[s])) continue;
+      Cut next = cut;
+      next[s] += 1;
+      bool consistent = true;
+      for (std::size_t t = 0; t < n && consistent; ++t) {
+        if (t == s) continue;
+        if (comp.happened_before(procs[s], next[s], procs[t], next[t]) ||
+            comp.happened_before(procs[t], next[t], procs[s], next[s]))
+          consistent = false;
+      }
+      if (!consistent || satisfies(next)) continue;
+      e.succ.push_back(std::move(next));
+    }
+    return e;
+  };
+
+  // Visited shards double as the parent map for witness reconstruction.
+  std::vector<std::unordered_map<Cut, Cut, CutHash>> shards(num_shards);
+  const CutHash hasher;
+  shards[hasher(initial) % num_shards].emplace(initial, initial);
+  std::vector<Cut> level{std::move(initial)};
+  const auto parent_of = [&](const Cut& c) -> const Cut& {
+    return shards[hasher(c) % num_shards].at(c);
+  };
+
+  while (!level.empty()) {
+    auto exp = pool.parallel_map<Expansion>(
+        level.size(), [&](std::size_t i) { return expand(level[i]); });
+    auto cand = flatten_candidates(exp, num_shards);
+    const auto accepted = dedup_sharded(
+        pool, cand, num_shards, [&](std::size_t shard, const Candidate& c) {
+          return shards[shard].emplace(c.cut, level[c.parent]).second;
+        });
+
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      ++res.cuts_explored;
+      if (level[i] == top) {
+        res.definitely = false;
+        res.witness = reconstruct_witness(comp, n, level[i], parent_of);
+        return res;
+      }
+      if (max_cuts >= 0 && res.cuts_explored >= max_cuts) {
+        res.truncated = true;
+        return res;
+      }
+    }
+
+    std::vector<Cut> next_level;
+    next_level.reserve(cand.size());
+    for (std::size_t j = 0; j < cand.size(); ++j)
+      if (accepted[j]) next_level.push_back(std::move(cand[j].cut));
+    level = std::move(next_level);
+  }
+  res.definitely = true;
+  return res;
+}
+
+}  // namespace
+
+LatticeResult detect_lattice(const Computation& comp, std::int64_t max_cuts,
+                             std::size_t threads) {
+  const auto procs = comp.predicate_processes();
+  WCP_REQUIRE(!procs.empty(), "empty predicate");
+  if (threads == 0) threads = common::ThreadPool::default_threads();
+  return threads <= 1 ? detect_lattice_serial(comp, max_cuts)
+                      : detect_lattice_parallel(comp, max_cuts, threads);
+}
+
+DefinitelyResult detect_definitely(const Computation& comp,
+                                   std::int64_t max_cuts,
+                                   std::size_t threads) {
+  const auto procs = comp.predicate_processes();
+  WCP_REQUIRE(!procs.empty(), "empty predicate");
+  if (threads == 0) threads = common::ThreadPool::default_threads();
+  return threads <= 1 ? detect_definitely_serial(comp, max_cuts)
+                      : detect_definitely_parallel(comp, max_cuts, threads);
 }
 
 }  // namespace wcp::detect

@@ -10,6 +10,17 @@
 //
 // The number of cuts explored can grow as O(m^n) — the cost that motivates
 // the paper's algorithms; bench E10 measures the blowup.
+//
+// Both detectors accept a `threads` parameter. threads == 1 (the default)
+// runs the reference serial BFS; threads != 1 runs the level-parallel BFS:
+// each antichain level's predicate evaluation and successor generation fan
+// out across a common::ThreadPool, duplicates are eliminated against
+// visited shards hash-partitioned by wcp::CutHash, and the shard outputs
+// are merged at the level barrier in submission order. Verdict, cut,
+// cuts_explored and max_frontier are bit-identical to the serial path for
+// every thread count (tests/lattice_test.cc sweeps threads ∈ {1,2,8}).
+// threads == 0 resolves to common::ThreadPool::default_threads()
+// (WCP_THREADS env var, else hardware_concurrency()).
 #pragma once
 
 #include <cstdint>
@@ -30,9 +41,12 @@ struct LatticeResult {
   std::int64_t max_frontier = 0;     // peak BFS frontier size
 };
 
-/// Explores at most `max_cuts` consistent cuts (<0: unbounded).
+/// Explores at most `max_cuts` consistent cuts (<0: unbounded). `threads`:
+/// 1 = serial reference BFS, 0 = ThreadPool::default_threads(), otherwise
+/// the level-parallel BFS on that many lanes (identical results).
 LatticeResult detect_lattice(const Computation& comp,
-                             std::int64_t max_cuts = -1);
+                             std::int64_t max_cuts = -1,
+                             std::size_t threads = 1);
 
 /// Cooper-Marzullo definitely(WCP): true iff EVERY observation (every
 /// maximal path through the lattice of consistent cuts) passes through a
@@ -52,6 +66,7 @@ struct DefinitelyResult {
 };
 
 DefinitelyResult detect_definitely(const Computation& comp,
-                                   std::int64_t max_cuts = -1);
+                                   std::int64_t max_cuts = -1,
+                                   std::size_t threads = 1);
 
 }  // namespace wcp::detect

@@ -72,15 +72,35 @@ void write_run_report(json::Writer& w, std::string_view bench,
   w.end_object();
 }
 
+void MetricValue::write(json::Writer& w) const {
+  switch (kind_) {
+    case Kind::kInt: w.value(int_); break;
+    case Kind::kUint: w.value(uint_); break;
+    case Kind::kDouble: w.value(double_); break;
+  }
+}
+
+double MetricValue::as_double() const {
+  switch (kind_) {
+    case Kind::kInt: return static_cast<double>(int_);
+    case Kind::kUint: return static_cast<double>(uint_);
+    case Kind::kDouble: return double_;
+  }
+  return 0.0;
+}
+
 void write_run_report(
     json::Writer& w, std::string_view bench, const ReportParams& params,
-    const std::vector<std::pair<std::string, double>>& metrics,
+    const std::vector<std::pair<std::string, MetricValue>>& metrics,
     std::optional<double> bound, std::optional<double> ratio) {
   w.begin_object();
   write_header(w, bench, params);
   w.key("metrics");
   w.begin_object();
-  for (const auto& [k, v] : metrics) w.field(k, v);
+  for (const auto& [k, v] : metrics) {
+    w.key(k);
+    v.write(w);
+  }
   w.end_object();
   write_bound_ratio(w, bound, ratio);
   w.end_object();

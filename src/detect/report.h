@@ -50,13 +50,35 @@ void write_run_report(json::Writer& w, std::string_view bench,
                       std::optional<double> bound, std::optional<double> ratio,
                       bool include_wall_clock = true);
 
+/// One flat-report metric: integer counters stay integers all the way into
+/// the JSON (no double round-trip, no exponent notation); genuinely
+/// fractional quantities (ratios, averages) stay doubles.
+class MetricValue {
+ public:
+  MetricValue(int v) : kind_(Kind::kInt), int_(v) {}                 // NOLINT
+  MetricValue(std::int64_t v) : kind_(Kind::kInt), int_(v) {}        // NOLINT
+  MetricValue(std::uint64_t v) : kind_(Kind::kUint), uint_(v) {}     // NOLINT
+  MetricValue(double v) : kind_(Kind::kDouble), double_(v) {}        // NOLINT
+
+  void write(json::Writer& w) const;
+  /// Numeric value as double (exact for counters up to 2^53).
+  [[nodiscard]] double as_double() const;
+
+ private:
+  enum class Kind : std::uint8_t { kInt, kUint, kDouble };
+  Kind kind_;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+};
+
 /// Same record shape for experiments without a DetectionResult (e.g. the
 /// adversary game or the lattice baseline): `metrics` is emitted verbatim
 /// as a flat object in insertion order.
-void write_run_report(json::Writer& w, std::string_view bench,
-                      const ReportParams& params,
-                      const std::vector<std::pair<std::string, double>>& metrics,
-                      std::optional<double> bound, std::optional<double> ratio);
+void write_run_report(
+    json::Writer& w, std::string_view bench, const ReportParams& params,
+    const std::vector<std::pair<std::string, MetricValue>>& metrics,
+    std::optional<double> bound, std::optional<double> ratio);
 
 /// Convenience: one record rendered to a string (indent 0 = compact line).
 std::string run_report_string(std::string_view bench,

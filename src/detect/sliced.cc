@@ -216,17 +216,17 @@ SliceOnlineResult run_slice_online(const Computation& comp,
   return r;
 }
 
-std::vector<std::pair<std::string, double>> slice_report_metrics(
+std::vector<std::pair<std::string, MetricValue>> slice_report_metrics(
     const SliceOnlineResult& r) {
   return {
-      {"detected", r.detected ? 1.0 : 0.0},
-      {"states_received", static_cast<double>(r.states_received)},
-      {"jil_advances", static_cast<double>(r.jil_advances)},
-      {"clock_lookups", static_cast<double>(r.clock_lookups)},
-      {"slice_groups", static_cast<double>(r.slice_groups)},
-      {"slice_edges", static_cast<double>(r.slice_edges)},
-      {"slice_cuts", static_cast<double>(r.slice_cuts)},
-      {"slice_cuts_saturated", r.slice_cuts_saturated ? 1.0 : 0.0},
+      {"detected", r.detected ? 1 : 0},
+      {"states_received", r.states_received},
+      {"jil_advances", r.jil_advances},
+      {"clock_lookups", r.clock_lookups},
+      {"slice_groups", r.slice_groups},
+      {"slice_edges", r.slice_edges},
+      {"slice_cuts", r.slice_cuts},
+      {"slice_cuts_saturated", r.slice_cuts_saturated ? 1 : 0},
   };
 }
 

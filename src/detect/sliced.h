@@ -23,6 +23,7 @@
 #include <cstdint>
 
 #include "detect/lattice.h"
+#include "detect/report.h"
 #include "detect/result.h"
 #include "slice/online_slicer.h"
 #include "slice/slice.h"
@@ -64,8 +65,9 @@ SliceOnlineResult run_slice_online(const Computation& comp,
                                    std::int64_t count_cap = 1'000'000);
 
 /// The slice-specific counters of a run as flat report metrics, ready for
-/// write_run_report / bench report_run (schema wcp-run-report/1).
-std::vector<std::pair<std::string, double>> slice_report_metrics(
+/// write_run_report / bench report_run (schema wcp-run-report/1). Counters
+/// are integer-typed so the JSON never renders them in exponent notation.
+std::vector<std::pair<std::string, MetricValue>> slice_report_metrics(
     const SliceOnlineResult& r);
 
 }  // namespace wcp::detect

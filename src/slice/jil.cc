@@ -90,4 +90,23 @@ std::optional<std::vector<StateIndex>> least_consistent_cut(
   return advance_fixpoint(in, lower_bounds, /*require_pred=*/false, counters);
 }
 
+std::vector<std::optional<std::vector<StateIndex>>> jil_column(
+    const SliceInput& in, std::size_t slot,
+    const std::vector<StateIndex>& bottom, JilCounters* counters) {
+  const auto m = static_cast<std::size_t>(in.num_states(slot));
+  std::vector<std::optional<std::vector<StateIndex>>> column(m);
+  // J_slot is pointwise monotone in k, so each fixpoint resumes from the
+  // previous J; once a fixpoint fails, every later state fails too.
+  std::vector<StateIndex> prev = bottom;  // J_slot(1) == bottom
+  for (StateIndex k = 1; k <= static_cast<StateIndex>(m); ++k) {
+    std::vector<StateIndex> lo = prev;
+    lo[slot] = std::max(lo[slot], k);
+    auto j = least_satisfying_cut(in, lo, counters);
+    if (!j) break;  // no satisfying cut includes (slot, k) or beyond
+    prev = *j;
+    column[static_cast<std::size_t>(k - 1)] = std::move(j);
+  }
+  return column;
+}
+
 }  // namespace wcp::slice

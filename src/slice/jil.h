@@ -104,4 +104,14 @@ std::optional<std::vector<StateIndex>> least_consistent_cut(
     const SliceInput& in, std::span<const StateIndex> lower_bounds,
     JilCounters* counters = nullptr);
 
+/// The whole J_slot(·) column: column[k-1] = J_slot(k) for k = 1..m_slot,
+/// nullopt for states past the slice top (no satisfying cut includes them).
+/// `bottom` must be the slice bottom (== J_slot(1) where it exists); each
+/// fixpoint resumes from the previous J, so one column costs amortized
+/// O(n^2 m). Columns of distinct slots are independent of one another —
+/// the parallel Slice::build computes them concurrently, one task per slot.
+std::vector<std::optional<std::vector<StateIndex>>> jil_column(
+    const SliceInput& in, std::size_t slot,
+    const std::vector<StateIndex>& bottom, JilCounters* counters = nullptr);
+
 }  // namespace wcp::slice

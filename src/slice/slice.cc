@@ -1,33 +1,66 @@
 #include "slice/slice.h"
 
 #include <algorithm>
-#include <map>
+#include <optional>
 #include <set>
+#include <unordered_map>
 #include <utility>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace wcp::slice {
 
-Slice Slice::build(const SliceInput& in, SliceBuildCounters* counters) {
+Slice Slice::build(const SliceInput& in, SliceBuildCounters* counters,
+                   std::size_t threads) {
   SliceBuildCounters local;
   SliceBuildCounters& ctr = counters ? *counters : local;
   const std::size_t n = in.num_slots();
   WCP_REQUIRE(n >= 1, "empty predicate");
+  if (threads == 0) threads = common::ThreadPool::default_threads();
 
   Slice s;
   s.slots_.resize(n);
 
+  // The bottom fixpoint runs first and serially; for a lazily materialized
+  // input (ComputationInput's ground-truth clocks) it also forces the
+  // causality data into existence before any parallel fan-out below.
   const auto bottom = jil(in, 0, 1, &ctr.jil);
   if (!bottom) return s;  // no satisfying cut: empty slice
   s.bottom_ = *bottom;
 
-  // Per slot, compute J_s(k) for k = 1..top[s]. J_s is pointwise monotone
-  // in k, so each fixpoint resumes from the previous J (amortized O(n^2 m)
-  // per slot instead of O(n^2 m) per state). States whose J coincide form
-  // one strongly connected component of the constraint graph (mutual
-  // inclusion); deduplicate via the cut -> group map.
-  std::map<std::vector<StateIndex>, int> group_of_cut;
+  // Per slot, compute the J_s(·) column (see jil_column: each fixpoint
+  // resumes from the previous J, amortized O(n^2 m) per slot). The columns
+  // are mutually independent, so with threads > 1 they are computed
+  // concurrently, one per-slot counter each, and both the interning below
+  // and the counter accumulation happen serially in slot order — keeping
+  // group numbering and counters identical to the serial build.
+  using Column = std::vector<std::optional<std::vector<StateIndex>>>;
+  std::vector<Column> columns(n);
+  if (threads <= 1 || n == 1) {
+    for (std::size_t slot = 0; slot < n; ++slot)
+      columns[slot] = jil_column(in, slot, s.bottom_, &ctr.jil);
+  } else {
+    std::vector<JilCounters> per_slot(n);
+    common::ThreadPool pool(threads);
+    columns = pool.parallel_map<Column>(
+        n,
+        [&](std::size_t slot) {
+          return jil_column(in, slot, s.bottom_, &per_slot[slot]);
+        },
+        /*grain=*/1);
+    for (const JilCounters& c : per_slot) {
+      ctr.jil.calls += c.calls;
+      ctr.jil.advances += c.advances;
+      ctr.jil.clock_lookups += c.clock_lookups;
+    }
+  }
+
+  // States whose J coincide form one strongly connected component of the
+  // constraint graph (mutual inclusion); deduplicate via the cut -> group
+  // map, keyed by the shared CutHash (hot path: one hash per state instead
+  // of the old std::map's O(n log m) lexicographic compares).
+  std::unordered_map<std::vector<StateIndex>, int, CutHash> group_of_cut;
   auto intern = [&](const std::vector<StateIndex>& cut) {
     auto [it, inserted] =
         group_of_cut.emplace(cut, static_cast<int>(s.groups_.size()));
@@ -38,14 +71,10 @@ Slice Slice::build(const SliceInput& in, SliceBuildCounters* counters) {
   for (std::size_t slot = 0; slot < n; ++slot) {
     auto& per = s.slots_[slot];
     per.group.assign(static_cast<std::size_t>(in.num_states(slot)), -1);
-    std::vector<StateIndex> prev = s.bottom_;  // J_slot(1) == bottom
-    for (StateIndex k = 1; k <= in.num_states(slot); ++k) {
-      std::vector<StateIndex> lo = prev;
-      lo[slot] = std::max(lo[slot], k);
-      const auto j = least_satisfying_cut(in, lo, &ctr.jil);
-      if (!j) break;  // no satisfying cut includes (slot, k) or beyond
-      per.group[static_cast<std::size_t>(k - 1)] = intern(*j);
-      prev = *j;
+    const Column& col = columns[slot];
+    for (std::size_t k0 = 0; k0 < col.size(); ++k0) {
+      if (!col[k0]) break;  // column ends at the slice top
+      per.group[k0] = intern(*col[k0]);
     }
   }
 
@@ -82,8 +111,9 @@ Slice Slice::build(const SliceInput& in, SliceBuildCounters* counters) {
   return s;
 }
 
-Slice Slice::build(const Computation& comp, SliceBuildCounters* counters) {
-  return build(ComputationInput(comp), counters);
+Slice Slice::build(const Computation& comp, SliceBuildCounters* counters,
+                   std::size_t threads) {
+  return build(ComputationInput(comp), counters, threads);
 }
 
 int Slice::group_of(std::size_t slot, StateIndex k) const {

@@ -25,22 +25,16 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/cut_hash.h"
 #include "common/types.h"
 #include "slice/jil.h"
 
 namespace wcp::slice {
 
-/// FNV-1a over cut components (same scheme as the lattice detectors).
-struct CutHash {
-  std::size_t operator()(const std::vector<StateIndex>& cut) const noexcept {
-    std::size_t h = 0xcbf29ce484222325ULL;
-    for (StateIndex k : cut) {
-      h ^= static_cast<std::size_t>(k);
-      h *= 0x100000001b3ULL;
-    }
-    return h;
-  }
-};
+/// FNV-1a over cut components — the one shared definition in
+/// common/cut_hash.h, also used by the lattice detectors' visited sets and
+/// the parallel shard partitioning.
+using CutHash = wcp::CutHash;
 
 /// Counters accumulated while building a slice.
 struct SliceBuildCounters {
@@ -50,12 +44,19 @@ struct SliceBuildCounters {
 class Slice {
  public:
   /// Builds the slice of `in`'s computation w.r.t. its conjunctive
-  /// predicate. O(n^2 m) fixpoint work plus O(n m) grouping.
+  /// predicate. O(n^2 m) fixpoint work plus O(n m) grouping. `threads`:
+  /// 1 = serial; 0 = common::ThreadPool::default_threads(); otherwise the
+  /// independent per-slot J columns are computed concurrently on that many
+  /// lanes and interned serially in slot order, so the resulting slice
+  /// (group numbering included) and the accumulated counters are identical
+  /// to the serial build for every thread count.
   static Slice build(const SliceInput& in,
-                     SliceBuildCounters* counters = nullptr);
+                     SliceBuildCounters* counters = nullptr,
+                     std::size_t threads = 1);
   /// Convenience: slice of a Computation via the ground-truth oracle.
   static Slice build(const Computation& comp,
-                     SliceBuildCounters* counters = nullptr);
+                     SliceBuildCounters* counters = nullptr,
+                     std::size_t threads = 1);
 
   /// True iff no consistent cut satisfies the predicate.
   [[nodiscard]] bool empty() const { return groups_.empty(); }

@@ -53,6 +53,50 @@ TEST(JsonWriter, DoublesUseShortestRoundTrip) {
   EXPECT_EQ(s, "[0.1,1,-2.5e+300]");
 }
 
+TEST(JsonWriter, IntegralDoublesAvoidExponentNotation) {
+  // Counters that pass through double (1e5 explored cuts, ...) must print
+  // as plain integers up to 2^53; beyond that, shortest round-trip applies.
+  const auto s = render([](json::Writer& w) {
+    w.begin_array();
+    w.value(100000.0).value(1e7).value(-42.0).value(9007199254740992.0);
+    w.value(1.8446744073709552e19);  // > 2^53: shortest round-trip applies
+    w.end_array();
+  });
+  EXPECT_EQ(s, "[100000,10000000,-42,9007199254740992,18446744073709551616]");
+  // And they re-parse as exact integers.
+  const auto v = json::parse("[100000,10000000]");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->array[0].integer, 100000);
+  EXPECT_EQ(v->array[1].integer, 10000000);
+}
+
+TEST(JsonReport, FlatMetricsKeepIntegerTypes) {
+  detect::ReportParams rp;
+  rp.N = 4;
+  rp.n = 4;
+  rp.m = 10;
+  std::ostringstream os;
+  json::Writer w(os, 0);
+  detect::write_run_report(
+      w, "test:flat", rp,
+      {{"lattice_cuts", std::int64_t{100000}},
+       {"token_work", std::uint64_t{10000000}},
+       {"blowup", 0.5}},
+      /*bound=*/1e7, /*ratio=*/std::nullopt);
+  const auto v = json::parse(os.str());
+  ASSERT_TRUE(v.has_value());
+  const auto* metrics = v->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->find("lattice_cuts")->kind, json::Value::Kind::kInt);
+  EXPECT_EQ(metrics->find("lattice_cuts")->integer, 100000);
+  EXPECT_EQ(metrics->find("token_work")->integer, 10000000);
+  EXPECT_DOUBLE_EQ(metrics->find("blowup")->as_number(), 0.5);
+  // The double-typed bound also renders without exponent notation now.
+  EXPECT_EQ(v->find("bound")->kind, json::Value::Kind::kInt);
+  EXPECT_EQ(v->find("bound")->integer, 10000000);
+  EXPECT_EQ(os.str().find("e+"), std::string::npos);
+}
+
 TEST(JsonParse, RoundTripsWriterOutput) {
   const std::string doc =
       R"({"schema":"x/1","n":3,"pi":3.25,"ok":true,"none":null,)"

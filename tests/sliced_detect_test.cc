@@ -207,7 +207,7 @@ TEST(SlicedDetect, OnlineSlicerReportsSliceCounters) {
   const auto metrics = slice_report_metrics(r);
   ASSERT_FALSE(metrics.empty());
   EXPECT_EQ(metrics.front().first, "detected");
-  EXPECT_EQ(metrics.front().second, 1.0);
+  EXPECT_EQ(metrics.front().second.as_double(), 1.0);
 }
 
 }  // namespace
