@@ -58,6 +58,8 @@ void BM_Lattice_Blowup(benchmark::State& state) {
   state.counters["blowup"] =
       static_cast<double>(lat.cuts_explored) /
       static_cast<double>(token.monitor_metrics.total_work());
+  state.counters["peak_storage_bytes"] =
+      static_cast<double>(lat.storage.peak_bytes);
 
   // bound = states^n, the lattice size this workload forces the general
   // baseline to explore; ratio ~1 certifies the blowup is really realized.
@@ -75,7 +77,11 @@ void BM_Lattice_Blowup(benchmark::State& state) {
               {"token_work", token.monitor_metrics.total_work()},
               {"blowup",
                static_cast<double>(lat.cuts_explored) /
-                   static_cast<double>(token.monitor_metrics.total_work())}},
+                   static_cast<double>(token.monitor_metrics.total_work())},
+              {"peak_storage_bytes", lat.storage.peak_bytes},
+              {"cuts_interned", lat.storage.cuts_interned},
+              {"table_probes", lat.storage.table_probes},
+              {"hot_allocs", lat.storage.heap_allocs}},
              static_cast<double>(bound),
              static_cast<double>(lat.cuts_explored) /
                  static_cast<double>(bound));
@@ -108,15 +114,24 @@ void BM_Lattice_Parallel(benchmark::State& state) {
   state.counters["threads"] = static_cast<double>(threads);
   state.counters["lattice_cuts"] = static_cast<double>(lat.cuts_explored);
   state.counters["lattice_frontier"] = static_cast<double>(lat.max_frontier);
+  state.counters["peak_storage_bytes"] =
+      static_cast<double>(lat.storage.peak_bytes);
 
   detect::ReportParams rp;
   rp.N = static_cast<std::int64_t>(n);
   rp.n = static_cast<std::int64_t>(n);
   rp.m = states;
+  // storage is the one result block that varies with the thread count (the
+  // parallel explorer shards its arenas), so it stays out of the byte-diff
+  // gate and goes into the per-thread-count rows here.
   report_run(state, "E10_lattice_par_t" + std::to_string(threads), rp,
              {{"threads", static_cast<std::int64_t>(threads)},
               {"lattice_cuts", lat.cuts_explored},
-              {"lattice_frontier", lat.max_frontier}},
+              {"lattice_frontier", lat.max_frontier},
+              {"peak_storage_bytes", lat.storage.peak_bytes},
+              {"cuts_interned", lat.storage.cuts_interned},
+              {"table_probes", lat.storage.table_probes},
+              {"hot_allocs", lat.storage.heap_allocs}},
              std::nullopt, std::nullopt);
 }
 BENCHMARK(BM_Lattice_Parallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)

@@ -7,8 +7,13 @@
 //   monitor_peak_bytes   busiest token-algorithm monitor buffer
 //   checker_peak_bytes   the checker's buffer
 //   concentration        checker / monitor  — should grow ~linearly with n
+//
+// E17 (BM_CutStorage) measures the flat cut-storage layer itself: the
+// arena+table peak bytes of a bounded lattice exploration against the
+// analytic footprint of the per-cut heap representation it replaced.
 #include "bench_common.h"
 #include "detect/centralized.h"
+#include "detect/lattice.h"
 #include "detect/token_vc.h"
 
 namespace wcp::bench {
@@ -70,6 +75,72 @@ BENCHMARK(BM_Space_TokenVsChecker)
     ->Args({16, 20})
     ->Args({8, 40})
     ->Args({8, 80});
+
+// ---- E17: flat cut storage ------------------------------------------------
+
+/// Analytic peak footprint of the representation common/cut_storage.h
+/// replaced, from the same exploration's counters. Per distinct visited cut
+/// the old serial BFS held: one unordered_set node (libstdc++ x86-64: next
+/// pointer + cached hash + the 24 B std::vector object, rounded to the
+/// 16 B malloc quantum after the 8 B header) plus one bucket pointer, plus
+/// the vector's own heap buffer of n StateIndex (8 B) components; and at
+/// the frontier high-water mark, a second full copy of each queued cut in
+/// the BFS deque (24 B vector object by value + its heap buffer).
+std::int64_t vector_baseline_bytes(std::int64_t cuts, std::int64_t frontier,
+                                   std::size_t n) {
+  const auto chunk16 = [](std::int64_t payload) {
+    return (payload + 8 + 15) / 16 * 16;  // +8 B malloc header
+  };
+  const std::int64_t buffer = chunk16(static_cast<std::int64_t>(n) * 8);
+  const std::int64_t node = chunk16(8 + 8 + 24) + 8;  // node + bucket ptr
+  return cuts * (node + buffer) + frontier * (24 + buffer);
+}
+
+/// E17 — peak cut-storage bytes of a capped serial lattice exploration:
+/// measured arena+table high-water mark vs the analytic bytes the same
+/// exploration would have pinned in the old per-cut heap representation.
+/// The predicate never holds (prob 0), so the search always runs the full
+/// cap and the numbers are shape-deterministic.
+void BM_CutStorage(benchmark::State& state) {
+  const auto N = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = N / 2;  // predicate width scales with the system
+  const auto& comp =
+      cached_random(N, n, /*events=*/12, /*seed=*/7, /*pred_prob=*/0.0,
+                    /*ensure_detectable=*/false);
+
+  detect::LatticeResult lat;
+  for (auto _ : state) {
+    lat = detect::detect_lattice(comp, /*max_cuts=*/200'000);
+    benchmark::DoNotOptimize(lat.cuts_explored);
+  }
+
+  const std::int64_t arena_peak = lat.storage.peak_bytes;
+  const std::int64_t baseline =
+      vector_baseline_bytes(lat.storage.cuts_interned, lat.max_frontier, n);
+  const double reduction =
+      static_cast<double>(baseline) / static_cast<double>(arena_peak);
+  state.counters["N"] = static_cast<double>(N);
+  state.counters["peak_arena_bytes"] = static_cast<double>(arena_peak);
+  state.counters["vector_baseline_bytes"] = static_cast<double>(baseline);
+  state.counters["reduction"] = reduction;
+
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(N);
+  rp.n = static_cast<std::int64_t>(n);
+  rp.m = 12;
+  rp.seed = 7;
+  report_run(state, "E17_cut_storage", rp,
+             {{"cuts_explored", lat.cuts_explored},
+              {"max_frontier", lat.max_frontier},
+              {"peak_arena_bytes", arena_peak},
+              {"vector_baseline_bytes", baseline},
+              {"cuts_interned", lat.storage.cuts_interned},
+              {"table_probes", lat.storage.table_probes},
+              {"hot_allocs", lat.storage.heap_allocs},
+              {"reduction", reduction}},
+             static_cast<double>(baseline), reduction);
+}
+BENCHMARK(BM_CutStorage)->Arg(8)->Arg(16)->Arg(24);
 
 }  // namespace
 }  // namespace wcp::bench

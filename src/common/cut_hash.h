@@ -2,13 +2,20 @@
 //
 // The one shared definition of the cut hash used by every detector that
 // keys hash containers on cuts (lattice BFS visited sets, slice quotient
-// interning, sharded parallel frontiers). Sharing one definition matters
-// for the parallel detectors: the visited shards are partitioned by this
-// hash, and the serial/parallel equivalence argument leans on every layer
-// agreeing on it.
+// interning, sharded parallel frontiers, the flat CutTable). Sharing one
+// definition matters for the parallel detectors: the visited shards are
+// partitioned by this hash, and the serial/parallel equivalence argument
+// leans on every layer agreeing on it.
+//
+// All overloads hash the *logical* component values, so a cut stored as
+// packed 32-bit components (common/cut_storage.h) hashes identically to
+// the same cut held in a std::vector<StateIndex> — shard assignment is
+// representation-independent.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -16,13 +23,26 @@
 namespace wcp {
 
 struct CutHash {
-  std::size_t operator()(const std::vector<StateIndex>& cut) const noexcept {
+  std::size_t operator()(std::span<const StateIndex> cut) const noexcept {
     std::size_t h = 0xcbf29ce484222325ULL;
     for (StateIndex k : cut) {
       h ^= static_cast<std::size_t>(k);
       h *= 0x100000001b3ULL;
     }
     return h;
+  }
+  /// Packed cuts (CutArena storage): component values are non-negative and
+  /// < 2^32, so the widening cast reproduces the StateIndex hash exactly.
+  std::size_t operator()(std::span<const std::uint32_t> cut) const noexcept {
+    std::size_t h = 0xcbf29ce484222325ULL;
+    for (std::uint32_t k : cut) {
+      h ^= static_cast<std::size_t>(k);
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+  std::size_t operator()(const std::vector<StateIndex>& cut) const noexcept {
+    return (*this)(std::span<const StateIndex>(cut));
   }
 };
 

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <ostream>
-#include <queue>
-#include <unordered_set>
 
+#include "common/cut_hash.h"
+#include "common/cut_storage.h"
 #include "common/error.h"
 
 namespace wcp::detect {
@@ -64,17 +64,6 @@ ChannelCounts build_counts(const Computation& comp, ProcessId from,
   std::sort(cc.recv_states.begin(), cc.recv_states.end());
   return cc;
 }
-
-struct CutHash {
-  std::size_t operator()(const std::vector<StateIndex>& cut) const noexcept {
-    std::size_t h = 0xcbf29ce484222325ULL;
-    for (StateIndex k : cut) {
-      h ^= static_cast<std::size_t>(k);
-      h *= 0x100000001b3ULL;
-    }
-    return h;
-  }
-};
 
 // The GCP's process set: the computation's predicate processes plus every
 // channel endpoint, in ascending id order.
@@ -212,40 +201,50 @@ GcpResult detect_gcp_lattice(const Computation& comp,
     return true;
   };
 
-  std::vector<StateIndex> initial(w, 1);
-  std::queue<std::vector<StateIndex>> frontier;
-  std::unordered_set<std::vector<StateIndex>, CutHash> visited;
-  frontier.push(initial);
-  visited.insert(initial);
+  // Flat-storage BFS (common/cut_storage.h): cuts enter the arena in FIFO
+  // order, so the explicit frontier queue collapses into the sweep index.
+  CutArena arena(w);
+  CutTable visited;
+  const CutHash hasher;
+  std::vector<StateIndex> scratch(w, 1);
+  visited.intern(arena, scratch, hasher(scratch));
 
-  while (!frontier.empty()) {
-    std::vector<StateIndex> cut = std::move(frontier.front());
-    frontier.pop();
+  const auto fill_stats = [&] {
+    arena.add_stats(res.storage);
+    visited.add_stats(res.storage);
+  };
+
+  for (std::size_t head = 0; head < arena.size(); ++head) {
+    arena.copy_to(static_cast<CutHandle>(head), scratch);
     ++res.cuts_explored;
-    if (satisfies(cut)) {
+    if (satisfies(scratch)) {
       res.detected = true;
-      res.cut = std::move(cut);
+      res.cut = scratch;
+      fill_stats();
       return res;
     }
-    if (max_cuts >= 0 && res.cuts_explored >= max_cuts) return res;
+    if (max_cuts >= 0 && res.cuts_explored >= max_cuts) {
+      fill_stats();
+      return res;
+    }
 
     for (std::size_t s = 0; s < w; ++s) {
-      if (cut[s] + 1 > comp.num_states(res.procs[s])) continue;
-      std::vector<StateIndex> next = cut;
-      next[s] += 1;
+      if (scratch[s] + 1 > comp.num_states(res.procs[s])) continue;
+      scratch[s] += 1;
       bool consistent = true;
       for (std::size_t t = 0; t < w && consistent; ++t) {
         if (t == s) continue;
-        if (comp.happened_before(res.procs[s], next[s], res.procs[t],
-                                 next[t]) ||
-            comp.happened_before(res.procs[t], next[t], res.procs[s],
-                                 next[s]))
+        if (comp.happened_before(res.procs[s], scratch[s], res.procs[t],
+                                 scratch[t]) ||
+            comp.happened_before(res.procs[t], scratch[t], res.procs[s],
+                                 scratch[s]))
           consistent = false;
       }
-      if (consistent && visited.insert(next).second)
-        frontier.push(std::move(next));
+      if (consistent) visited.intern(arena, scratch, hasher(scratch));
+      scratch[s] -= 1;
     }
   }
+  fill_stats();
   return res;
 }
 

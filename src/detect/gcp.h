@@ -27,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "common/cut_storage.h"
 #include "common/types.h"
 #include "trace/computation.h"
 
@@ -77,6 +78,7 @@ struct GcpResult {
   std::int64_t eliminations = 0;       // states discarded
   std::int64_t channel_evals = 0;      // channel-predicate evaluations
   std::int64_t cuts_explored = 0;      // lattice oracle only
+  CutStorageStats storage;             // lattice oracle only
 };
 
 /// Advance-candidate GCP detection (offline; operates on the computation's

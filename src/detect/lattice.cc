@@ -2,13 +2,11 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "common/cut_hash.h"
+#include "common/cut_storage.h"
 #include "common/error.h"
 #include "common/thread_pool.h"
 
@@ -18,30 +16,60 @@ namespace {
 
 using Cut = std::vector<StateIndex>;
 
+// ---- flat cut storage -------------------------------------------------------
+//
+// Every visited cut lives exactly once in a CutArena (packed 32-bit
+// components, dense handles); the visited set / parent map are a CutTable
+// plus a handle-indexed parent vector. Two consequences the code below
+// leans on:
+//   - serial BFS needs no frontier queue at all: cuts enter the arena in
+//     exactly the order the queue would pop them, so the frontier is the
+//     arena suffix [head, size) and its size is size() - head;
+//   - the parallel parent map is a per-shard vector indexed by the shard
+//     handle, with cross-shard references packed as (shard << 32) | handle.
+
+/// Packed reference to a cut interned in one of the parallel shards.
+using ShardRef = std::uint64_t;
+
+ShardRef make_ref(std::size_t shard, CutHandle h) {
+  return (static_cast<ShardRef>(shard) << 32) | h;
+}
+std::size_t shard_of(ShardRef r) { return static_cast<std::size_t>(r >> 32); }
+CutHandle handle_of(ShardRef r) { return static_cast<CutHandle>(r); }
+
 /// When definitely == false, the witness is the first cut on the avoiding
 /// path that diverges past the pointwise-minimal satisfying cut (the bottom
 /// cut when the predicate never holds). `parent_of` must map every visited
-/// cut to its BFS predecessor (the bottom cut to itself).
-Cut reconstruct_witness(const Computation& comp, std::size_t n, const Cut& top,
-                        const std::function<const Cut&(const Cut&)>& parent_of) {
-  std::vector<Cut> path;
-  for (Cut c = top;;) {
+/// cut reference to its BFS predecessor (the bottom cut to itself);
+/// `cut_of` resolves a reference to its packed components.
+template <typename Ref, typename ParentOf, typename CutOf>
+Cut reconstruct_witness(const Computation& comp, std::size_t n, Ref top,
+                        const ParentOf& parent_of, const CutOf& cut_of) {
+  std::vector<Ref> path;
+  for (Ref c = top;;) {
     path.push_back(c);
-    const Cut& p = parent_of(c);
+    const Ref p = parent_of(c);
     if (p == c) break;
     c = p;
   }
   std::reverse(path.begin(), path.end());
-  Cut witness = path.front();  // bottom
+  const auto widen = [&](Ref r) {
+    const auto c = cut_of(r);
+    Cut out(n);
+    for (std::size_t s = 0; s < n; ++s)
+      out[s] = static_cast<StateIndex>(c[s]);
+    return out;
+  };
+  Cut witness = widen(path.front());  // bottom
   if (const auto min_sat = comp.first_wcp_cut()) {
-    const auto leq = [&](const Cut& a) {
+    const auto leq = [&](std::span<const std::uint32_t> a) {
       for (std::size_t s = 0; s < n; ++s)
-        if (a[s] > (*min_sat)[s]) return false;
+        if (static_cast<StateIndex>(a[s]) > (*min_sat)[s]) return false;
       return true;
     };
-    for (const Cut& c : path)
-      if (!leq(c)) {
-        witness = c;
+    for (const Ref r : path)
+      if (!leq(cut_of(r))) {
+        witness = widen(r);
         break;
       }
   }
@@ -53,7 +81,9 @@ Cut reconstruct_witness(const Computation& comp, std::size_t n, const Cut& top,
 // Both parallel detectors share the same level structure. Per level:
 //   phase A (parallel over the level's cuts): evaluate the predicate and
 //     generate the consistent successors of each cut, in slot order — the
-//     exact enumeration order of the serial loop;
+//     exact enumeration order of the serial loop — writing them into the
+//     cut's stride-n region of a shared candidate arena (disjoint slots,
+//     no allocation, no races) and precomputing each candidate's hash;
 //   phase B (parallel over visited shards): deduplicate the flattened
 //     candidate list against the shards, each shard processing its
 //     candidates in global submission order, so "first occurrence wins"
@@ -63,60 +93,60 @@ Cut reconstruct_witness(const Computation& comp, std::size_t n, const Cut& top,
 //     results — acceptance of a candidate never depends on later
 //     candidates, so prefix counts equal what the serial interleaving of
 //     pops and pushes produced.
+//
+// All per-level buffers (candidate arena, hash/flag vectors, shard index
+// lists, the next-level arena) persist across levels and are reset with
+// capacity kept, so the steady-state loop performs no heap allocation.
 
-/// Phase-A output for one cut of the current level.
-struct Expansion {
-  bool satisfies = false;
-  std::vector<Cut> succ;  // consistent successors, slot order
-};
-
-/// Flattened candidate: which level cut generated it (for prefix counts).
+/// Flattened candidate: which level cut generated it (for prefix counts),
+/// where its packed components live, and its precomputed shard/hash.
 struct Candidate {
-  std::size_t parent;
-  Cut cut;
-  std::size_t shard;
+  std::uint32_t parent;  // index into the current level
+  std::uint32_t slot;    // cut index inside the candidate arena
+  std::uint32_t shard;
+  std::size_t hash;
 };
 
-std::vector<Candidate> flatten_candidates(std::vector<Expansion>& exp,
-                                          std::size_t num_shards) {
-  const CutHash hasher;
+void flatten_candidates(std::span<const std::size_t> succ_count,
+                        std::span<const std::size_t> cand_hash, std::size_t n,
+                        std::size_t num_shards, std::vector<Candidate>& out) {
   std::size_t total = 0;
-  for (const Expansion& e : exp) total += e.succ.size();
-  std::vector<Candidate> out;
+  for (const std::size_t c : succ_count) total += c;
+  out.clear();
   out.reserve(total);
-  for (std::size_t i = 0; i < exp.size(); ++i)
-    for (Cut& c : exp[i].succ) {
-      const std::size_t shard = hasher(c) % num_shards;
-      out.push_back(Candidate{i, std::move(c), shard});
+  for (std::size_t i = 0; i < succ_count.size(); ++i)
+    for (std::size_t j = 0; j < succ_count[i]; ++j) {
+      const std::size_t slot = i * n + j;
+      const std::size_t hash = cand_hash[slot];
+      out.push_back(Candidate{static_cast<std::uint32_t>(i),
+                              static_cast<std::uint32_t>(slot),
+                              static_cast<std::uint32_t>(hash % num_shards),
+                              hash});
     }
-  return out;
 }
 
-/// Phase B over generic per-shard visited containers: `insert(shard, cut,
-/// parent)` must return true iff the cut was new. Returns per-candidate
-/// acceptance flags (std::uint8_t — vector<bool> is not safe to write
-/// concurrently).
+/// Phase B: `insert(shard, j)` must intern candidate j into that shard and
+/// return true iff the cut was new. Each shard consumes its candidates in
+/// global submission order (std::uint8_t flags — vector<bool> is not safe
+/// to write concurrently).
 template <typename Insert>
-std::vector<std::uint8_t> dedup_sharded(common::ThreadPool& pool,
-                                        const std::vector<Candidate>& cand,
-                                        std::size_t num_shards,
-                                        const Insert& insert) {
-  // Group candidate indices per shard, preserving global submission order
-  // within each shard.
-  std::vector<std::vector<std::size_t>> by_shard(num_shards);
+void dedup_sharded(common::ThreadPool& pool,
+                   const std::vector<Candidate>& cand, std::size_t num_shards,
+                   std::vector<std::vector<std::uint32_t>>& by_shard,
+                   std::vector<std::uint8_t>& accepted, const Insert& insert) {
+  for (auto& v : by_shard) v.clear();
   for (std::size_t j = 0; j < cand.size(); ++j)
-    by_shard[cand[j].shard].push_back(j);
+    by_shard[cand[j].shard].push_back(static_cast<std::uint32_t>(j));
 
-  std::vector<std::uint8_t> accepted(cand.size(), 0);
+  accepted.assign(cand.size(), 0);
   pool.parallel_for(
       num_shards,
       [&](std::size_t b, std::size_t e) {
         for (std::size_t shard = b; shard < e; ++shard)
-          for (std::size_t j : by_shard[shard])
-            accepted[j] = insert(shard, cand[j]) ? 1 : 0;
+          for (const std::uint32_t j : by_shard[shard])
+            accepted[j] = insert(shard, j) ? 1 : 0;
       },
       /*grain=*/1);
-  return accepted;
 }
 
 LatticeResult detect_lattice_serial(const Computation& comp,
@@ -132,52 +162,56 @@ LatticeResult detect_lattice_serial(const Computation& comp,
     return true;
   };
 
+  CutArena arena(n);
+  CutTable visited;
+  const CutHash hasher;
+
   // The initial cut (all 1s) is always consistent: state 1 has no receives
-  // before it, so nothing happened before it on another process.
-  Cut initial(n, 1);
+  // before it, so nothing happened before it on another process. From here
+  // on, `scratch` is the only live std::vector — every visited cut is
+  // interned into the arena, and the BFS frontier is the arena suffix of
+  // not-yet-explored handles.
+  Cut scratch(n, 1);
+  visited.intern(arena, scratch, hasher(scratch));
 
-  std::queue<Cut> frontier;
-  std::unordered_set<Cut, CutHash> visited;
-  frontier.push(initial);
-  visited.insert(initial);
-
-  while (!frontier.empty()) {
+  for (std::size_t head = 0; head < arena.size(); ++head) {
     res.max_frontier = std::max(
-        res.max_frontier, static_cast<std::int64_t>(frontier.size()));
-    Cut cut = std::move(frontier.front());
-    frontier.pop();
+        res.max_frontier, static_cast<std::int64_t>(arena.size() - head));
+    arena.copy_to(static_cast<CutHandle>(head), scratch);
     ++res.cuts_explored;
 
-    if (satisfies(cut)) {
+    if (satisfies(scratch)) {
       res.detected = true;
-      res.cut = std::move(cut);
-      return res;
+      res.cut = scratch;
+      break;
     }
     if (max_cuts >= 0 && res.cuts_explored >= max_cuts) {
       res.truncated = true;
-      return res;
+      break;
     }
 
     // Successors: advance one component; the result is a consistent cut iff
     // no current component happened before the advanced state's successor
     // ... i.e. the advanced state is not happened-after-excluded. Full
     // pairwise check against the advanced component suffices because the
-    // rest of the cut was already consistent.
+    // rest of the cut was already consistent. The advance is done in place
+    // on `scratch` and undone after the intern — no temporary cut.
     for (std::size_t s = 0; s < n; ++s) {
-      if (cut[s] + 1 > comp.num_states(procs[s])) continue;
-      Cut next = cut;
-      next[s] += 1;
+      if (scratch[s] + 1 > comp.num_states(procs[s])) continue;
+      scratch[s] += 1;
       bool consistent = true;
       for (std::size_t t = 0; t < n && consistent; ++t) {
         if (t == s) continue;
-        if (comp.happened_before(procs[s], next[s], procs[t], next[t]) ||
-            comp.happened_before(procs[t], next[t], procs[s], next[s]))
+        if (comp.happened_before(procs[s], scratch[s], procs[t], scratch[t]) ||
+            comp.happened_before(procs[t], scratch[t], procs[s], scratch[s]))
           consistent = false;
       }
-      if (!consistent) continue;
-      if (visited.insert(next).second) frontier.push(std::move(next));
+      if (consistent) visited.intern(arena, scratch, hasher(scratch));
+      scratch[s] -= 1;
     }
   }
+  arena.add_stats(res.storage);
+  visited.add_stats(res.storage);
   return res;
 }
 
@@ -195,77 +229,116 @@ LatticeResult detect_lattice_parallel(const Computation& comp,
   const std::size_t num_shards = pool.num_threads();
 
   LatticeResult res;
-
-  auto satisfies = [&](const Cut& cut) {
-    for (std::size_t s = 0; s < n; ++s)
-      if (!comp.local_pred(procs[s], cut[s])) return false;
-    return true;
-  };
-  auto expand = [&](const Cut& cut) {
-    Expansion e;
-    e.satisfies = satisfies(cut);
-    for (std::size_t s = 0; s < n; ++s) {
-      if (cut[s] + 1 > comp.num_states(procs[s])) continue;
-      Cut next = cut;
-      next[s] += 1;
-      bool consistent = true;
-      for (std::size_t t = 0; t < n && consistent; ++t) {
-        if (t == s) continue;
-        if (comp.happened_before(procs[s], next[s], procs[t], next[t]) ||
-            comp.happened_before(procs[t], next[t], procs[s], next[s]))
-          consistent = false;
-      }
-      if (consistent) e.succ.push_back(std::move(next));
-    }
-    return e;
-  };
-
-  std::vector<std::unordered_set<Cut, CutHash>> shards(num_shards);
   const CutHash hasher;
-  Cut initial(n, 1);
-  shards[hasher(initial) % num_shards].insert(initial);
-  std::vector<Cut> level{std::move(initial)};
 
-  while (!level.empty()) {
-    auto exp = pool.parallel_map<Expansion>(
-        level.size(), [&](std::size_t i) { return expand(level[i]); });
-    auto cand = flatten_candidates(exp, num_shards);
-    const auto accepted = dedup_sharded(
-        pool, cand, num_shards, [&](std::size_t shard, const Candidate& c) {
-          return shards[shard].insert(c.cut).second;
-        });
+  std::vector<CutArena> arenas(num_shards, CutArena(n));
+  std::vector<CutTable> tables(num_shards);
+  CutArena level(n), next(n), cand(n);
+
+  // Persistent per-level buffers (reset with capacity kept each level).
+  std::vector<std::uint8_t> sat;
+  std::vector<std::size_t> succ_count, cand_hash, acc_succ;
+  std::vector<Candidate> meta;
+  std::vector<std::vector<std::uint32_t>> by_shard(num_shards);
+  std::vector<std::uint8_t> accepted;
+
+  {
+    const Cut initial(n, 1);
+    const std::size_t h = hasher(initial);
+    tables[h % num_shards].intern(arenas[h % num_shards], initial, h);
+    level.push(initial);
+  }
+
+  const auto fill_stats = [&] {
+    for (const CutArena& a : arenas) a.add_stats(res.storage);
+    for (const CutTable& t : tables) t.add_stats(res.storage);
+    res.storage.peak_bytes +=
+        level.peak_bytes() + next.peak_bytes() + cand.peak_bytes();
+    res.storage.heap_allocs +=
+        level.growths() + next.growths() + cand.growths();
+  };
+
+  while (level.size() != 0) {
+    const std::size_t width = level.size();
+    // Phase A: evaluate + expand into stride-n candidate regions.
+    cand.resize(width * n);
+    cand_hash.assign(width * n, 0);
+    sat.assign(width, 0);
+    succ_count.assign(width, 0);
+    pool.parallel_for(width, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        const auto cut = level.get(static_cast<CutHandle>(i));
+        bool ok = true;
+        for (std::size_t s = 0; s < n && ok; ++s)
+          if (!comp.local_pred(procs[s], static_cast<StateIndex>(cut[s])))
+            ok = false;
+        sat[i] = ok ? 1 : 0;
+        std::size_t count = 0;
+        for (std::size_t s = 0; s < n; ++s) {
+          const StateIndex ks = static_cast<StateIndex>(cut[s]) + 1;
+          if (ks > comp.num_states(procs[s])) continue;
+          bool consistent = true;
+          for (std::size_t t = 0; t < n && consistent; ++t) {
+            if (t == s) continue;
+            const auto kt = static_cast<StateIndex>(cut[t]);
+            if (comp.happened_before(procs[s], ks, procs[t], kt) ||
+                comp.happened_before(procs[t], kt, procs[s], ks))
+              consistent = false;
+          }
+          if (!consistent) continue;
+          const auto out = cand.slot(static_cast<CutHandle>(i * n + count));
+          std::copy(cut.begin(), cut.end(), out.begin());
+          out[s] = static_cast<std::uint32_t>(ks);
+          cand_hash[i * n + count] = hasher(out);
+          ++count;
+        }
+        succ_count[i] = count;
+      }
+    });
+
+    flatten_candidates(succ_count, cand_hash, n, num_shards, meta);
+    dedup_sharded(pool, meta, num_shards, by_shard, accepted,
+                  [&](std::size_t shard, std::size_t j) {
+                    return tables[shard]
+                        .intern_packed(arenas[shard], cand.get(meta[j].slot),
+                                       meta[j].hash)
+                        .inserted;
+                  });
 
     // Accepted-successor count per level cut, for the frontier-size replay.
-    std::vector<std::size_t> acc_succ(level.size(), 0);
-    for (std::size_t j = 0; j < cand.size(); ++j)
-      if (accepted[j]) ++acc_succ[cand[j].parent];
+    acc_succ.assign(width, 0);
+    for (std::size_t j = 0; j < meta.size(); ++j)
+      if (accepted[j]) ++acc_succ[meta[j].parent];
 
     // Serial replay: the serial loop pops level[i] off a queue holding the
     // rest of this level plus the already-pushed successors of level[0..i).
     std::size_t pushed = 0;
-    for (std::size_t i = 0; i < level.size(); ++i) {
+    for (std::size_t i = 0; i < width; ++i) {
       res.max_frontier =
           std::max(res.max_frontier,
-                   static_cast<std::int64_t>(level.size() - i + pushed));
+                   static_cast<std::int64_t>(width - i + pushed));
       ++res.cuts_explored;
-      if (exp[i].satisfies) {
+      if (sat[i]) {
         res.detected = true;
-        res.cut = std::move(level[i]);
+        res.cut = level.materialize(static_cast<CutHandle>(i));
+        fill_stats();
         return res;
       }
       if (max_cuts >= 0 && res.cuts_explored >= max_cuts) {
         res.truncated = true;
+        fill_stats();
         return res;
       }
       pushed += acc_succ[i];
     }
 
-    std::vector<Cut> next_level;
-    next_level.reserve(pushed);
-    for (std::size_t j = 0; j < cand.size(); ++j)
-      if (accepted[j]) next_level.push_back(std::move(cand[j].cut));
-    level = std::move(next_level);
+    next.clear();
+    next.reserve(pushed);
+    for (std::size_t j = 0; j < meta.size(); ++j)
+      if (accepted[j]) next.push_packed(cand.get(meta[j].slot));
+    std::swap(level, next);
   }
+  fill_stats();
   return res;
 }
 
@@ -289,54 +362,63 @@ DefinitelyResult detect_definitely_serial(const Computation& comp,
   // non-satisfying consistent cuts. If the top cut is reachable (or is
   // itself non-satisfying while reachable), some observation misses the
   // predicate => not definitely.
-  Cut initial(n, 1);
-  if (satisfies(initial)) {
+  Cut scratch(n, 1);
+  if (satisfies(scratch)) {
     // Every observation starts at the bottom cut.
     res.definitely = true;
     res.cuts_explored = 1;
     return res;
   }
 
-  std::queue<Cut> frontier;
-  // Maps each visited cut to its BFS predecessor (the bottom cut to itself)
-  // so the avoiding observation can be reconstructed for the witness.
-  std::unordered_map<Cut, Cut, CutHash> parent;
-  frontier.push(initial);
-  parent.emplace(initial, initial);
+  CutArena arena(n);
+  CutTable visited;
+  const CutHash hasher;
+  // parent[h] = BFS predecessor of the cut with handle h (the bottom cut
+  // maps to itself) so the avoiding observation can be reconstructed for
+  // the witness. Handles are dense insertion indices, so a plain vector
+  // replaces the old cut-keyed parent map.
+  std::vector<CutHandle> parent;
+  visited.intern(arena, scratch, hasher(scratch));
+  parent.push_back(0);
 
-  while (!frontier.empty()) {
-    Cut cut = std::move(frontier.front());
-    frontier.pop();
+  res.definitely = true;  // until the top cut proves reachable
+  for (std::size_t head = 0; head < arena.size(); ++head) {
+    arena.copy_to(static_cast<CutHandle>(head), scratch);
     ++res.cuts_explored;
-    if (cut == top) {
+    if (scratch == top) {
       res.definitely = false;  // an observation avoided the predicate
       res.witness = reconstruct_witness(
-          comp, n, cut, [&](const Cut& c) -> const Cut& { return parent.at(c); });
-      return res;
+          comp, n, static_cast<CutHandle>(head),
+          [&](CutHandle c) { return parent[c]; },
+          [&](CutHandle c) { return arena.get(c); });
+      break;
     }
     if (max_cuts >= 0 && res.cuts_explored >= max_cuts) {
       res.truncated = true;
-      return res;
+      break;
     }
 
     for (std::size_t s = 0; s < n; ++s) {
-      if (cut[s] + 1 > comp.num_states(procs[s])) continue;
-      Cut next = cut;
-      next[s] += 1;
+      if (scratch[s] + 1 > comp.num_states(procs[s])) continue;
+      scratch[s] += 1;
       bool consistent = true;
       for (std::size_t t = 0; t < n && consistent; ++t) {
         if (t == s) continue;
-        if (comp.happened_before(procs[s], next[s], procs[t], next[t]) ||
-            comp.happened_before(procs[t], next[t], procs[s], next[s]))
+        if (comp.happened_before(procs[s], scratch[s], procs[t], scratch[t]) ||
+            comp.happened_before(procs[t], scratch[t], procs[s], scratch[s]))
           consistent = false;
       }
-      if (!consistent || satisfies(next)) continue;  // blocked by the WCP
-      if (parent.emplace(next, cut).second) frontier.push(std::move(next));
+      if (consistent && !satisfies(scratch)) {  // blocked by the WCP
+        if (visited.intern(arena, scratch, hasher(scratch)).inserted)
+          parent.push_back(static_cast<CutHandle>(head));
+      }
+      scratch[s] -= 1;
     }
   }
-  // Every avoiding path got stuck before the top: all observations hit the
-  // predicate.
-  res.definitely = true;
+  // Fell off the loop: every avoiding path got stuck before the top — all
+  // observations hit the predicate (res.definitely stayed true).
+  arena.add_stats(res.storage);
+  visited.add_stats(res.storage);
   return res;
 }
 
@@ -352,6 +434,7 @@ DefinitelyResult detect_definitely_parallel(const Computation& comp,
   const std::size_t num_shards = pool.num_threads();
 
   DefinitelyResult res;
+  const CutHash hasher;
 
   auto satisfies = [&](const Cut& cut) {
     for (std::size_t s = 0; s < n; ++s)
@@ -362,72 +445,139 @@ DefinitelyResult detect_definitely_parallel(const Computation& comp,
   Cut top(n);
   for (std::size_t s = 0; s < n; ++s) top[s] = comp.num_states(procs[s]);
 
-  Cut initial(n, 1);
+  const Cut initial(n, 1);
   if (satisfies(initial)) {
     res.definitely = true;
     res.cuts_explored = 1;
     return res;
   }
 
-  // Successors blocked by the WCP (satisfying cuts) are filtered in phase A
-  // and never become candidates — mirroring the serial `continue`.
-  auto expand = [&](const Cut& cut) {
-    Expansion e;
-    for (std::size_t s = 0; s < n; ++s) {
-      if (cut[s] + 1 > comp.num_states(procs[s])) continue;
-      Cut next = cut;
-      next[s] += 1;
-      bool consistent = true;
-      for (std::size_t t = 0; t < n && consistent; ++t) {
-        if (t == s) continue;
-        if (comp.happened_before(procs[s], next[s], procs[t], next[t]) ||
-            comp.happened_before(procs[t], next[t], procs[s], next[s]))
-          consistent = false;
+  // Visited shards double as the parent map for witness reconstruction:
+  // parents[shard][h] is the cross-shard reference of the BFS predecessor
+  // of the cut interned at (shard, h).
+  std::vector<CutArena> arenas(num_shards, CutArena(n));
+  std::vector<CutTable> tables(num_shards);
+  std::vector<std::vector<ShardRef>> parents(num_shards);
+  CutArena level(n), next(n), cand(n);
+  std::vector<ShardRef> level_refs, next_refs;
+
+  std::vector<std::size_t> succ_count, cand_hash;
+  std::vector<Candidate> meta;
+  std::vector<std::vector<std::uint32_t>> by_shard(num_shards);
+  std::vector<std::uint8_t> accepted;
+  std::vector<ShardRef> refs;
+
+  {
+    const std::size_t h = hasher(initial);
+    const std::size_t shard = h % num_shards;
+    tables[shard].intern(arenas[shard], initial, h);
+    parents[shard].push_back(make_ref(shard, 0));  // bottom maps to itself
+    level.push(initial);
+    level_refs.push_back(make_ref(shard, 0));
+  }
+
+  const auto fill_stats = [&] {
+    for (const CutArena& a : arenas) a.add_stats(res.storage);
+    for (const CutTable& t : tables) t.add_stats(res.storage);
+    res.storage.peak_bytes +=
+        level.peak_bytes() + next.peak_bytes() + cand.peak_bytes();
+    res.storage.heap_allocs +=
+        level.growths() + next.growths() + cand.growths();
+  };
+  const auto parent_of = [&](ShardRef r) {
+    return parents[shard_of(r)][handle_of(r)];
+  };
+  const auto cut_of = [&](ShardRef r) {
+    return arenas[shard_of(r)].get(handle_of(r));
+  };
+  const auto is_top = [&](std::span<const std::uint32_t> cut) {
+    for (std::size_t s = 0; s < n; ++s)
+      if (static_cast<StateIndex>(cut[s]) != top[s]) return false;
+    return true;
+  };
+
+  res.definitely = true;  // until the top cut proves reachable
+  while (level.size() != 0) {
+    const std::size_t width = level.size();
+    // Phase A. Successors blocked by the WCP (satisfying cuts) are filtered
+    // here and never become candidates — mirroring the serial `continue`.
+    cand.resize(width * n);
+    cand_hash.assign(width * n, 0);
+    succ_count.assign(width, 0);
+    pool.parallel_for(width, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        const auto cut = level.get(static_cast<CutHandle>(i));
+        std::size_t count = 0;
+        for (std::size_t s = 0; s < n; ++s) {
+          const StateIndex ks = static_cast<StateIndex>(cut[s]) + 1;
+          if (ks > comp.num_states(procs[s])) continue;
+          bool consistent = true;
+          for (std::size_t t = 0; t < n && consistent; ++t) {
+            if (t == s) continue;
+            const auto kt = static_cast<StateIndex>(cut[t]);
+            if (comp.happened_before(procs[s], ks, procs[t], kt) ||
+                comp.happened_before(procs[t], kt, procs[s], ks))
+              consistent = false;
+          }
+          if (!consistent) continue;
+          bool sat = true;
+          for (std::size_t t = 0; t < n && sat; ++t) {
+            const StateIndex kt =
+                t == s ? ks : static_cast<StateIndex>(cut[t]);
+            if (!comp.local_pred(procs[t], kt)) sat = false;
+          }
+          if (sat) continue;
+          const auto out = cand.slot(static_cast<CutHandle>(i * n + count));
+          std::copy(cut.begin(), cut.end(), out.begin());
+          out[s] = static_cast<std::uint32_t>(ks);
+          cand_hash[i * n + count] = hasher(out);
+          ++count;
+        }
+        succ_count[i] = count;
       }
-      if (!consistent || satisfies(next)) continue;
-      e.succ.push_back(std::move(next));
-    }
-    return e;
-  };
+    });
 
-  // Visited shards double as the parent map for witness reconstruction.
-  std::vector<std::unordered_map<Cut, Cut, CutHash>> shards(num_shards);
-  const CutHash hasher;
-  shards[hasher(initial) % num_shards].emplace(initial, initial);
-  std::vector<Cut> level{std::move(initial)};
-  const auto parent_of = [&](const Cut& c) -> const Cut& {
-    return shards[hasher(c) % num_shards].at(c);
-  };
+    flatten_candidates(succ_count, cand_hash, n, num_shards, meta);
+    refs.assign(meta.size(), 0);
+    dedup_sharded(pool, meta, num_shards, by_shard, accepted,
+                  [&](std::size_t shard, std::size_t j) {
+                    const auto r = tables[shard].intern_packed(
+                        arenas[shard], cand.get(meta[j].slot), meta[j].hash);
+                    if (r.inserted)
+                      parents[shard].push_back(level_refs[meta[j].parent]);
+                    refs[j] = make_ref(shard, r.handle);
+                    return r.inserted;
+                  });
 
-  while (!level.empty()) {
-    auto exp = pool.parallel_map<Expansion>(
-        level.size(), [&](std::size_t i) { return expand(level[i]); });
-    auto cand = flatten_candidates(exp, num_shards);
-    const auto accepted = dedup_sharded(
-        pool, cand, num_shards, [&](std::size_t shard, const Candidate& c) {
-          return shards[shard].emplace(c.cut, level[c.parent]).second;
-        });
-
-    for (std::size_t i = 0; i < level.size(); ++i) {
+    for (std::size_t i = 0; i < width; ++i) {
       ++res.cuts_explored;
-      if (level[i] == top) {
+      if (is_top(level.get(static_cast<CutHandle>(i)))) {
         res.definitely = false;
-        res.witness = reconstruct_witness(comp, n, level[i], parent_of);
+        res.witness =
+            reconstruct_witness(comp, n, level_refs[i], parent_of, cut_of);
+        fill_stats();
         return res;
       }
       if (max_cuts >= 0 && res.cuts_explored >= max_cuts) {
         res.truncated = true;
+        fill_stats();
         return res;
       }
     }
 
-    std::vector<Cut> next_level;
-    next_level.reserve(cand.size());
-    for (std::size_t j = 0; j < cand.size(); ++j)
-      if (accepted[j]) next_level.push_back(std::move(cand[j].cut));
-    level = std::move(next_level);
+    next.clear();
+    next_refs.clear();
+    next.reserve(meta.size());
+    next_refs.reserve(meta.size());
+    for (std::size_t j = 0; j < meta.size(); ++j)
+      if (accepted[j]) {
+        next.push_packed(cand.get(meta[j].slot));
+        next_refs.push_back(refs[j]);
+      }
+    std::swap(level, next);
+    std::swap(level_refs, next_refs);
   }
-  res.definitely = true;
+  fill_stats();
   return res;
 }
 

@@ -21,12 +21,21 @@
 // every thread count (tests/lattice_test.cc sweeps threads ∈ {1,2,8}).
 // threads == 0 resolves to common::ThreadPool::default_threads()
 // (WCP_THREADS env var, else hardware_concurrency()).
+// Cut storage: both detectors keep every visited cut in flat arenas
+// (common/cut_storage.h) — packed 32-bit components, open-addressing
+// dedup tables with precomputed hashes, dense-handle parent vectors —
+// instead of per-cut heap-allocated std::vector<StateIndex> nodes. The
+// `storage` block of the results reports the measured footprint; it is
+// the one field that legitimately varies with the thread count (the
+// parallel path shards its arenas), so equivalence checks compare
+// everything *except* `storage`.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "common/cut_storage.h"
 #include "common/types.h"
 #include "trace/computation.h"
 
@@ -39,6 +48,7 @@ struct LatticeResult {
   std::vector<StateIndex> cut;       // width n, predicate-slot order
   std::int64_t cuts_explored = 0;    // distinct consistent cuts visited
   std::int64_t max_frontier = 0;     // peak BFS frontier size
+  CutStorageStats storage;           // measured cut-storage footprint
 };
 
 /// Explores at most `max_cuts` consistent cuts (<0: unbounded). `threads`:
@@ -63,6 +73,7 @@ struct DefinitelyResult {
   /// it from the start and the witness is the bottom cut. Empty when
   /// definitely == true or the search was truncated.
   std::vector<StateIndex> witness;
+  CutStorageStats storage;  ///< measured cut-storage footprint
 };
 
 DefinitelyResult detect_definitely(const Computation& comp,

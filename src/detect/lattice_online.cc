@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "app/app_driver.h"
+#include "common/cut_hash.h"
 #include "common/error.h"
 
 namespace wcp::detect {
@@ -11,16 +12,18 @@ namespace wcp::detect {
 LatticeChecker::LatticeChecker(Config cfg) : cfg_(std::move(cfg)) {
   WCP_REQUIRE(cfg_.shared != nullptr, "checker needs shared detection state");
   states_.resize(n());
+  visited_arena_ = CutArena(n());
   // Seed the search with the bottom cut (always consistent).
-  std::vector<StateIndex> bottom(n(), 1);
-  visited_.insert(bottom);
-  enqueue(std::move(bottom));
+  const std::vector<StateIndex> bottom(n(), 1);
+  enqueue(visited_table_.intern(visited_arena_, bottom, CutHash{}(bottom))
+              .handle);
 }
 
-void LatticeChecker::enqueue(std::vector<StateIndex> cut) {
+void LatticeChecker::enqueue(CutHandle h) {
   StateIndex level = 0;
-  for (StateIndex k : cut) level += k;
-  ready_.push(Entry{level, seq_++, std::move(cut)});
+  for (const std::uint32_t k : visited_arena_.get(h))
+    level += static_cast<StateIndex>(k);
+  ready_.push(Entry{level, seq_++, h});
 }
 
 void LatticeChecker::on_packet(sim::Packet&& p) {
@@ -50,7 +53,7 @@ void LatticeChecker::on_packet(sim::Packet&& p) {
   // Wake every cut that was waiting for exactly this state.
   auto it = parked_.find({su, k});
   if (it != parked_.end()) {
-    for (auto& cut : it->second) enqueue(std::move(cut));
+    for (const CutHandle h : it->second) enqueue(h);
     parked_.erase(it);
   }
   drain();
@@ -64,16 +67,19 @@ bool LatticeChecker::available(const std::vector<StateIndex>& cut) const {
 
 void LatticeChecker::drain() {
   const ProcessId coord(static_cast<int>(net().num_processes()));
+  const CutHash hasher;
 
   while (!ready_.empty()) {
-    std::vector<StateIndex> cut = ready_.top().cut;
+    const CutHandle handle = ready_.top().cut;
     ready_.pop();
+    visited_arena_.copy_to(handle, scratch_);
+    std::vector<StateIndex>& cut = scratch_;
 
     if (!available(cut)) {
       // Park on the first missing component.
       for (std::size_t s = 0; s < n(); ++s) {
         if (cut[s] > static_cast<StateIndex>(states_[s].size())) {
-          parked_[{s, cut[s]}].push_back(std::move(cut));
+          parked_[{s, cut[s]}].push_back(handle);
           break;
         }
       }
@@ -119,29 +125,35 @@ void LatticeChecker::drain() {
 
     // Expand consistent successors. Consistency of (s advanced by one)
     // against component t: neither state happened before the other, via
-    // the own-component vector-clock test.
+    // the own-component vector-clock test. The advance is done in place on
+    // the scratch cut and undone after interning — no temporary vectors.
     for (std::size_t s = 0; s < n(); ++s) {
-      std::vector<StateIndex> next = cut;
-      next[s] += 1;
-      if (visited_.contains(next)) continue;
-      // The advanced state may not have arrived yet; consistency can only
-      // be decided with its clock. Park the candidate until it arrives.
-      if (next[s] > static_cast<StateIndex>(states_[s].size())) {
-        if (visited_.insert(next).second)
-          parked_[{s, next[s]}].push_back(std::move(next));
+      cut[s] += 1;
+      const std::size_t hash = hasher(cut);
+      if (visited_table_.find(visited_arena_, cut, hash) != kNoCut) {
+        cut[s] -= 1;
         continue;
       }
-      const VectorClock& vs = snap(s, next[s]).vclock;
+      // The advanced state may not have arrived yet; consistency can only
+      // be decided with its clock. Park the candidate until it arrives.
+      if (cut[s] > static_cast<StateIndex>(states_[s].size())) {
+        parked_[{s, cut[s]}].push_back(
+            visited_table_.intern(visited_arena_, cut, hash).handle);
+        cut[s] -= 1;
+        continue;
+      }
+      const VectorClock& vs = snap(s, cut[s]).vclock;
       bool consistent = true;
       for (std::size_t t = 0; t < n() && consistent; ++t) {
         if (t == s) continue;
         net().add_monitor_work(coord, 1);
-        const VectorClock& vt = snap(t, next[t]).vclock;
-        // (t, next[t]) -> (s, next[s]) iff vs[t] >= next[t]; and vice versa.
-        if (vs[t] >= next[t] || vt[s] >= next[s]) consistent = false;
+        const VectorClock& vt = snap(t, cut[t]).vclock;
+        // (t, cut[t]) -> (s, cut[s]) iff vs[t] >= cut[t]; and vice versa.
+        if (vs[t] >= cut[t] || vt[s] >= cut[s]) consistent = false;
       }
-      if (consistent && visited_.insert(next).second)
-        enqueue(std::move(next));
+      if (consistent)
+        enqueue(visited_table_.intern(visited_arena_, cut, hash).handle);
+      cut[s] -= 1;
     }
   }
 }
@@ -182,6 +194,7 @@ LatticeOnlineResult run_lattice_online(const Computation& comp,
   r.detect_time = shared->detect_time;
   r.app_metrics = net.app_metrics();
   r.monitor_metrics = net.monitor_metrics();
+  r.storage = checker_ptr->storage();
   return r;
 }
 

@@ -11,14 +11,13 @@
 // (tests/lattice_online_test.cc).
 #pragma once
 
-#include <deque>
 #include <map>
 #include <memory>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "app/snapshot.h"
+#include "common/cut_storage.h"
 #include "detect/result.h"
 #include "sim/network.h"
 #include "trace/computation.h"
@@ -40,6 +39,12 @@ class LatticeChecker final : public sim::Node {
 
   [[nodiscard]] std::int64_t cuts_explored() const { return cuts_explored_; }
   [[nodiscard]] std::int64_t max_frontier() const { return max_frontier_; }
+  [[nodiscard]] CutStorageStats storage() const {
+    CutStorageStats s;
+    visited_arena_.add_stats(s);
+    visited_table_.add_stats(s);
+    return s;
+  }
 
  private:
   void drain();
@@ -51,17 +56,6 @@ class LatticeChecker final : public sim::Node {
   }
   [[nodiscard]] std::size_t n() const { return cfg_.slot_to_pid.size(); }
 
-  struct CutHash {
-    std::size_t operator()(const std::vector<StateIndex>& c) const noexcept {
-      std::size_t h = 0xcbf29ce484222325ULL;
-      for (StateIndex k : c) {
-        h ^= static_cast<std::size_t>(k);
-        h *= 0x100000001b3ULL;
-      }
-      return h;
-    }
-  };
-
   Config cfg_;
   std::vector<std::vector<app::VcSnapshot>> states_;  // per slot, by index
   std::vector<int> slot_of_pid_;
@@ -71,21 +65,25 @@ class LatticeChecker final : public sim::Node {
   // the level restores the guarantee that the first satisfying cut popped
   // is the pointwise-minimal one (the unique minimum of the WCP's
   // meet-closed satisfying set).
+  // Every cut the checker ever generates is interned once into the visited
+  // arena (common/cut_storage.h); the heap entries and the parking lists
+  // hold 32-bit handles into it instead of full state vectors.
   struct Entry {
     StateIndex level;
     std::int64_t seq;
-    std::vector<StateIndex> cut;
+    CutHandle cut;
     bool operator>(const Entry& o) const {
       return level != o.level ? level > o.level : seq > o.seq;
     }
   };
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready_;
   std::int64_t seq_ = 0;
-  void enqueue(std::vector<StateIndex> cut);
-  std::map<std::pair<std::size_t, StateIndex>,
-           std::vector<std::vector<StateIndex>>>
+  void enqueue(CutHandle h);
+  std::map<std::pair<std::size_t, StateIndex>, std::vector<CutHandle>>
       parked_;
-  std::unordered_set<std::vector<StateIndex>, CutHash> visited_;
+  CutArena visited_arena_;
+  CutTable visited_table_;
+  std::vector<StateIndex> scratch_;  // popped cut, widened; reused
   std::int64_t cuts_explored_ = 0;
   std::int64_t max_frontier_ = 0;
   bool gave_up_ = false;
@@ -100,6 +98,7 @@ struct LatticeOnlineResult {
   SimTime detect_time = 0;
   Metrics app_metrics;
   Metrics monitor_metrics;
+  CutStorageStats storage;  ///< checker-side cut-storage footprint
 };
 
 /// Runs the online Cooper-Marzullo checker over a replay of `comp`.

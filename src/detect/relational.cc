@@ -1,24 +1,10 @@
 #include "detect/relational.h"
 
-#include <queue>
-#include <unordered_set>
-
+#include "common/cut_hash.h"
+#include "common/cut_storage.h"
 #include "common/error.h"
 
 namespace wcp::detect {
-
-namespace {
-struct CutHash {
-  std::size_t operator()(const std::vector<StateIndex>& cut) const noexcept {
-    std::size_t h = 0xcbf29ce484222325ULL;
-    for (StateIndex k : cut) {
-      h ^= static_cast<std::size_t>(k);
-      h *= 0x100000001b3ULL;
-    }
-    return h;
-  }
-};
-}  // namespace
 
 GeneralResult detect_possibly_general(const pred::VarComputation& vc,
                                       const GlobalPredicate& phi,
@@ -36,42 +22,50 @@ GeneralResult detect_possibly_general(const pred::VarComputation& vc,
     return phi(envs);
   };
 
-  std::vector<StateIndex> initial(N, 1);
-  std::queue<std::vector<StateIndex>> frontier;
-  std::unordered_set<std::vector<StateIndex>, CutHash> visited;
-  frontier.push(initial);
-  visited.insert(initial);
+  // Flat-storage BFS (common/cut_storage.h): visited-insertion order equals
+  // FIFO pop order, so the frontier is the arena suffix past `head`.
+  CutArena arena(N);
+  CutTable visited;
+  const CutHash hasher;
+  std::vector<StateIndex> scratch(N, 1);
+  visited.intern(arena, scratch, hasher(scratch));
 
-  while (!frontier.empty()) {
-    std::vector<StateIndex> cut = std::move(frontier.front());
-    frontier.pop();
+  const auto fill_stats = [&] {
+    arena.add_stats(res.storage);
+    visited.add_stats(res.storage);
+  };
+
+  for (std::size_t head = 0; head < arena.size(); ++head) {
+    arena.copy_to(static_cast<CutHandle>(head), scratch);
     ++res.cuts_explored;
-    if (satisfies(cut)) {
+    if (satisfies(scratch)) {
       res.detected = true;
-      res.cut = std::move(cut);
+      res.cut = scratch;
+      fill_stats();
       return res;
     }
     if (max_cuts >= 0 && res.cuts_explored >= max_cuts) {
       res.truncated = true;
+      fill_stats();
       return res;
     }
     for (std::size_t p = 0; p < N; ++p) {
       const ProcessId pid(static_cast<int>(p));
-      if (cut[p] + 1 > comp.num_states(pid)) continue;
-      std::vector<StateIndex> next = cut;
-      next[p] += 1;
+      if (scratch[p] + 1 > comp.num_states(pid)) continue;
+      scratch[p] += 1;
       bool consistent = true;
       for (std::size_t t = 0; t < N && consistent; ++t) {
         if (t == p) continue;
         const ProcessId tid(static_cast<int>(t));
-        if (comp.happened_before(pid, next[p], tid, next[t]) ||
-            comp.happened_before(tid, next[t], pid, next[p]))
+        if (comp.happened_before(pid, scratch[p], tid, scratch[t]) ||
+            comp.happened_before(tid, scratch[t], pid, scratch[p]))
           consistent = false;
       }
-      if (consistent && visited.insert(next).second)
-        frontier.push(std::move(next));
+      if (consistent) visited.intern(arena, scratch, hasher(scratch));
+      scratch[p] -= 1;
     }
   }
+  fill_stats();
   return res;
 }
 

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "common/cut_storage.h"
 #include "predicate/program.h"
 
 namespace wcp::detect {
@@ -26,6 +27,7 @@ struct GeneralResult {
   bool truncated = false;
   std::vector<StateIndex> cut;  // width N (all processes)
   std::int64_t cuts_explored = 0;
+  CutStorageStats storage;  ///< measured cut-storage footprint
 };
 
 /// possibly(Φ) over the variable traces. Explores at most `max_cuts`

@@ -98,8 +98,9 @@ std::vector<std::optional<std::vector<StateIndex>>> jil_column(
   // J_slot is pointwise monotone in k, so each fixpoint resumes from the
   // previous J; once a fixpoint fails, every later state fails too.
   std::vector<StateIndex> prev = bottom;  // J_slot(1) == bottom
+  std::vector<StateIndex> lo;             // reused across k
   for (StateIndex k = 1; k <= static_cast<StateIndex>(m); ++k) {
-    std::vector<StateIndex> lo = prev;
+    lo = prev;
     lo[slot] = std::max(lo[slot], k);
     auto j = least_satisfying_cut(in, lo, counters);
     if (!j) break;  // no satisfying cut includes (slot, k) or beyond

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <optional>
 #include <set>
-#include <unordered_map>
 #include <utility>
 
 #include "common/error.h"
@@ -21,6 +20,7 @@ Slice Slice::build(const SliceInput& in, SliceBuildCounters* counters,
 
   Slice s;
   s.slots_.resize(n);
+  s.groups_ = CutArena(n);
 
   // The bottom fixpoint runs first and serially; for a lazily materialized
   // input (ComputationInput's ground-truth clocks) it also forces the
@@ -57,15 +57,15 @@ Slice Slice::build(const SliceInput& in, SliceBuildCounters* counters,
   }
 
   // States whose J coincide form one strongly connected component of the
-  // constraint graph (mutual inclusion); deduplicate via the cut -> group
-  // map, keyed by the shared CutHash (hot path: one hash per state instead
-  // of the old std::map's O(n log m) lexicographic compares).
-  std::unordered_map<std::vector<StateIndex>, int, CutHash> group_of_cut;
+  // constraint graph (mutual inclusion); deduplicate by interning into the
+  // group arena via a flat CutTable keyed by the shared CutHash. Group ids
+  // are the dense arena handles, so the id sequence is the first-occurrence
+  // order — exactly what the old cut -> id map produced.
+  CutTable group_table;
+  const CutHash hasher;
   auto intern = [&](const std::vector<StateIndex>& cut) {
-    auto [it, inserted] =
-        group_of_cut.emplace(cut, static_cast<int>(s.groups_.size()));
-    if (inserted) s.groups_.push_back(cut);
-    return it->second;
+    return static_cast<int>(
+        group_table.intern(s.groups_, cut, hasher(cut)).handle);
   };
 
   for (std::size_t slot = 0; slot < n; ++slot) {
@@ -99,15 +99,17 @@ Slice Slice::build(const SliceInput& in, SliceBuildCounters* counters,
     for (StateIndex k = 1; k <= static_cast<StateIndex>(g.size()); ++k) {
       const int to = g[static_cast<std::size_t>(k - 1)];
       if (to < 0) continue;
-      const auto& j = s.groups_[static_cast<std::size_t>(to)];
+      const auto j = s.groups_.get(static_cast<CutHandle>(to));
       for (std::size_t t = 0; t < n; ++t) {
         if (t == slot) continue;
-        const int from = s.group_of(t, j[t]);
+        const int from = s.group_of(t, static_cast<StateIndex>(j[t]));
         if (from >= 0 && from != to) edges.insert({from, to});
       }
     }
   }
   s.num_edges_ = static_cast<std::int64_t>(edges.size());
+  s.groups_.add_stats(ctr.storage);
+  group_table.add_stats(ctr.storage);
   return s;
 }
 
@@ -127,9 +129,9 @@ bool Slice::contains(std::span<const StateIndex> cut) const {
   for (std::size_t s = 0; s < slots_.size(); ++s) {
     const int g = group_of(s, cut[s]);
     if (g < 0) return false;
-    const auto& j = groups_[static_cast<std::size_t>(g)];
+    const auto j = groups_.get(static_cast<CutHandle>(g));
     for (std::size_t t = 0; t < slots_.size(); ++t)
-      if (cut[t] < j[t]) return false;
+      if (cut[t] < static_cast<StateIndex>(j[t])) return false;
   }
   return true;
 }
@@ -141,11 +143,12 @@ void Slice::successors(
   for (std::size_t s = 0; s < n; ++s) {
     const int g = group_of(s, cut[s] + 1);
     if (g < 0) continue;  // slot exhausted or state sliced away
-    const auto& j = groups_[static_cast<std::size_t>(g)];
+    const auto j = groups_.get(static_cast<CutHandle>(g));
     // C join J_s(C[s]+1): the least satisfying cut strictly above C in
     // slot s. Every cover of C in the satisfying lattice has this shape.
     std::vector<StateIndex> next(n);
-    for (std::size_t t = 0; t < n; ++t) next[t] = std::max(cut[t], j[t]);
+    for (std::size_t t = 0; t < n; ++t)
+      next[t] = std::max(cut[t], static_cast<StateIndex>(j[t]));
     next[s] = std::max(next[s], cut[s] + 1);
     emit(std::move(next));
   }
@@ -179,21 +182,24 @@ std::int64_t Slice::for_each_cut(
   return visited;
 }
 
-Slice::CutIterator::CutIterator(const Slice& slice) : slice_(slice) {
+Slice::CutIterator::CutIterator(const Slice& slice)
+    : slice_(slice), seen_arena_(slice.slots_.size()) {
   if (!slice_.empty()) push(slice_.bottom_);
 }
 
 void Slice::CutIterator::push(std::vector<StateIndex> cut) {
-  if (!seen_.insert(cut).second) return;
+  const auto r = seen_table_.intern(seen_arena_, cut, CutHash{}(cut));
+  if (!r.inserted) return;
   StateIndex level = 0;
   for (StateIndex k : cut) level += k;
-  ready_.push(Entry{level, seq_++, std::move(cut)});
+  ready_.push(Entry{level, seq_++, r.handle});
 }
 
 std::optional<std::vector<StateIndex>> Slice::CutIterator::next() {
   if (ready_.empty()) return std::nullopt;
-  std::vector<StateIndex> cut = ready_.top().cut;
+  const CutHandle h = ready_.top().cut;
   ready_.pop();
+  std::vector<StateIndex> cut = seen_arena_.materialize(h);
   slice_.successors(cut,
                     [this](std::vector<StateIndex> n) { push(std::move(n)); });
   return cut;

@@ -22,10 +22,10 @@
 #include <functional>
 #include <optional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/cut_hash.h"
+#include "common/cut_storage.h"
 #include "common/types.h"
 #include "slice/jil.h"
 
@@ -39,6 +39,10 @@ using CutHash = wcp::CutHash;
 /// Counters accumulated while building a slice.
 struct SliceBuildCounters {
   JilCounters jil;
+  /// Footprint of the JIL-group interning (arena + dedup table). Interning
+  /// is serial in slot order for every thread count, so these are
+  /// deterministic, unlike the detector-side sharded stats.
+  CutStorageStats storage;
 };
 
 class Slice {
@@ -82,9 +86,9 @@ class Slice {
   /// satisfying cut (it was sliced away).
   [[nodiscard]] int group_of(std::size_t slot, StateIndex k) const;
 
-  /// The join-irreducible cut of group `g`.
-  [[nodiscard]] const std::vector<StateIndex>& group_cut(int g) const {
-    return groups_.at(static_cast<std::size_t>(g));
+  /// The join-irreducible cut of group `g`, widened out of the group arena.
+  [[nodiscard]] std::vector<StateIndex> group_cut(int g) const {
+    return groups_.materialize(static_cast<CutHandle>(g));
   }
 
   /// True iff `cut` is a satisfying consistent cut (an ideal of the slice).
@@ -113,10 +117,12 @@ class Slice {
     std::optional<std::vector<StateIndex>> next();
 
    private:
+    // Every generated cut is interned once into the seen arena
+    // (common/cut_storage.h); heap entries hold 32-bit handles into it.
     struct Entry {
       StateIndex level;
       std::int64_t seq;
-      std::vector<StateIndex> cut;
+      CutHandle cut;
       bool operator>(const Entry& o) const {
         return level != o.level ? level > o.level : seq > o.seq;
       }
@@ -125,7 +131,8 @@ class Slice {
 
     const Slice& slice_;
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready_;
-    std::unordered_set<std::vector<StateIndex>, CutHash> seen_;
+    CutArena seen_arena_;
+    CutTable seen_table_;
     std::int64_t seq_ = 0;
   };
 
@@ -147,7 +154,7 @@ class Slice {
       const;
 
   std::vector<PerSlot> slots_;
-  std::vector<std::vector<StateIndex>> groups_;  // group id -> JIL cut
+  CutArena groups_;  // group id == arena handle -> packed JIL cut
   std::vector<StateIndex> bottom_;
   std::vector<StateIndex> top_;
   std::int64_t num_edges_ = 0;
