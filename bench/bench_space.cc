@@ -11,6 +11,9 @@
 // E17 (BM_CutStorage) measures the flat cut-storage layer itself: the
 // arena+table peak bytes of a bounded lattice exploration against the
 // analytic footprint of the per-cut heap representation it replaced.
+//
+// E18 (BM_TraceStore) does the same for the at-rest side: the columnar
+// delta-encoded clock store vs the eager O(N * total_states) clock matrix.
 #include "bench_common.h"
 #include "detect/centralized.h"
 #include "detect/lattice.h"
@@ -141,6 +144,65 @@ void BM_CutStorage(benchmark::State& state) {
              static_cast<double>(baseline), reduction);
 }
 BENCHMARK(BM_CutStorage)->Arg(8)->Arg(16)->Arg(24);
+
+// ---- E18: columnar trace store --------------------------------------------
+
+/// Analytic footprint of the eager ground-truth clock matrix the columnar
+/// TraceStore replaced: one N-wide VectorClock per local state, held in
+/// per-process vectors — a 24 B std::vector object per clock plus its heap
+/// buffer of N StateIndex (8 B) components rounded to the 16 B malloc
+/// quantum after the 8 B header.
+std::int64_t clock_matrix_baseline_bytes(std::int64_t total_states,
+                                         std::size_t N) {
+  const std::int64_t buffer =
+      (static_cast<std::int64_t>(N) * 8 + 8 + 15) / 16 * 16;
+  return total_states * (24 + buffer);
+}
+
+/// E18 — peak resident bytes of the delta-encoded clock store (build
+/// scratch included) against the analytic full-matrix baseline, over the
+/// same capped exploration as E17. Clock components only change on
+/// receives, so the delta columns shrink with N while the matrix grows
+/// quadratically in it.
+void BM_TraceStore(benchmark::State& state) {
+  const auto N = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = N / 2;
+  const auto& comp =
+      cached_random(N, n, /*events=*/12, /*seed=*/7, /*pred_prob=*/0.0,
+                    /*ensure_detectable=*/false);
+
+  detect::LatticeResult lat;
+  for (auto _ : state) {
+    lat = detect::detect_lattice(comp, /*max_cuts=*/200'000);
+    benchmark::DoNotOptimize(lat.cuts_explored);
+  }
+
+  const std::int64_t store_peak = lat.trace_store.peak_bytes;
+  const std::int64_t baseline =
+      clock_matrix_baseline_bytes(lat.trace_store.clocks_interned, N);
+  const double reduction =
+      static_cast<double>(baseline) / static_cast<double>(store_peak);
+  state.counters["N"] = static_cast<double>(N);
+  state.counters["store_peak_bytes"] = static_cast<double>(store_peak);
+  state.counters["matrix_baseline_bytes"] = static_cast<double>(baseline);
+  state.counters["reduction"] = reduction;
+  state.counters["delta_ratio"] = lat.trace_store.delta_ratio;
+
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(N);
+  rp.n = static_cast<std::int64_t>(n);
+  rp.m = 12;
+  rp.seed = 7;
+  report_run(state, "E18_trace_store", rp,
+             {{"clocks_interned", lat.trace_store.clocks_interned},
+              {"delta_entries", lat.trace_store.delta_entries},
+              {"delta_ratio", lat.trace_store.delta_ratio},
+              {"store_peak_bytes", store_peak},
+              {"matrix_baseline_bytes", baseline},
+              {"reduction", reduction}},
+             static_cast<double>(baseline), reduction);
+}
+BENCHMARK(BM_TraceStore)->Arg(8)->Arg(16)->Arg(24);
 
 }  // namespace
 }  // namespace wcp::bench

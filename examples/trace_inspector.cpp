@@ -1,6 +1,7 @@
 // Trace tooling: generate a random computation (or load one), save it in
 // the wcp-trace text format, reload it, and analyze it — states, causality,
-// the first WCP cut, and what every detector reports.
+// the first WCP cut, and what every detector reports. Loading sniffs the
+// file's magic bytes, so wcp-tracebin binaries work as inputs too.
 //
 //   $ ./trace_inspector                      # generate + analyze
 //   $ ./trace_inspector my.trace             # analyze an existing trace
@@ -14,6 +15,7 @@
 #include "detect/token_vc.h"
 #include "trace/diagram.h"
 #include "trace/trace_io.h"
+#include "trace/trace_store.h"
 #include "workload/random_workload.h"
 
 namespace {
@@ -82,7 +84,7 @@ int main(int argc, char** argv) {
 
   if (!path.empty() && !emit) {
     std::cout << "loading trace from " << path << "\n";
-    analyze(load_trace_file(path));
+    analyze(load_any_trace_file(path));  // sniffs text vs wcp-tracebin
     return 0;
   }
 

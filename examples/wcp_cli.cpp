@@ -2,12 +2,17 @@
 //
 // Subcommands:
 //   generate <out.trace> [--N k] [--n k] [--events k] [--pred-prob p] [--seed s]
-//       Generate a random computation and save it as a wcp-trace file.
+//            [--binary]
+//       Generate a random computation and save it as a wcp-trace text file,
+//       or with --binary as a columnar wcp-tracebin file.
 //   detect <in.trace> [--algo token|multi|dd|dd-par|checker|lattice|oracle]
 //          [--groups g] [--seed s]
 //       Run one detector on a trace and print the result + cost metrics.
 //   info <in.trace>
 //       Print the trace's shape and the oracle's first WCP cut.
+//
+// Every command that reads a trace sniffs the magic bytes, so text and
+// binary files are interchangeable inputs.
 //
 // Example:
 //   $ wcp_cli generate /tmp/run.trace --N 8 --n 4 --events 30
@@ -33,6 +38,7 @@
 #include "trace/diagram.h"
 #include "trace/dot_export.h"
 #include "trace/trace_io.h"
+#include "trace/trace_store.h"
 #include "workload/random_workload.h"
 
 namespace {
@@ -46,7 +52,9 @@ struct Args {
 
 /// Flags that never take a value (so `--json in.trace` does not swallow the
 /// trace path).
-bool is_boolean_flag(const std::string& key) { return key == "json"; }
+bool is_boolean_flag(const std::string& key) {
+  return key == "json" || key == "binary";
+}
 
 Args parse_args(int argc, char** argv) {
   Args a;
@@ -89,6 +97,7 @@ int usage() {
       "usage:\n"
       "  wcp_cli generate <out.trace> [--N k] [--n k] [--events k]\n"
       "                   [--pred-prob p] [--seed s] [--detectable 0|1]\n"
+      "                   [--binary]   write wcp-tracebin instead of text\n"
       "  wcp_cli detect   <in.trace> [--algo token|multi|dd|dd-par|checker|"
       "lattice|lattice-online|lattice-sliced|definitely|definitely-sliced|"
       "oracle]\n"
@@ -122,14 +131,23 @@ int cmd_generate(const Args& a) {
   spec.ensure_detectable = flag_int(a, "detectable", 0) != 0;
   spec.seed = static_cast<std::uint64_t>(flag_int(a, "seed", 42));
   const auto comp = workload::make_random(spec);
-  save_trace_file(a.positional[1], comp);
-  std::cout << "wrote " << a.positional[1] << ": " << comp << "\n";
+  if (a.flags.contains("binary")) {
+    save_tracebin_file(a.positional[1], comp);
+    const auto ts = comp.trace_store_stats();
+    std::cout << "wrote " << a.positional[1] << " (wcp-tracebin 1): " << comp
+              << "\n  clocks=" << ts.clocks_interned
+              << " delta_entries=" << ts.delta_entries
+              << " delta_ratio=" << ts.delta_ratio << "\n";
+  } else {
+    save_trace_file(a.positional[1], comp);
+    std::cout << "wrote " << a.positional[1] << ": " << comp << "\n";
+  }
   return 0;
 }
 
 int cmd_info(const Args& a) {
   if (a.positional.size() < 2) return usage();
-  const auto comp = load_trace_file(a.positional[1]);
+  const auto comp = load_any_trace_file(a.positional[1]);
   std::cout << comp << "\n";
   std::cout << "m (max events/process): " << comp.max_messages_per_process()
             << "\n";
@@ -145,7 +163,7 @@ int cmd_info(const Args& a) {
 
 int cmd_diagram(const Args& a) {
   if (a.positional.size() < 2) return usage();
-  const auto comp = load_trace_file(a.positional[1]);
+  const auto comp = load_any_trace_file(a.positional[1]);
   DiagramOptions opts;
   opts.max_states = flag_int(a, "max-states", 0);
   opts.message_table = true;
@@ -160,7 +178,7 @@ int cmd_diagram(const Args& a) {
 
 int cmd_dot(const Args& a) {
   if (a.positional.size() < 2) return usage();
-  const auto comp = load_trace_file(a.positional[1]);
+  const auto comp = load_any_trace_file(a.positional[1]);
   DotOptions opts;
   if (const auto cut = comp.first_wcp_cut()) {
     opts.cut_procs.assign(comp.predicate_processes().begin(),
@@ -183,7 +201,7 @@ detect::ReportParams report_params(const Computation& comp,
 
 int cmd_detect(const Args& a) {
   if (a.positional.size() < 2) return usage();
-  const auto comp = load_trace_file(a.positional[1]);
+  const auto comp = load_any_trace_file(a.positional[1]);
   const std::string algo = flag_str(a, "algo", "token");
   const bool as_json = a.flags.contains("json");
 
@@ -227,38 +245,54 @@ int cmd_detect(const Args& a) {
     const auto report_lattice = [&](bool detected,
                                     const std::vector<StateIndex>& cut,
                                     std::int64_t cuts_explored,
-                                    std::int64_t max_frontier,
-                                    bool truncated) {
+                                    std::int64_t max_frontier, bool truncated,
+                                    std::int64_t witness_len,
+                                    const TraceStoreStats& ts) {
       if (as_json) {
-        emit_flat({{"detected", detected ? 1 : 0},
-                   {"cuts_explored", cuts_explored},
-                   {"max_frontier", max_frontier},
-                   {"truncated", truncated ? 1 : 0}});
+        std::vector<std::pair<std::string, detect::MetricValue>> metrics = {
+            {"detected", detected ? 1 : 0},
+            {"cuts_explored", cuts_explored},
+            {"max_frontier", max_frontier},
+            {"truncated", truncated ? 1 : 0},
+            {"witness_len", witness_len}};
+        if (ts.materialized()) {
+          metrics.emplace_back("store_peak_bytes", ts.peak_bytes);
+          metrics.emplace_back("store_delta_ratio", ts.delta_ratio);
+        }
+        emit_flat(metrics);
         return;
       }
       std::cout << algo << ": " << (detected ? "DETECTED" : "not-detected");
       if (detected) {
         std::cout << " cut=";
         print_cut(cut);
+        std::cout << " witness_len=" << witness_len;
       }
       std::cout << " cuts_explored=" << cuts_explored
                 << " max_frontier=" << max_frontier
-                << (truncated ? " (truncated)" : "") << "\n";
+                << (truncated ? " (truncated)" : "");
+      if (ts.materialized())
+        std::cout << " store_peak_bytes=" << ts.peak_bytes;
+      std::cout << "\n";
     };
     if (algo == "lattice") {
       const auto threads =
           static_cast<std::size_t>(flag_int(a, "threads", 0));
       const auto r = detect::detect_lattice(comp, 10'000'000, threads);
       report_lattice(r.detected, r.cut, r.cuts_explored, r.max_frontier,
-                     r.truncated);
+                     r.truncated,
+                     static_cast<std::int64_t>(r.witness_path.size()),
+                     r.trace_store);
     } else if (algo == "lattice-sliced") {
       const auto r = detect::detect_lattice_sliced(comp);
       report_lattice(r.detected, r.cut, r.cuts_explored, r.max_frontier,
-                     r.truncated);
+                     r.truncated,
+                     static_cast<std::int64_t>(r.witness_path.size()),
+                     r.trace_store);
     } else {
       const auto r = detect::run_lattice_online(comp, opts, 10'000'000);
       report_lattice(r.detected, r.cut, r.cuts_explored, r.max_frontier,
-                     r.truncated);
+                     r.truncated, 0, TraceStoreStats{});
     }
     return 0;
   }
@@ -271,11 +305,18 @@ int cmd_detect(const Args& a) {
     if (as_json) {
       std::int64_t witness_level = 0;
       for (StateIndex k : r.witness) witness_level += k;
-      emit_flat({{"definitely", r.definitely ? 1 : 0},
-                 {"cuts_explored", r.cuts_explored},
-                 {"truncated", r.truncated ? 1 : 0},
-                 {"witness_found", r.witness.empty() ? 0 : 1},
-                 {"witness_level", witness_level}});
+      std::vector<std::pair<std::string, detect::MetricValue>> metrics = {
+          {"definitely", r.definitely ? 1 : 0},
+          {"cuts_explored", r.cuts_explored},
+          {"truncated", r.truncated ? 1 : 0},
+          {"witness_found", r.witness.empty() ? 0 : 1},
+          {"witness_level", witness_level},
+          {"witness_len", static_cast<std::int64_t>(r.witness_path.size())}};
+      if (r.trace_store.materialized()) {
+        metrics.emplace_back("store_peak_bytes", r.trace_store.peak_bytes);
+        metrics.emplace_back("store_delta_ratio", r.trace_store.delta_ratio);
+      }
+      emit_flat(metrics);
       return 0;
     }
     std::cout << algo << ": "
@@ -342,7 +383,7 @@ int cmd_detect(const Args& a) {
 
 int cmd_slice(const Args& a) {
   if (a.positional.size() < 2) return usage();
-  const auto comp = load_trace_file(a.positional[1]);
+  const auto comp = load_any_trace_file(a.positional[1]);
   const bool as_json = a.flags.contains("json");
   const std::int64_t max_cuts = flag_int(a, "max-cuts", 1'000'000);
   const auto threads = static_cast<std::size_t>(flag_int(a, "threads", 0));
@@ -408,7 +449,7 @@ std::vector<std::string> split_list(const std::string& csv) {
 
 int cmd_sweep(const Args& a) {
   if (a.positional.size() < 2) return usage();
-  const auto comp = load_trace_file(a.positional[1]);
+  const auto comp = load_any_trace_file(a.positional[1]);
   const bool as_json = a.flags.contains("json");
   const auto threads = static_cast<std::size_t>(flag_int(a, "threads", 0));
 

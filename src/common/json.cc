@@ -112,6 +112,7 @@ Writer& Writer::value(double v) {
   before_value();
   if (!std::isfinite(v)) {
     os_ << "null";  // JSON has no Inf/NaN
+    ++nonfinite_clamped_;
   } else if (v == std::floor(v) && std::abs(v) <= 9007199254740992.0) {
     // Exactly representable integer: print without exponent notation so
     // counters that passed through double (1e5 cuts, ...) stay grep-able

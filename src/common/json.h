@@ -58,6 +58,14 @@ class Writer {
   /// True once every opened container has been closed.
   [[nodiscard]] bool complete() const { return depth() == 0 && wrote_root_; }
 
+  /// Number of non-finite doubles (NaN/±Inf) clamped to `null` so far.
+  /// JSON has no representation for them, so value(double) substitutes
+  /// null rather than emitting an unparseable token; a nonzero count
+  /// means some metric upstream produced garbage worth investigating.
+  [[nodiscard]] std::int64_t nonfinite_clamped() const {
+    return nonfinite_clamped_;
+  }
+
  private:
   enum class Scope : std::uint8_t { kObject, kArray };
   struct Frame {
@@ -76,6 +84,7 @@ class Writer {
   std::vector<Frame> stack_;
   bool key_pending_ = false;
   bool wrote_root_ = false;
+  std::int64_t nonfinite_clamped_ = 0;
 };
 
 /// Parsed JSON document. Integers that fit std::int64_t stay exact

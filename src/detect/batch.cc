@@ -144,10 +144,10 @@ std::vector<SweepRow> run_sweep(const Computation& comp,
     for (const SweepJob& job : jobs) rows.push_back(run_one(comp, job));
     return rows;
   }
-  // Force the lazily computed ground-truth clocks into existence before the
-  // fan-out: Computation materializes them on first use, which must not
-  // happen concurrently.
-  (void)comp.ground_truth_clock(procs[0], 1);
+  // Force the lazily built trace store into existence before the fan-out:
+  // Computation materializes it on first use, which must not happen
+  // concurrently.
+  (void)comp.trace_store();
   common::ThreadPool pool(threads);
   return pool.parallel_map<SweepRow>(
       jobs.size(), [&](std::size_t i) { return run_one(comp, jobs[i]); },

@@ -37,43 +37,48 @@ ShardRef make_ref(std::size_t shard, CutHandle h) {
 std::size_t shard_of(ShardRef r) { return static_cast<std::size_t>(r >> 32); }
 CutHandle handle_of(ShardRef r) { return static_cast<CutHandle>(r); }
 
+/// BFS parent offset of one interned cut: the reference of its predecessor
+/// (the bottom cut references itself) plus which slot the advance took.
+/// Witness paths are rebuilt from these 12-byte links on demand — the full
+/// predecessor cuts are never retained (ltsmin-style trace reconstruction).
+template <typename Ref>
+struct ParentLink {
+  Ref parent;
+  std::uint32_t slot;
+};
+
+inline constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+/// Walks the parent offsets from `top` back to the bottom cut and returns
+/// the advanced slot of every step, bottom first.
+template <typename Ref, typename LinkOf>
+std::vector<std::uint32_t> collect_path_slots(Ref top, const LinkOf& link_of) {
+  std::vector<std::uint32_t> slots;
+  for (Ref c = top;;) {
+    const auto link = link_of(c);
+    if (link.parent == c) break;
+    slots.push_back(link.slot);
+    c = link.parent;
+  }
+  std::reverse(slots.begin(), slots.end());
+  return slots;
+}
+
 /// When definitely == false, the witness is the first cut on the avoiding
 /// path that diverges past the pointwise-minimal satisfying cut (the bottom
-/// cut when the predicate never holds). `parent_of` must map every visited
-/// cut reference to its BFS predecessor (the bottom cut to itself);
-/// `cut_of` resolves a reference to its packed components.
-template <typename Ref, typename ParentOf, typename CutOf>
-Cut reconstruct_witness(const Computation& comp, std::size_t n, Ref top,
-                        const ParentOf& parent_of, const CutOf& cut_of) {
-  std::vector<Ref> path;
-  for (Ref c = top;;) {
-    path.push_back(c);
-    const Ref p = parent_of(c);
-    if (p == c) break;
-    c = p;
-  }
-  std::reverse(path.begin(), path.end());
-  const auto widen = [&](Ref r) {
-    const auto c = cut_of(r);
-    Cut out(n);
-    for (std::size_t s = 0; s < n; ++s)
-      out[s] = static_cast<StateIndex>(c[s]);
-    return out;
-  };
-  Cut witness = widen(path.front());  // bottom
+/// cut when the predicate never holds). Each path step advances exactly one
+/// slot of a previously dominated cut, so only that slot can break the
+/// domination — the full cuts never need to be compared.
+Cut witness_from_path(const Computation& comp, std::size_t n,
+                      std::span<const std::uint32_t> slots) {
   if (const auto min_sat = comp.first_wcp_cut()) {
-    const auto leq = [&](std::span<const std::uint32_t> a) {
-      for (std::size_t s = 0; s < n; ++s)
-        if (static_cast<StateIndex>(a[s]) > (*min_sat)[s]) return false;
-      return true;
-    };
-    for (const Ref r : path)
-      if (!leq(cut_of(r))) {
-        witness = widen(r);
-        break;
-      }
+    Cut cur(n, 1);
+    for (const std::uint32_t s : slots) {
+      cur[s] += 1;
+      if (cur[s] > (*min_sat)[s]) return cur;
+    }
   }
-  return witness;
+  return Cut(n, 1);
 }
 
 // ---- level-parallel BFS machinery -----------------------------------------
@@ -99,16 +104,19 @@ Cut reconstruct_witness(const Computation& comp, std::size_t n, Ref top,
 // capacity kept, so the steady-state loop performs no heap allocation.
 
 /// Flattened candidate: which level cut generated it (for prefix counts),
-/// where its packed components live, and its precomputed shard/hash.
+/// where its packed components live, which slot was advanced (for parent
+/// offsets), and its precomputed shard/hash.
 struct Candidate {
   std::uint32_t parent;  // index into the current level
   std::uint32_t slot;    // cut index inside the candidate arena
+  std::uint32_t adv;     // advanced slot (inconsistent successors skip slots)
   std::uint32_t shard;
   std::size_t hash;
 };
 
 void flatten_candidates(std::span<const std::size_t> succ_count,
-                        std::span<const std::size_t> cand_hash, std::size_t n,
+                        std::span<const std::size_t> cand_hash,
+                        std::span<const std::uint32_t> cand_adv, std::size_t n,
                         std::size_t num_shards, std::vector<Candidate>& out) {
   std::size_t total = 0;
   for (const std::size_t c : succ_count) total += c;
@@ -119,7 +127,7 @@ void flatten_candidates(std::span<const std::size_t> succ_count,
       const std::size_t slot = i * n + j;
       const std::size_t hash = cand_hash[slot];
       out.push_back(Candidate{static_cast<std::uint32_t>(i),
-                              static_cast<std::uint32_t>(slot),
+                              static_cast<std::uint32_t>(slot), cand_adv[slot],
                               static_cast<std::uint32_t>(hash % num_shards),
                               hash});
     }
@@ -165,6 +173,9 @@ LatticeResult detect_lattice_serial(const Computation& comp,
   CutArena arena(n);
   CutTable visited;
   const CutHash hasher;
+  // links[h] = parent offset of the cut with handle h, enough to rebuild
+  // the BFS path to any visited cut without storing predecessor cuts.
+  std::vector<ParentLink<CutHandle>> links;
 
   // The initial cut (all 1s) is always consistent: state 1 has no receives
   // before it, so nothing happened before it on another process. From here
@@ -173,6 +184,7 @@ LatticeResult detect_lattice_serial(const Computation& comp,
   // not-yet-explored handles.
   Cut scratch(n, 1);
   visited.intern(arena, scratch, hasher(scratch));
+  links.push_back({0, kNoSlot});
 
   for (std::size_t head = 0; head < arena.size(); ++head) {
     res.max_frontier = std::max(
@@ -183,6 +195,9 @@ LatticeResult detect_lattice_serial(const Computation& comp,
     if (satisfies(scratch)) {
       res.detected = true;
       res.cut = scratch;
+      res.witness_path = collect_path_slots(
+          static_cast<CutHandle>(head),
+          [&](CutHandle c) { return links[c]; });
       break;
     }
     if (max_cuts >= 0 && res.cuts_explored >= max_cuts) {
@@ -206,7 +221,10 @@ LatticeResult detect_lattice_serial(const Computation& comp,
             comp.happened_before(procs[t], scratch[t], procs[s], scratch[s]))
           consistent = false;
       }
-      if (consistent) visited.intern(arena, scratch, hasher(scratch));
+      if (consistent &&
+          visited.intern(arena, scratch, hasher(scratch)).inserted)
+        links.push_back(
+            {static_cast<CutHandle>(head), static_cast<std::uint32_t>(s)});
       scratch[s] -= 1;
     }
   }
@@ -221,32 +239,37 @@ LatticeResult detect_lattice_parallel(const Computation& comp,
   const auto procs = comp.predicate_processes();
   const std::size_t n = procs.size();
 
-  // Force the lazy ground-truth clocks before fanning out: the first
-  // happened_before call materializes them, and that must not race.
-  comp.ground_truth_clock(procs[0], 1);
-
   common::ThreadPool pool(threads);
   const std::size_t num_shards = pool.num_threads();
 
   LatticeResult res;
   const CutHash hasher;
 
+  // Visited shards double as the parent-offset map for witness-path
+  // reconstruction, exactly as in the definitely detector below.
   std::vector<CutArena> arenas(num_shards, CutArena(n));
   std::vector<CutTable> tables(num_shards);
+  std::vector<std::vector<ParentLink<ShardRef>>> parents(num_shards);
   CutArena level(n), next(n), cand(n);
+  std::vector<ShardRef> level_refs, next_refs;
 
   // Persistent per-level buffers (reset with capacity kept each level).
   std::vector<std::uint8_t> sat;
   std::vector<std::size_t> succ_count, cand_hash, acc_succ;
+  std::vector<std::uint32_t> cand_adv;
   std::vector<Candidate> meta;
   std::vector<std::vector<std::uint32_t>> by_shard(num_shards);
   std::vector<std::uint8_t> accepted;
+  std::vector<ShardRef> refs;
 
   {
     const Cut initial(n, 1);
     const std::size_t h = hasher(initial);
-    tables[h % num_shards].intern(arenas[h % num_shards], initial, h);
+    const std::size_t shard = h % num_shards;
+    tables[shard].intern(arenas[shard], initial, h);
+    parents[shard].push_back({make_ref(shard, 0), kNoSlot});
     level.push(initial);
+    level_refs.push_back(make_ref(shard, 0));
   }
 
   const auto fill_stats = [&] {
@@ -263,6 +286,7 @@ LatticeResult detect_lattice_parallel(const Computation& comp,
     // Phase A: evaluate + expand into stride-n candidate regions.
     cand.resize(width * n);
     cand_hash.assign(width * n, 0);
+    cand_adv.assign(width * n, 0);
     sat.assign(width, 0);
     succ_count.assign(width, 0);
     pool.parallel_for(width, [&](std::size_t b, std::size_t e) {
@@ -290,19 +314,24 @@ LatticeResult detect_lattice_parallel(const Computation& comp,
           std::copy(cut.begin(), cut.end(), out.begin());
           out[s] = static_cast<std::uint32_t>(ks);
           cand_hash[i * n + count] = hasher(out);
+          cand_adv[i * n + count] = static_cast<std::uint32_t>(s);
           ++count;
         }
         succ_count[i] = count;
       }
     });
 
-    flatten_candidates(succ_count, cand_hash, n, num_shards, meta);
+    flatten_candidates(succ_count, cand_hash, cand_adv, n, num_shards, meta);
+    refs.assign(meta.size(), 0);
     dedup_sharded(pool, meta, num_shards, by_shard, accepted,
                   [&](std::size_t shard, std::size_t j) {
-                    return tables[shard]
-                        .intern_packed(arenas[shard], cand.get(meta[j].slot),
-                                       meta[j].hash)
-                        .inserted;
+                    const auto r = tables[shard].intern_packed(
+                        arenas[shard], cand.get(meta[j].slot), meta[j].hash);
+                    if (r.inserted)
+                      parents[shard].push_back(
+                          {level_refs[meta[j].parent], meta[j].adv});
+                    refs[j] = make_ref(shard, r.handle);
+                    return r.inserted;
                   });
 
     // Accepted-successor count per level cut, for the frontier-size replay.
@@ -321,6 +350,9 @@ LatticeResult detect_lattice_parallel(const Computation& comp,
       if (sat[i]) {
         res.detected = true;
         res.cut = level.materialize(static_cast<CutHandle>(i));
+        res.witness_path = collect_path_slots(
+            level_refs[i],
+            [&](ShardRef r) { return parents[shard_of(r)][handle_of(r)]; });
         fill_stats();
         return res;
       }
@@ -333,10 +365,16 @@ LatticeResult detect_lattice_parallel(const Computation& comp,
     }
 
     next.clear();
+    next_refs.clear();
     next.reserve(pushed);
+    next_refs.reserve(pushed);
     for (std::size_t j = 0; j < meta.size(); ++j)
-      if (accepted[j]) next.push_packed(cand.get(meta[j].slot));
+      if (accepted[j]) {
+        next.push_packed(cand.get(meta[j].slot));
+        next_refs.push_back(refs[j]);
+      }
     std::swap(level, next);
+    std::swap(level_refs, next_refs);
   }
   fill_stats();
   return res;
@@ -373,13 +411,13 @@ DefinitelyResult detect_definitely_serial(const Computation& comp,
   CutArena arena(n);
   CutTable visited;
   const CutHash hasher;
-  // parent[h] = BFS predecessor of the cut with handle h (the bottom cut
+  // links[h] = BFS parent offset of the cut with handle h (the bottom cut
   // maps to itself) so the avoiding observation can be reconstructed for
   // the witness. Handles are dense insertion indices, so a plain vector
   // replaces the old cut-keyed parent map.
-  std::vector<CutHandle> parent;
+  std::vector<ParentLink<CutHandle>> links;
   visited.intern(arena, scratch, hasher(scratch));
-  parent.push_back(0);
+  links.push_back({0, kNoSlot});
 
   res.definitely = true;  // until the top cut proves reachable
   for (std::size_t head = 0; head < arena.size(); ++head) {
@@ -387,10 +425,10 @@ DefinitelyResult detect_definitely_serial(const Computation& comp,
     ++res.cuts_explored;
     if (scratch == top) {
       res.definitely = false;  // an observation avoided the predicate
-      res.witness = reconstruct_witness(
-          comp, n, static_cast<CutHandle>(head),
-          [&](CutHandle c) { return parent[c]; },
-          [&](CutHandle c) { return arena.get(c); });
+      res.witness_path = collect_path_slots(
+          static_cast<CutHandle>(head),
+          [&](CutHandle c) { return links[c]; });
+      res.witness = witness_from_path(comp, n, res.witness_path);
       break;
     }
     if (max_cuts >= 0 && res.cuts_explored >= max_cuts) {
@@ -410,7 +448,8 @@ DefinitelyResult detect_definitely_serial(const Computation& comp,
       }
       if (consistent && !satisfies(scratch)) {  // blocked by the WCP
         if (visited.intern(arena, scratch, hasher(scratch)).inserted)
-          parent.push_back(static_cast<CutHandle>(head));
+          links.push_back(
+              {static_cast<CutHandle>(head), static_cast<std::uint32_t>(s)});
       }
       scratch[s] -= 1;
     }
@@ -427,8 +466,6 @@ DefinitelyResult detect_definitely_parallel(const Computation& comp,
                                             std::size_t threads) {
   const auto procs = comp.predicate_processes();
   const std::size_t n = procs.size();
-
-  comp.ground_truth_clock(procs[0], 1);  // materialize before fanning out
 
   common::ThreadPool pool(threads);
   const std::size_t num_shards = pool.num_threads();
@@ -452,16 +489,18 @@ DefinitelyResult detect_definitely_parallel(const Computation& comp,
     return res;
   }
 
-  // Visited shards double as the parent map for witness reconstruction:
-  // parents[shard][h] is the cross-shard reference of the BFS predecessor
-  // of the cut interned at (shard, h).
+  // Visited shards double as the parent-offset map for witness
+  // reconstruction: parents[shard][h] is the cross-shard reference of the
+  // BFS predecessor of the cut interned at (shard, h), plus the slot the
+  // advance took.
   std::vector<CutArena> arenas(num_shards, CutArena(n));
   std::vector<CutTable> tables(num_shards);
-  std::vector<std::vector<ShardRef>> parents(num_shards);
+  std::vector<std::vector<ParentLink<ShardRef>>> parents(num_shards);
   CutArena level(n), next(n), cand(n);
   std::vector<ShardRef> level_refs, next_refs;
 
   std::vector<std::size_t> succ_count, cand_hash;
+  std::vector<std::uint32_t> cand_adv;
   std::vector<Candidate> meta;
   std::vector<std::vector<std::uint32_t>> by_shard(num_shards);
   std::vector<std::uint8_t> accepted;
@@ -471,7 +510,7 @@ DefinitelyResult detect_definitely_parallel(const Computation& comp,
     const std::size_t h = hasher(initial);
     const std::size_t shard = h % num_shards;
     tables[shard].intern(arenas[shard], initial, h);
-    parents[shard].push_back(make_ref(shard, 0));  // bottom maps to itself
+    parents[shard].push_back({make_ref(shard, 0), kNoSlot});
     level.push(initial);
     level_refs.push_back(make_ref(shard, 0));
   }
@@ -484,11 +523,8 @@ DefinitelyResult detect_definitely_parallel(const Computation& comp,
     res.storage.heap_allocs +=
         level.growths() + next.growths() + cand.growths();
   };
-  const auto parent_of = [&](ShardRef r) {
+  const auto link_of = [&](ShardRef r) {
     return parents[shard_of(r)][handle_of(r)];
-  };
-  const auto cut_of = [&](ShardRef r) {
-    return arenas[shard_of(r)].get(handle_of(r));
   };
   const auto is_top = [&](std::span<const std::uint32_t> cut) {
     for (std::size_t s = 0; s < n; ++s)
@@ -503,6 +539,7 @@ DefinitelyResult detect_definitely_parallel(const Computation& comp,
     // here and never become candidates — mirroring the serial `continue`.
     cand.resize(width * n);
     cand_hash.assign(width * n, 0);
+    cand_adv.assign(width * n, 0);
     succ_count.assign(width, 0);
     pool.parallel_for(width, [&](std::size_t b, std::size_t e) {
       for (std::size_t i = b; i < e; ++i) {
@@ -531,20 +568,22 @@ DefinitelyResult detect_definitely_parallel(const Computation& comp,
           std::copy(cut.begin(), cut.end(), out.begin());
           out[s] = static_cast<std::uint32_t>(ks);
           cand_hash[i * n + count] = hasher(out);
+          cand_adv[i * n + count] = static_cast<std::uint32_t>(s);
           ++count;
         }
         succ_count[i] = count;
       }
     });
 
-    flatten_candidates(succ_count, cand_hash, n, num_shards, meta);
+    flatten_candidates(succ_count, cand_hash, cand_adv, n, num_shards, meta);
     refs.assign(meta.size(), 0);
     dedup_sharded(pool, meta, num_shards, by_shard, accepted,
                   [&](std::size_t shard, std::size_t j) {
                     const auto r = tables[shard].intern_packed(
                         arenas[shard], cand.get(meta[j].slot), meta[j].hash);
                     if (r.inserted)
-                      parents[shard].push_back(level_refs[meta[j].parent]);
+                      parents[shard].push_back(
+                          {level_refs[meta[j].parent], meta[j].adv});
                     refs[j] = make_ref(shard, r.handle);
                     return r.inserted;
                   });
@@ -553,8 +592,8 @@ DefinitelyResult detect_definitely_parallel(const Computation& comp,
       ++res.cuts_explored;
       if (is_top(level.get(static_cast<CutHandle>(i)))) {
         res.definitely = false;
-        res.witness =
-            reconstruct_witness(comp, n, level_refs[i], parent_of, cut_of);
+        res.witness_path = collect_path_slots(level_refs[i], link_of);
+        res.witness = witness_from_path(comp, n, res.witness_path);
         fill_stats();
         return res;
       }
@@ -588,8 +627,15 @@ LatticeResult detect_lattice(const Computation& comp, std::int64_t max_cuts,
   const auto procs = comp.predicate_processes();
   WCP_REQUIRE(!procs.empty(), "empty predicate");
   if (threads == 0) threads = common::ThreadPool::default_threads();
-  return threads <= 1 ? detect_lattice_serial(comp, max_cuts)
-                      : detect_lattice_parallel(comp, max_cuts, threads);
+  // Materialize the trace store up front: the parallel path must not race
+  // on the lazy build, and doing it here for the serial path too keeps the
+  // reported trace-store stats identical across thread counts.
+  (void)comp.trace_store();
+  LatticeResult res = threads <= 1
+                          ? detect_lattice_serial(comp, max_cuts)
+                          : detect_lattice_parallel(comp, max_cuts, threads);
+  res.trace_store = comp.trace_store_stats();
+  return res;
 }
 
 DefinitelyResult detect_definitely(const Computation& comp,
@@ -598,8 +644,27 @@ DefinitelyResult detect_definitely(const Computation& comp,
   const auto procs = comp.predicate_processes();
   WCP_REQUIRE(!procs.empty(), "empty predicate");
   if (threads == 0) threads = common::ThreadPool::default_threads();
-  return threads <= 1 ? detect_definitely_serial(comp, max_cuts)
-                      : detect_definitely_parallel(comp, max_cuts, threads);
+  (void)comp.trace_store();
+  DefinitelyResult res =
+      threads <= 1 ? detect_definitely_serial(comp, max_cuts)
+                   : detect_definitely_parallel(comp, max_cuts, threads);
+  res.trace_store = comp.trace_store_stats();
+  return res;
+}
+
+std::vector<std::vector<StateIndex>> materialize_witness_path(
+    std::size_t n, std::span<const std::uint32_t> path) {
+  std::vector<std::vector<StateIndex>> cuts;
+  cuts.reserve(path.size() + 1);
+  cuts.emplace_back(n, 1);
+  for (const std::uint32_t s : path) {
+    WCP_REQUIRE(s < n, "witness path slot " << s << " out of range for width "
+                                            << n);
+    std::vector<StateIndex> nxt = cuts.back();
+    nxt[s] += 1;
+    cuts.push_back(std::move(nxt));
+  }
+  return cuts;
 }
 
 }  // namespace wcp::detect

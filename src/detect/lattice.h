@@ -33,11 +33,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/cut_storage.h"
 #include "common/types.h"
 #include "trace/computation.h"
+#include "trace/trace_store_stats.h"
 
 namespace wcp::detect {
 
@@ -48,7 +50,13 @@ struct LatticeResult {
   std::vector<StateIndex> cut;       // width n, predicate-slot order
   std::int64_t cuts_explored = 0;    // distinct consistent cuts visited
   std::int64_t max_frontier = 0;     // peak BFS frontier size
+  /// When detected: the BFS path from the bottom cut to `cut`, one advanced
+  /// slot per step, rebuilt from the stored parent offsets (ltsmin-style) —
+  /// the full predecessor cuts are never retained. Expand with
+  /// materialize_witness_path. Identical for every thread count.
+  std::vector<std::uint32_t> witness_path;
   CutStorageStats storage;           // measured cut-storage footprint
+  TraceStoreStats trace_store;       // clock-store footprint (thread-invariant)
 };
 
 /// Explores at most `max_cuts` consistent cuts (<0: unbounded). `threads`:
@@ -73,11 +81,23 @@ struct DefinitelyResult {
   /// it from the start and the witness is the bottom cut. Empty when
   /// definitely == true or the search was truncated.
   std::vector<StateIndex> witness;
+  /// When definitely == false: the avoiding observation as advanced slots
+  /// from the bottom cut to the top cut, rebuilt from stored BFS parent
+  /// offsets (`witness` is the first cut on it that diverges past the
+  /// minimal satisfying cut). Identical for every thread count.
+  std::vector<std::uint32_t> witness_path;
   CutStorageStats storage;  ///< measured cut-storage footprint
+  TraceStoreStats trace_store;  ///< clock-store footprint (thread-invariant)
 };
 
 DefinitelyResult detect_definitely(const Computation& comp,
                                    std::int64_t max_cuts = -1,
                                    std::size_t threads = 1);
+
+/// Expands a parent-offset witness path into the cut sequence it encodes:
+/// result[0] is the bottom cut (all 1s, width n) and result[t+1] advances
+/// slot path[t] of result[t] by one state.
+std::vector<std::vector<StateIndex>> materialize_witness_path(
+    std::size_t n, std::span<const std::uint32_t> path);
 
 }  // namespace wcp::detect

@@ -16,9 +16,9 @@ namespace {
 // ground-truth clock projected onto the predicate processes.
 VectorClock project(const Computation& comp, ProcessId p, StateIndex k) {
   const auto preds = comp.predicate_processes();
-  const VectorClock& full = comp.ground_truth_clock(p, k);
   std::vector<StateIndex> c(preds.size());
-  for (std::size_t s = 0; s < preds.size(); ++s) c[s] = full.at(preds[s]);
+  for (std::size_t s = 0; s < preds.size(); ++s)
+    c[s] = comp.clock_component(p, k, preds[s]);
   return VectorClock(std::move(c));
 }
 
@@ -44,6 +44,9 @@ DetectionResult detect_token_vc_offline(const Computation& comp) {
                                     static_cast<std::int64_t>(n) * 64);
       }
   }
+
+  // The projection above pulled every clock through the columnar store.
+  res.trace_store = comp.trace_store_stats();
 
   std::vector<StateIndex> G(n, 0);
   std::vector<Color> color(n, Color::kRed);

@@ -46,6 +46,18 @@ void DetectionResult::write_json(json::Writer& w, bool include_wall_clock,
     w.key("faults");
     faults.write_json(w);
   }
+  // Same rule for the trace store: only runs that materialized it (offline
+  // detectors reading ground-truth clocks) emit the block, and its counters
+  // are thread-invariant, so cross-thread report diffs stay clean.
+  if (trace_store.materialized()) {
+    w.key("trace_store");
+    w.begin_object();
+    w.field("peak_bytes", trace_store.peak_bytes);
+    w.field("clocks_interned", trace_store.clocks_interned);
+    w.field("delta_entries", trace_store.delta_entries);
+    w.field("delta_ratio", trace_store.delta_ratio);
+    w.end_object();
+  }
   w.end_object();
 }
 

@@ -12,6 +12,7 @@
 #include "sim/fault.h"
 #include "sim/latency.h"
 #include "sim/reliable.h"
+#include "trace/trace_store_stats.h"
 
 namespace wcp::sim {
 struct NetworkConfig;
@@ -85,6 +86,10 @@ struct DetectionResult {
   /// Injected faults and transport/recovery reactions (all-zero on
   /// fault-free runs; deterministic per seed + fault plan otherwise).
   FaultCounters faults;
+  /// Columnar trace-store footprint when the run read ground-truth clocks
+  /// through the store (all-zero for online runs, which never materialize
+  /// it). Deterministic per computation — independent of thread count.
+  TraceStoreStats trace_store;
 
   /// One JSON object with the outcome, both metric layers, and the
   /// execution statistics. `include_wall_clock=false` drops the only

@@ -24,6 +24,7 @@ LatticeResult detect_lattice_sliced(const Computation& comp) {
   // slice-side analogue of the baseline's cuts_explored.
   res.cuts_explored = ctr.advances + 1;
   res.max_frontier = 1;  // the fixpoint tracks a single candidate
+  res.trace_store = comp.trace_store_stats();
   return res;
 }
 
@@ -75,6 +76,7 @@ DefinitelyResult detect_definitely_sliced(const Computation& comp,
   if (bottom_sat) {
     res.definitely = true;
     res.cuts_explored = 1;
+    res.trace_store = comp.trace_store_stats();
     return res;
   }
 
@@ -126,6 +128,7 @@ DefinitelyResult detect_definitely_sliced(const Computation& comp,
         ++res.cuts_explored;
         if (max_cuts >= 0 && res.cuts_explored >= max_cuts) {
           res.truncated = true;
+          res.trace_store = comp.trace_store_stats();
           return res;
         }
         const StateIndex k0 =
@@ -143,6 +146,7 @@ DefinitelyResult detect_definitely_sliced(const Computation& comp,
     // No anchor chain reaches the top of any process: every observation
     // eventually runs out of false states and hits a satisfying cut.
     res.definitely = true;
+    res.trace_store = comp.trace_store_stats();
     return res;
   }
 
@@ -167,6 +171,7 @@ DefinitelyResult detect_definitely_sliced(const Computation& comp,
                   "handoff pair must extend to a consistent cut");
     res.witness = *witness;
   }
+  res.trace_store = comp.trace_store_stats();
   return res;
 }
 

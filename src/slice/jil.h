@@ -70,7 +70,9 @@ class ComputationInput final : public SliceInput {
   }
   [[nodiscard]] StateIndex causal_floor(std::size_t s, StateIndex k,
                                         std::size_t t) const override {
-    return comp_.ground_truth_clock(procs_[s], k).at(procs_[t]);
+    // Single-component read straight from the delta-encoded trace store —
+    // no full-clock reconstruction on the fixpoint's hot path.
+    return comp_.clock_component(procs_[s], k, procs_[t]);
   }
 
  private:

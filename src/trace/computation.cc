@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "common/error.h"
+#include "trace/trace_store.h"
 
 namespace wcp {
 
@@ -29,68 +30,53 @@ std::int64_t Computation::total_states() const {
 }
 
 void Computation::ensure_ground_truth() const {
-  if (!clocks_.empty()) return;
-  const std::size_t N = per_process_.size();
-  clocks_.resize(N);
-
-  // Replay events in a causally valid global order: a receive is only
-  // processed after its matching send. The greedy scan below always makes
-  // progress because the builder appended events in such an order.
-  std::vector<std::size_t> next_event(N, 0);
-  std::vector<VectorClock> current(N);
-  std::vector<VectorClock> msg_clock(messages_.size());
-  std::vector<bool> msg_sent(messages_.size(), false);
-
-  for (std::size_t p = 0; p < N; ++p) {
-    current[p] = VectorClock::initial(N, ProcessId(static_cast<int>(p)));
-    clocks_[p].reserve(per_process_[p].pred.size());
-    clocks_[p].push_back(current[p]);
-  }
-
-  std::size_t remaining = 0;
-  for (const auto& pp : per_process_) remaining += pp.events.size();
-
-  while (remaining > 0) {
-    bool progressed = false;
-    for (std::size_t p = 0; p < N; ++p) {
-      const auto& events = per_process_[p].events;
-      while (next_event[p] < events.size()) {
-        const Event& ev = events[next_event[p]];
-        const auto mi = static_cast<std::size_t>(ev.msg);
-        if (ev.kind == EventKind::kSend) {
-          msg_clock[mi] = current[p];
-          msg_sent[mi] = true;
-        } else {
-          if (!msg_sent[mi]) break;  // wait for the sender's replay
-          current[p].merge(msg_clock[mi]);
-        }
-        current[p].tick(ProcessId(static_cast<int>(p)));
-        clocks_[p].push_back(current[p]);
-        ++next_event[p];
-        --remaining;
-        progressed = true;
-      }
-    }
-    WCP_CHECK_MSG(progressed || remaining == 0,
-                  "computation event order is causally inconsistent");
-  }
+  if (store_) return;
+  store_ = std::make_shared<const TraceStore>(TraceStore::build(*this));
 }
 
-const VectorClock& Computation::ground_truth_clock(ProcessId p,
-                                                   StateIndex k) const {
+VectorClock Computation::ground_truth_clock(ProcessId p, StateIndex k) const {
   ensure_ground_truth();
-  const auto& col = clocks_.at(p.idx());
-  WCP_REQUIRE(k >= 1 && k <= static_cast<StateIndex>(col.size()),
-              "state (" << p << "," << k << ") out of range");
-  return col[static_cast<std::size_t>(k - 1)];
+  return store_->clock(p, k);
+}
+
+StateIndex Computation::clock_component(ProcessId p, StateIndex k,
+                                        ProcessId j) const {
+  ensure_ground_truth();
+  return store_->clock_component(p, k, j);
+}
+
+const TraceStore& Computation::trace_store() const {
+  ensure_ground_truth();
+  return *store_;
+}
+
+TraceStoreStats Computation::trace_store_stats() const {
+  return store_ ? store_->stats() : TraceStoreStats{};
+}
+
+void Computation::adopt_trace_store(std::shared_ptr<const TraceStore> store) {
+  WCP_REQUIRE(store != nullptr, "cannot adopt a null trace store");
+  WCP_REQUIRE(store->num_processes() == num_processes(),
+              "trace store is for " << store->num_processes()
+                                    << " processes, computation has "
+                                    << num_processes());
+  for (std::size_t p = 0; p < num_processes(); ++p) {
+    const ProcessId pid(static_cast<int>(p));
+    WCP_REQUIRE(store->num_states(pid) == num_states(pid),
+                "trace store has " << store->num_states(pid)
+                                   << " states on " << pid
+                                   << ", computation has " << num_states(pid));
+  }
+  store_ = std::move(store);
 }
 
 bool Computation::happened_before(ProcessId i, StateIndex a, ProcessId j,
                                   StateIndex b) const {
   if (i == j) return a < b;
   // (i,a) -> (j,b) iff the clock of (j,b) has seen state a of P_i, i.e. a
-  // message chain leaving P_i at or after state a reached (j,b).
-  return ground_truth_clock(j, b).at(i) >= a;
+  // message chain leaving P_i at or after state a reached (j,b). One
+  // component lookup; the full clock is never reconstructed.
+  return clock_component(j, b, i) >= a;
 }
 
 bool Computation::is_consistent_cut(std::span<const ProcessId> procs,

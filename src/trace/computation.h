@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -26,8 +27,11 @@
 #include "clock/dependence.h"
 #include "clock/vector_clock.h"
 #include "common/types.h"
+#include "trace/trace_store_stats.h"
 
 namespace wcp {
+
+class TraceStore;
 
 /// Identifier of a message within one computation.
 using MessageId = std::int64_t;
@@ -105,10 +109,17 @@ class Computation {
 
   // ---- Ground-truth causality (full-width vector clocks) ----------------
 
-  /// Full-width (N-component) vector clock of state (p, k). Computed once,
-  /// lazily, on first use; O(N * total_states) memory.
-  [[nodiscard]] const VectorClock& ground_truth_clock(ProcessId p,
-                                                      StateIndex k) const;
+  /// Full-width (N-component) vector clock of state (p, k), reconstructed on
+  /// demand from the columnar TraceStore (built once, lazily, on first use;
+  /// delta-encoded rather than the old O(N * total_states) eager matrix).
+  [[nodiscard]] VectorClock ground_truth_clock(ProcessId p,
+                                               StateIndex k) const;
+
+  /// Single component j of the clock of state (p, k): one interval-index
+  /// binary search, no full-clock materialization. The hot path for
+  /// happened_before and the slice causal-floor computation.
+  [[nodiscard]] StateIndex clock_component(ProcessId p, StateIndex k,
+                                           ProcessId j) const;
 
   /// Ground-truth happened-before between states (§2). k == 0 (pre-initial)
   /// happens before everything on other processes' positive states? No:
@@ -151,6 +162,20 @@ class Computation {
   [[nodiscard]] std::optional<Dependence> receive_dependence(
       ProcessId p, StateIndex k) const;
 
+  // ---- Columnar trace store ----------------------------------------------
+
+  /// The columnar store serving ground-truth clocks, materialized on first
+  /// use (this call forces materialization).
+  [[nodiscard]] const TraceStore& trace_store() const;
+
+  /// Storage counters of the materialized store; all-zero if no caller has
+  /// needed ground-truth causality yet.
+  [[nodiscard]] TraceStoreStats trace_store_stats() const;
+
+  /// Attach an externally built store (e.g. one loaded from a wcp-tracebin
+  /// file) instead of rebuilding it; the store's shape must match.
+  void adopt_trace_store(std::shared_ptr<const TraceStore> store);
+
  private:
   friend class ComputationBuilder;
 
@@ -166,8 +191,9 @@ class Computation {
   std::vector<ProcessId> predicate_processes_;
   std::vector<int> pred_slot_;  // process idx -> slot in predicate list, -1
 
-  // Lazy ground truth: clocks_[p][k-1] = full-width clock of state (p,k).
-  mutable std::vector<std::vector<VectorClock>> clocks_;
+  // Lazy ground truth: delta-encoded clock columns, one store per
+  // computation (shared so adopters of a loaded file reuse the same data).
+  mutable std::shared_ptr<const TraceStore> store_;
 };
 
 std::ostream& operator<<(std::ostream& os, const Computation& c);

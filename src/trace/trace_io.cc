@@ -1,8 +1,11 @@
 #include "trace/trace_io.h"
 
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/error.h"
@@ -97,8 +100,10 @@ std::string trace_to_string(const Computation& c) {
 
 Computation read_trace(std::istream& is) {
   std::string line;
+  std::size_t line_no = 0;
   auto next_line = [&]() -> bool {
     while (std::getline(is, line)) {
+      ++line_no;
       const auto pos = line.find('#');
       if (pos != std::string::npos) line.erase(pos);
       // Skip blank lines.
@@ -107,58 +112,136 @@ Computation read_trace(std::istream& is) {
     return false;
   };
 
-  WCP_REQUIRE(next_line(), "empty trace");
+  // Every rejection names the offending line; nothing parses silently.
+  auto fail = [&](const std::string& why) {
+    WCP_REQUIRE(false, "trace parse error at line " << line_no << ": " << why
+                                                    << " in '" << line << "'");
+  };
+  auto parse_int = [&](std::istringstream& ls,
+                       const char* what) -> std::int64_t {
+    std::string tok;
+    if (!(ls >> tok)) fail(std::string("missing ") + what);
+    std::int64_t v = 0;
+    std::size_t used = 0;
+    try {
+      v = std::stoll(tok, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != tok.size())
+      fail(std::string("unparseable ") + what + " '" + tok + "'");
+    return v;
+  };
+  auto expect_eol = [&](std::istringstream& ls) {
+    std::string extra;
+    if (ls >> extra) fail("unexpected trailing token '" + extra + "'");
+  };
+
+  WCP_REQUIRE(next_line(), "trace parse error: empty input (missing header)");
   {
     std::istringstream hdr(line);
     std::string magic;
-    int version = 0;
-    hdr >> magic >> version;
-    WCP_REQUIRE(magic == "wcp-trace" && version == 1,
-                "bad trace header: '" << line << "'");
+    hdr >> magic;
+    if (magic != "wcp-trace") fail("bad magic (expected 'wcp-trace')");
+    if (parse_int(hdr, "format version") != 1) fail("unsupported version");
+    expect_eol(hdr);
   }
 
   std::size_t N = 0;
   std::vector<ProcessId> preds;
+  bool saw_predicate = false;
+  bool saw_end = false;
   std::unique_ptr<ComputationBuilder> b;
+  MessageId num_sent = 0;
+  std::vector<bool> delivered;
+
+  auto parse_pid = [&](std::istringstream& ls, const char* what) -> int {
+    const std::int64_t p = parse_int(ls, what);
+    if (p < 0 || static_cast<std::size_t>(p) >= N)
+      fail(std::string(what) + " " + std::to_string(p) + " out of range [0, " +
+           std::to_string(N) + ")");
+    return static_cast<int>(p);
+  };
+  auto parse_bit = [&](std::istringstream& ls, const char* what) -> bool {
+    const std::int64_t v = parse_int(ls, what);
+    if (v != 0 && v != 1)
+      fail(std::string(what) + " " + std::to_string(v) + " not in {0, 1}");
+    return v != 0;
+  };
 
   while (next_line()) {
     std::istringstream ls(line);
     std::string cmd;
     ls >> cmd;
     if (cmd == "processes") {
-      ls >> N;
-      WCP_REQUIRE(N >= 1, "bad process count in trace");
+      if (b) fail("duplicate 'processes' directive");
+      const std::int64_t n = parse_int(ls, "process count");
+      if (n < 1 || n > std::numeric_limits<int>::max())
+        fail("process count " + std::to_string(n) + " out of range");
+      expect_eol(ls);
+      N = static_cast<std::size_t>(n);
       b = std::make_unique<ComputationBuilder>(N);
     } else if (cmd == "predicate") {
-      int v;
-      while (ls >> v) preds.emplace_back(v);
+      if (!b) fail("'predicate' before 'processes'");
+      if (saw_predicate) fail("duplicate 'predicate' directive");
+      saw_predicate = true;
+      std::vector<bool> seen(N, false);
+      std::string tok;
+      while (ls >> tok) {
+        std::istringstream one(tok);
+        const int p = parse_pid(one, "predicate process");
+        if (seen[static_cast<std::size_t>(p)])
+          fail("duplicate predicate process " + std::to_string(p));
+        seen[static_cast<std::size_t>(p)] = true;
+        preds.emplace_back(p);
+      }
     } else if (cmd == "default") {
-      WCP_REQUIRE(b != nullptr, "'default' before 'processes'");
-      int p, v;
-      ls >> p >> v;
-      b->set_default_pred(ProcessId(p), v != 0);
+      if (!b) fail("'default' before 'processes'");
+      const int p = parse_pid(ls, "process id");
+      const bool v = parse_bit(ls, "default value");
+      expect_eol(ls);
+      b->set_default_pred(ProcessId(p), v);
     } else if (cmd == "send") {
-      WCP_REQUIRE(b != nullptr, "'send' before 'processes'");
-      int from, to;
-      ls >> from >> to;
-      b->send(ProcessId(from), ProcessId(to));
+      if (!b) fail("'send' before 'processes'");
+      const int from = parse_pid(ls, "sender");
+      const int to = parse_pid(ls, "receiver");
+      expect_eol(ls);
+      if (from == to) fail("self-send on process " + std::to_string(from));
+      const MessageId id = b->send(ProcessId(from), ProcessId(to));
+      WCP_CHECK(id == num_sent);
+      ++num_sent;
+      delivered.push_back(false);
     } else if (cmd == "recv") {
-      WCP_REQUIRE(b != nullptr, "'recv' before 'processes'");
-      MessageId id;
-      ls >> id;
+      if (!b) fail("'recv' before 'processes'");
+      const std::int64_t id = parse_int(ls, "message id");
+      expect_eol(ls);
+      if (id < 0 || id >= num_sent)
+        fail("message id " + std::to_string(id) + " not sent yet (" +
+             std::to_string(num_sent) + " sends so far)");
+      if (delivered[static_cast<std::size_t>(id)])
+        fail("message " + std::to_string(id) + " already received");
+      delivered[static_cast<std::size_t>(id)] = true;
       b->receive(id);
     } else if (cmd == "mark") {
-      WCP_REQUIRE(b != nullptr, "'mark' before 'processes'");
-      int p, v;
-      ls >> p >> v;
-      b->mark_pred(ProcessId(p), v != 0);
+      if (!b) fail("'mark' before 'processes'");
+      const int p = parse_pid(ls, "process id");
+      const bool v = parse_bit(ls, "mark value");
+      expect_eol(ls);
+      b->mark_pred(ProcessId(p), v);
     } else if (cmd == "end") {
+      expect_eol(ls);
+      saw_end = true;
       break;
     } else {
-      WCP_REQUIRE(false, "unknown trace directive '" << cmd << "'");
+      fail("unknown directive '" + cmd + "'");
     }
   }
-  WCP_REQUIRE(b != nullptr, "trace missing 'processes'");
+  if (!saw_end) {
+    WCP_REQUIRE(false, "trace parse error at line "
+                           << line_no << ": missing 'end' directive");
+  }
+  if (next_line()) fail("content after 'end'");
+  WCP_CHECK(b != nullptr);
   if (!preds.empty()) b->set_predicate_processes(std::move(preds));
   return b->build();
 }

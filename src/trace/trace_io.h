@@ -3,16 +3,24 @@
 // Format (line-oriented, '#' comments allowed):
 //
 //   wcp-trace 1
-//   processes <N>
-//   predicate <p0> <p1> ...
+//   processes <N>                # exactly once, before any other directive
+//   predicate <p0> <p1> ...      # at most once; pids unique, in [0, N)
 //   default <p> <0|1>            # default local-predicate value on p
 //   send <from> <to>             # events, in a causally valid global order
-//   recv <msgid>
+//   recv <msgid>                 # a previously sent, undelivered id
 //   mark <p> <0|1>               # set predicate of p's current state
-//   end
+//   end                          # mandatory terminator
 //
 // The writer emits events in a valid order (receives after their sends), so
-// any written trace round-trips through the reader.
+// any written trace round-trips through the reader — including messages
+// still in flight (a send with no matching recv).
+//
+// The reader validates every token: integers must parse completely, pids
+// and message ids are range-checked, duplicate directives and double
+// deliveries are rejected, and any violation throws std::invalid_argument
+// reading "trace parse error at line <L>: <why> in '<line>'" — malformed
+// input never silently parses as zeros. See trace/trace_store.h for the
+// binary format and the sniffing load_any_trace_file.
 #pragma once
 
 #include <iosfwd>

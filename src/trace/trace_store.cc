@@ -1,0 +1,687 @@
+#include "trace/trace_store.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <iterator>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "common/error.h"
+#include "trace/trace_io.h"
+
+namespace wcp {
+
+namespace {
+
+constexpr std::uint32_t kReceiveBit = 0x8000'0000u;
+constexpr std::uint64_t kStateCap = 1ull << 32;   // states per process
+constexpr std::uint64_t kMessageCap = 1ull << 31; // ids share the event word
+constexpr std::size_t kHeaderBytes = 136;
+constexpr std::uint32_t kTracebinVersion = 1;
+
+// ---- little-endian packing (explicit, so files are portable) ---------------
+
+void put_u32(std::string& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) b.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) b.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32(const std::string& b, std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[off + i])) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::string& b, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[off + i])) << (8 * i);
+  return v;
+}
+
+void pad8(std::string& b) {
+  while (b.size() % 8 != 0) b.push_back('\0');
+}
+
+/// Last change-list value with key <= k, or 0 if the component has not moved
+/// by state k. Entries are (k' << 32) | value with k' strictly increasing and
+/// value < 2^32, so the packed words themselves are ordered by k'.
+std::uint64_t lookup_packed(const std::uint64_t* first, const std::uint64_t* last,
+                            std::uint64_t k) {
+  const auto* it = std::upper_bound(first, last, (k << 32) | 0xffff'ffffull);
+  if (it == first) return 0;
+  return *(it - 1) & 0xffff'ffffull;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Build: one greedy causal replay, recording only clock change points.
+
+TraceStore TraceStore::build(const Computation& c) {
+  const std::size_t N = c.num_processes();
+  TraceStore s;
+
+  s.state_counts_.resize(N);
+  s.event_offsets_.assign(N + 1, 0);
+  s.pred_word_offsets_.assign(N + 1, 0);
+  for (std::size_t p = 0; p < N; ++p) {
+    const ProcessId pid(static_cast<int>(p));
+    const auto states = static_cast<std::uint64_t>(c.num_states(pid));
+    WCP_REQUIRE(states < kStateCap,
+                "process " << pid << " has " << states
+                           << " states, beyond the trace store's 2^32 cap");
+    s.state_counts_[p] = states;
+    s.event_offsets_[p + 1] = s.event_offsets_[p] + (states - 1);
+    s.pred_word_offsets_[p + 1] = s.pred_word_offsets_[p] + (states + 63) / 64;
+  }
+  WCP_REQUIRE(c.messages().size() < kMessageCap,
+              "computation has " << c.messages().size()
+                                 << " messages, beyond the trace store's 2^31 cap");
+
+  s.events_.reserve(s.event_offsets_[N]);
+  for (std::size_t p = 0; p < N; ++p)
+    for (const Event& ev : c.events(ProcessId(static_cast<int>(p))))
+      s.events_.push_back((ev.kind == EventKind::kReceive ? kReceiveBit : 0u) |
+                          static_cast<std::uint32_t>(ev.msg));
+
+  s.pred_bits_.assign(s.pred_word_offsets_[N], 0);
+  for (std::size_t p = 0; p < N; ++p) {
+    const ProcessId pid(static_cast<int>(p));
+    for (StateIndex k = 1; k <= c.num_states(pid); ++k)
+      if (c.local_pred(pid, k)) {
+        const auto bit = static_cast<std::uint64_t>(k - 1);
+        s.pred_bits_[s.pred_word_offsets_[p] + bit / 64] |= 1ull << (bit % 64);
+      }
+  }
+
+  s.pred_procs_.reserve(c.predicate_processes().size());
+  for (ProcessId p : c.predicate_processes())
+    s.pred_procs_.push_back(static_cast<std::uint32_t>(p.value()));
+
+  s.messages_.reserve(c.messages().size() * 4);
+  for (const MessageRecord& mr : c.messages()) {
+    s.messages_.push_back(static_cast<std::uint32_t>(mr.from.value()));
+    s.messages_.push_back(static_cast<std::uint32_t>(mr.send_state));
+    s.messages_.push_back(static_cast<std::uint32_t>(mr.to.value()));
+    s.messages_.push_back(static_cast<std::uint32_t>(mr.recv_state));
+  }
+
+  // Clock change lists. Replay events in a causally valid global order (the
+  // same greedy scan ensure_ground_truth used), but never materialize a
+  // message clock: when P_p receives a message sent from (from, send_state),
+  // each component j of the sender's clock is read back out of the sender's
+  // own (already final up to send_state) change list.
+  std::vector<std::vector<std::uint64_t>> cols(N * N);
+  std::vector<std::uint64_t> cur(N * N, 0);  // cur[p*N+j], j != p; own implicit
+  std::vector<std::size_t> next(N, 0);
+  std::vector<char> sent(c.messages().size(), 0);
+
+  std::size_t remaining = s.events_.size();
+  while (remaining > 0) {
+    bool progressed = false;
+    for (std::size_t p = 0; p < N; ++p) {
+      const auto events = c.events(ProcessId(static_cast<int>(p)));
+      while (next[p] < events.size()) {
+        const Event& ev = events[next[p]];
+        const auto mi = static_cast<std::size_t>(ev.msg);
+        if (ev.kind == EventKind::kSend) {
+          sent[mi] = 1;
+        } else {
+          if (!sent[mi]) break;  // wait for the sender's replay
+          const MessageRecord& mr = c.message(ev.msg);
+          const auto from = static_cast<std::size_t>(mr.from.idx());
+          const auto bound = static_cast<std::uint64_t>(mr.send_state);
+          const auto k = static_cast<std::uint64_t>(next[p]) + 2;
+          for (std::size_t j = 0; j < N; ++j) {
+            if (j == p) continue;  // own component is k by construction
+            std::uint64_t v;
+            if (j == from) {
+              v = bound;
+            } else {
+              const auto& col = cols[from * N + j];
+              v = lookup_packed(col.data(), col.data() + col.size(), bound);
+            }
+            if (v > cur[p * N + j]) {
+              cur[p * N + j] = v;
+              cols[p * N + j].push_back((k << 32) | v);
+            }
+          }
+        }
+        ++next[p];
+        --remaining;
+        progressed = true;
+      }
+    }
+    WCP_CHECK_MSG(progressed || remaining == 0,
+                  "computation event order is causally inconsistent");
+  }
+
+  // Flatten into the interval index. The replay scratch still exists here,
+  // so this is the build's memory high-water point.
+  std::int64_t scratch = static_cast<std::int64_t>(
+      cur.size() * sizeof(std::uint64_t) + next.size() * sizeof(std::size_t) +
+      sent.size());
+  for (const auto& col : cols)
+    scratch += static_cast<std::int64_t>(sizeof(col) +
+                                         col.capacity() * sizeof(std::uint64_t));
+
+  s.clock_offsets_.assign(N * N + 1, 0);
+  std::size_t total_entries = 0;
+  for (std::size_t i = 0; i < N * N; ++i) {
+    total_entries += cols[i].size();
+    s.clock_offsets_[i + 1] = total_entries;
+  }
+  s.clock_entries_.reserve(total_entries);
+  for (const auto& col : cols)
+    s.clock_entries_.insert(s.clock_entries_.end(), col.begin(), col.end());
+
+  s.stats_.clocks_interned = s.total_states();
+  s.stats_.delta_entries = static_cast<std::int64_t>(s.clock_entries_.size());
+  s.stats_.peak_bytes = s.resident_bytes() + scratch;
+  s.stats_.delta_ratio =
+      static_cast<double>(static_cast<std::int64_t>(N) * s.total_states()) /
+      static_cast<double>(std::max<std::int64_t>(1, s.stats_.delta_entries));
+  return s;
+}
+
+std::int64_t TraceStore::resident_bytes() const {
+  return static_cast<std::int64_t>(
+      sizeof(*this) + state_counts_.size() * sizeof(std::uint64_t) +
+      pred_procs_.size() * sizeof(std::uint32_t) +
+      event_offsets_.size() * sizeof(std::uint64_t) +
+      events_.size() * sizeof(std::uint32_t) +
+      pred_word_offsets_.size() * sizeof(std::uint64_t) +
+      pred_bits_.size() * sizeof(std::uint64_t) +
+      messages_.size() * sizeof(std::uint32_t) +
+      clock_offsets_.size() * sizeof(std::uint64_t) +
+      clock_entries_.size() * sizeof(std::uint64_t));
+}
+
+std::int64_t TraceStore::total_states() const {
+  std::int64_t sum = 0;
+  for (std::uint64_t s : state_counts_) sum += static_cast<std::int64_t>(s);
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// Column accessors.
+
+Event TraceStore::event(ProcessId p, std::size_t t) const {
+  WCP_REQUIRE(p.valid() && p.idx() < num_processes(), "bad process id " << p);
+  WCP_REQUIRE(t < num_events(p),
+              "event (" << p << "," << t << ") out of range");
+  const std::uint32_t w = events_[event_offsets_[p.idx()] + t];
+  return Event{(w & kReceiveBit) != 0 ? EventKind::kReceive : EventKind::kSend,
+               static_cast<MessageId>(w & ~kReceiveBit)};
+}
+
+bool TraceStore::local_pred(ProcessId p, StateIndex k) const {
+  WCP_REQUIRE(p.valid() && p.idx() < num_processes(), "bad process id " << p);
+  WCP_REQUIRE(k >= 1 && k <= num_states(p),
+              "state (" << p << "," << k << ") out of range");
+  const auto bit = static_cast<std::uint64_t>(k - 1);
+  return (pred_bits_[pred_word_offsets_[p.idx()] + bit / 64] >>
+          (bit % 64)) & 1;
+}
+
+MessageRecord TraceStore::message(MessageId id) const {
+  WCP_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < num_messages(),
+              "unknown message " << id);
+  const std::size_t b = static_cast<std::size_t>(id) * 4;
+  return MessageRecord{ProcessId(static_cast<int>(messages_[b])),
+                       static_cast<StateIndex>(messages_[b + 1]),
+                       ProcessId(static_cast<int>(messages_[b + 2])),
+                       static_cast<StateIndex>(messages_[b + 3])};
+}
+
+StateIndex TraceStore::clock_component(ProcessId p, StateIndex k,
+                                       ProcessId j) const {
+  const std::size_t N = num_processes();
+  WCP_REQUIRE(p.valid() && p.idx() < N, "bad process id " << p);
+  WCP_REQUIRE(j.valid() && j.idx() < N, "bad process id " << j);
+  WCP_REQUIRE(k >= 1 && k <= num_states(p),
+              "state (" << p << "," << k << ") out of range");
+  if (p == j) return k;  // own component counts local states directly
+  const std::uint64_t lo = clock_offsets_[p.idx() * N + j.idx()];
+  const std::uint64_t hi = clock_offsets_[p.idx() * N + j.idx() + 1];
+  return static_cast<StateIndex>(lookup_packed(
+      clock_entries_.data() + lo, clock_entries_.data() + hi,
+      static_cast<std::uint64_t>(k)));
+}
+
+VectorClock TraceStore::clock(ProcessId p, StateIndex k) const {
+  const std::size_t N = num_processes();
+  WCP_REQUIRE(p.valid() && p.idx() < N, "bad process id " << p);
+  WCP_REQUIRE(k >= 1 && k <= num_states(p),
+              "state (" << p << "," << k << ") out of range");
+  std::vector<StateIndex> comps(N, 0);
+  comps[p.idx()] = k;
+  for (std::size_t j = 0; j < N; ++j) {
+    if (j == p.idx()) continue;
+    const std::uint64_t lo = clock_offsets_[p.idx() * N + j];
+    const std::uint64_t hi = clock_offsets_[p.idx() * N + j + 1];
+    comps[j] = static_cast<StateIndex>(lookup_packed(
+        clock_entries_.data() + lo, clock_entries_.data() + hi,
+        static_cast<std::uint64_t>(k)));
+  }
+  return VectorClock(std::move(comps));
+}
+
+// ---------------------------------------------------------------------------
+// Binary format.
+
+void TraceStore::save(std::ostream& os) const {
+  const std::size_t N = num_processes();
+  std::string body;
+
+  const std::uint64_t off_pred_procs = kHeaderBytes + body.size();
+  for (std::uint32_t v : pred_procs_) put_u32(body, v);
+  pad8(body);
+  const std::uint64_t off_state_counts = kHeaderBytes + body.size();
+  for (std::uint64_t v : state_counts_) put_u64(body, v);
+  const std::uint64_t off_events = kHeaderBytes + body.size();
+  for (std::uint32_t v : events_) put_u32(body, v);
+  pad8(body);
+  const std::uint64_t off_pred_bits = kHeaderBytes + body.size();
+  for (std::uint64_t v : pred_bits_) put_u64(body, v);
+  const std::uint64_t off_messages = kHeaderBytes + body.size();
+  for (std::uint32_t v : messages_) put_u32(body, v);
+  pad8(body);
+  const std::uint64_t off_clock_offsets = kHeaderBytes + body.size();
+  for (std::uint64_t v : clock_offsets_) put_u64(body, v);
+  const std::uint64_t off_clock_entries = kHeaderBytes + body.size();
+  for (std::uint64_t v : clock_entries_) put_u64(body, v);
+
+  std::string hdr;
+  hdr.append(kTracebinMagic);
+  put_u32(hdr, kTracebinVersion);
+  put_u32(hdr, 0);  // reserved
+  put_u64(hdr, N);
+  put_u64(hdr, pred_procs_.size());
+  put_u64(hdr, num_messages());
+  put_u64(hdr, events_.size());
+  put_u64(hdr, static_cast<std::uint64_t>(total_states()));
+  put_u64(hdr, pred_bits_.size());
+  put_u64(hdr, clock_entries_.size());
+  put_u64(hdr, off_pred_procs);
+  put_u64(hdr, off_state_counts);
+  put_u64(hdr, off_events);
+  put_u64(hdr, off_pred_bits);
+  put_u64(hdr, off_messages);
+  put_u64(hdr, off_clock_offsets);
+  put_u64(hdr, off_clock_entries);
+  put_u64(hdr, kHeaderBytes + body.size());  // file size
+  WCP_CHECK(hdr.size() == kHeaderBytes);
+
+  os.write(hdr.data(), static_cast<std::streamsize>(hdr.size()));
+  os.write(body.data(), static_cast<std::streamsize>(body.size()));
+  WCP_REQUIRE(os.good(), "trace store write failed");
+}
+
+TraceStore TraceStore::load(std::istream& is) {
+  return load_impl(is, nullptr);
+}
+
+TraceStore TraceStore::load_impl(std::istream& is, Computation* comp_out) {
+  const std::string buf(std::istreambuf_iterator<char>(is), {});
+  WCP_REQUIRE(buf.size() >= kHeaderBytes,
+              "wcp-tracebin parse error: stream shorter than the "
+                  << kHeaderBytes << "-byte header (" << buf.size()
+                  << " bytes)");
+  WCP_REQUIRE(buf.compare(0, kTracebinMagic.size(), kTracebinMagic) == 0,
+              "wcp-tracebin parse error: bad magic (not a wcp-tracebin file)");
+  const std::uint32_t version = get_u32(buf, 8);
+  WCP_REQUIRE(version == kTracebinVersion,
+              "wcp-tracebin parse error: unsupported version " << version);
+  WCP_REQUIRE(get_u32(buf, 12) == 0,
+              "wcp-tracebin parse error: nonzero reserved header field");
+
+  const std::uint64_t N = get_u64(buf, 16);
+  const std::uint64_t num_preds = get_u64(buf, 24);
+  const std::uint64_t num_msgs = get_u64(buf, 32);
+  const std::uint64_t total_events = get_u64(buf, 40);
+  const std::uint64_t total_states = get_u64(buf, 48);
+  const std::uint64_t total_pred_words = get_u64(buf, 56);
+  const std::uint64_t total_entries = get_u64(buf, 64);
+  const std::uint64_t file_size = get_u64(buf, 128);
+
+  WCP_REQUIRE(file_size == buf.size(),
+              "wcp-tracebin parse error: header file size "
+                  << file_size << " != actual stream size " << buf.size());
+  WCP_REQUIRE(N >= 1 && N <= 0x7fffffffull,
+              "wcp-tracebin parse error: bad process count " << N);
+  WCP_REQUIRE(num_msgs < kMessageCap,
+              "wcp-tracebin parse error: message count " << num_msgs
+                                                         << " beyond 2^31 cap");
+  // Every count below is multiplied by at most 8; bounding them by the
+  // (already verified) file size keeps those products far from overflow.
+  WCP_REQUIRE(N <= file_size && num_preds <= file_size &&
+                  num_msgs <= file_size && total_events <= file_size &&
+                  total_states <= file_size &&
+                  total_pred_words <= file_size && total_entries <= file_size,
+              "wcp-tracebin parse error: section count exceeds file size");
+  WCP_REQUIRE(total_events + N == total_states,
+              "wcp-tracebin parse error: total events " << total_events
+                  << " + N " << N << " != total states " << total_states);
+
+  // Sections are laid out sequentially, 8-byte aligned, exactly as the
+  // writer emits them; anything else is rejected.
+  const std::uint64_t offs[7] = {get_u64(buf, 72),  get_u64(buf, 80),
+                                 get_u64(buf, 88),  get_u64(buf, 96),
+                                 get_u64(buf, 104), get_u64(buf, 112),
+                                 get_u64(buf, 120)};
+  const auto padded = [](std::uint64_t bytes) { return (bytes + 7) & ~7ull; };
+  const std::uint64_t sizes[7] = {padded(num_preds * 4),
+                                  N * 8,
+                                  padded(total_events * 4),
+                                  total_pred_words * 8,
+                                  padded(num_msgs * 16),
+                                  (N * N + 1) * 8,
+                                  total_entries * 8};
+  static const char* const kSectionNames[7] = {
+      "pred_procs", "state_counts", "events",       "pred_bits",
+      "messages",   "clock_offsets", "clock_entries"};
+  std::uint64_t expect = kHeaderBytes;
+  for (int i = 0; i < 7; ++i) {
+    WCP_REQUIRE(offs[i] == expect,
+                "wcp-tracebin parse error: section " << kSectionNames[i]
+                    << " at offset " << offs[i] << ", expected " << expect);
+    expect += sizes[i];
+    WCP_REQUIRE(expect <= file_size,
+                "wcp-tracebin parse error: section " << kSectionNames[i]
+                    << " extends past end of file");
+  }
+  WCP_REQUIRE(expect == file_size,
+              "wcp-tracebin parse error: " << (file_size - expect)
+                                           << " trailing bytes after sections");
+
+  TraceStore s;
+  s.pred_procs_.resize(num_preds);
+  for (std::uint64_t i = 0; i < num_preds; ++i)
+    s.pred_procs_[i] = get_u32(buf, offs[0] + i * 4);
+  s.state_counts_.resize(N);
+  for (std::uint64_t p = 0; p < N; ++p)
+    s.state_counts_[p] = get_u64(buf, offs[1] + p * 8);
+  s.events_.resize(total_events);
+  for (std::uint64_t i = 0; i < total_events; ++i)
+    s.events_[i] = get_u32(buf, offs[2] + i * 4);
+  s.pred_bits_.resize(total_pred_words);
+  for (std::uint64_t i = 0; i < total_pred_words; ++i)
+    s.pred_bits_[i] = get_u64(buf, offs[3] + i * 8);
+  s.messages_.resize(num_msgs * 4);
+  for (std::uint64_t i = 0; i < num_msgs * 4; ++i)
+    s.messages_[i] = get_u32(buf, offs[4] + i * 4);
+  s.clock_offsets_.resize(N * N + 1);
+  for (std::uint64_t i = 0; i < N * N + 1; ++i)
+    s.clock_offsets_[i] = get_u64(buf, offs[5] + i * 8);
+  s.clock_entries_.resize(total_entries);
+  for (std::uint64_t i = 0; i < total_entries; ++i)
+    s.clock_entries_[i] = get_u64(buf, offs[6] + i * 8);
+
+  // Per-process shape: derive event/predicate offsets and re-check the
+  // header totals against the state counts.
+  s.event_offsets_.assign(N + 1, 0);
+  s.pred_word_offsets_.assign(N + 1, 0);
+  std::uint64_t state_sum = 0;
+  for (std::uint64_t p = 0; p < N; ++p) {
+    const std::uint64_t states = s.state_counts_[p];
+    WCP_REQUIRE(states >= 1 && states < kStateCap,
+                "wcp-tracebin parse error: process " << p
+                    << " has invalid state count " << states);
+    state_sum += states;
+    s.event_offsets_[p + 1] = s.event_offsets_[p] + (states - 1);
+    s.pred_word_offsets_[p + 1] = s.pred_word_offsets_[p] + (states + 63) / 64;
+  }
+  WCP_REQUIRE(state_sum == total_states,
+              "wcp-tracebin parse error: state counts sum to "
+                  << state_sum << ", header says " << total_states);
+  WCP_REQUIRE(s.pred_word_offsets_[N] == total_pred_words,
+              "wcp-tracebin parse error: predicate column needs "
+                  << s.pred_word_offsets_[N] << " words, header says "
+                  << total_pred_words);
+
+  // Predicate bits past each process's last state must be zero (canonical
+  // encoding; also what save() emits).
+  for (std::uint64_t p = 0; p < N; ++p) {
+    const std::uint64_t tail = s.state_counts_[p] % 64;
+    if (tail != 0) {
+      const std::uint64_t w = s.pred_bits_[s.pred_word_offsets_[p + 1] - 1];
+      WCP_REQUIRE((w >> tail) == 0,
+                  "wcp-tracebin parse error: nonzero predicate padding bits "
+                  "on process " << p);
+    }
+  }
+
+  WCP_REQUIRE(num_preds >= 1 && num_preds <= N,
+              "wcp-tracebin parse error: predicate covers " << num_preds
+                                                            << " processes");
+  {
+    std::vector<char> seen(N, 0);
+    for (std::uint32_t v : s.pred_procs_) {
+      WCP_REQUIRE(v < N, "wcp-tracebin parse error: predicate process " << v
+                             << " out of range [0," << N << ")");
+      WCP_REQUIRE(!seen[v], "wcp-tracebin parse error: predicate process "
+                                << v << " listed twice");
+      seen[v] = 1;
+    }
+  }
+
+  // Message table: endpoints and states in range.
+  for (std::uint64_t m = 0; m < num_msgs; ++m) {
+    const std::uint32_t from = s.messages_[m * 4];
+    const std::uint64_t send_state = s.messages_[m * 4 + 1];
+    const std::uint32_t to = s.messages_[m * 4 + 2];
+    const std::uint64_t recv_state = s.messages_[m * 4 + 3];
+    WCP_REQUIRE(from < N && to < N && from != to,
+                "wcp-tracebin parse error: message " << m << " endpoints "
+                    << from << "->" << to << " invalid for N=" << N);
+    WCP_REQUIRE(send_state >= 1 && send_state <= s.state_counts_[from],
+                "wcp-tracebin parse error: message " << m << " send state "
+                    << send_state << " out of range on process " << from);
+    WCP_REQUIRE(recv_state == 0 ||
+                    (recv_state >= 2 && recv_state <= s.state_counts_[to]),
+                "wcp-tracebin parse error: message " << m << " recv state "
+                    << recv_state << " out of range on process " << to);
+  }
+
+  // Event columns: every event word must name a real message whose recorded
+  // endpoint/state matches the event's position, each message must be sent
+  // exactly once and received exactly when delivered.
+  {
+    std::vector<char> send_seen(num_msgs, 0);
+    std::vector<char> recv_seen(num_msgs, 0);
+    for (std::uint64_t p = 0; p < N; ++p) {
+      const std::uint64_t count = s.state_counts_[p] - 1;
+      for (std::uint64_t t = 0; t < count; ++t) {
+        const std::uint32_t w = s.events_[s.event_offsets_[p] + t];
+        const std::uint64_t id = w & ~kReceiveBit;
+        WCP_REQUIRE(id < num_msgs,
+                    "wcp-tracebin parse error: event " << t << " on process "
+                        << p << " names unknown message " << id);
+        if ((w & kReceiveBit) == 0) {
+          WCP_REQUIRE(!send_seen[id],
+                      "wcp-tracebin parse error: message " << id
+                          << " sent twice");
+          send_seen[id] = 1;
+          WCP_REQUIRE(s.messages_[id * 4] == p &&
+                          s.messages_[id * 4 + 1] == t + 1,
+                      "wcp-tracebin parse error: send of message " << id
+                          << " at (" << p << "," << t + 1
+                          << ") contradicts the message table");
+        } else {
+          WCP_REQUIRE(!recv_seen[id],
+                      "wcp-tracebin parse error: message " << id
+                          << " received twice");
+          recv_seen[id] = 1;
+          WCP_REQUIRE(s.messages_[id * 4 + 2] == p &&
+                          s.messages_[id * 4 + 3] == t + 2,
+                      "wcp-tracebin parse error: receive of message " << id
+                          << " into (" << p << "," << t + 2
+                          << ") contradicts the message table");
+        }
+      }
+    }
+    for (std::uint64_t m = 0; m < num_msgs; ++m) {
+      WCP_REQUIRE(send_seen[m],
+                  "wcp-tracebin parse error: message " << m
+                      << " is in the table but never sent");
+      const bool delivered = s.messages_[m * 4 + 3] != 0;
+      WCP_REQUIRE(recv_seen[m] == (delivered ? 1 : 0),
+                  "wcp-tracebin parse error: message " << m
+                      << " delivery flag contradicts the event columns");
+    }
+  }
+
+  // Clock interval index: offsets monotone and exhaustive, diagonals empty,
+  // each change list strictly increasing in both state and value.
+  WCP_REQUIRE(s.clock_offsets_[0] == 0 && s.clock_offsets_[N * N] == total_entries,
+              "wcp-tracebin parse error: clock offsets do not span the entry "
+              "section");
+  for (std::uint64_t i = 0; i < N * N; ++i) {
+    WCP_REQUIRE(s.clock_offsets_[i] <= s.clock_offsets_[i + 1],
+                "wcp-tracebin parse error: clock offsets not monotone at "
+                    << i);
+    const std::uint64_t p = i / N, j = i % N;
+    if (p == j) {
+      WCP_REQUIRE(s.clock_offsets_[i] == s.clock_offsets_[i + 1],
+                  "wcp-tracebin parse error: diagonal clock component ("
+                      << p << "," << j << ") must be implicit, not stored");
+      continue;
+    }
+    std::uint64_t prev_k = 1, prev_v = 0;
+    for (std::uint64_t e = s.clock_offsets_[i]; e < s.clock_offsets_[i + 1];
+         ++e) {
+      const std::uint64_t k = s.clock_entries_[e] >> 32;
+      const std::uint64_t v = s.clock_entries_[e] & 0xffff'ffffull;
+      WCP_REQUIRE(k > prev_k && k <= s.state_counts_[p],
+                  "wcp-tracebin parse error: clock change list (" << p << ","
+                      << j << ") has non-increasing or out-of-range state "
+                      << k);
+      WCP_REQUIRE(v > prev_v && v <= s.state_counts_[j],
+                  "wcp-tracebin parse error: clock change list (" << p << ","
+                      << j << ") has non-increasing or out-of-range value "
+                      << v);
+      prev_k = k;
+      prev_v = v;
+    }
+  }
+
+  // Semantic verification: replay the event columns into a Computation and
+  // rebuild the clock deltas from scratch. The change lists are a canonical
+  // function of the causal structure (independent of message numbering), so
+  // any disagreement means the stored clock section lies about the events.
+  Computation replayed = s.to_computation();
+  TraceStore rebuilt = TraceStore::build(replayed);
+  WCP_REQUIRE(rebuilt.clock_offsets_ == s.clock_offsets_ &&
+                  rebuilt.clock_entries_ == s.clock_entries_,
+              "wcp-tracebin parse error: clock section is inconsistent with "
+              "the event structure");
+
+  s.stats_.clocks_interned = s.total_states();
+  s.stats_.delta_entries = static_cast<std::int64_t>(s.clock_entries_.size());
+  s.stats_.peak_bytes = s.resident_bytes();
+  s.stats_.delta_ratio =
+      static_cast<double>(static_cast<std::int64_t>(N) * s.total_states()) /
+      static_cast<double>(std::max<std::int64_t>(1, s.stats_.delta_entries));
+
+  if (comp_out != nullptr) {
+    replayed.adopt_trace_store(
+        std::make_shared<const TraceStore>(std::move(rebuilt)));
+    *comp_out = std::move(replayed);
+  }
+  return s;
+}
+
+Computation TraceStore::to_computation() const {
+  const std::size_t N = num_processes();
+  ComputationBuilder b(N);
+  {
+    std::vector<ProcessId> preds;
+    preds.reserve(pred_procs_.size());
+    for (std::uint32_t v : pred_procs_)
+      preds.emplace_back(static_cast<int>(v));
+    b.set_predicate_processes(std::move(preds));
+  }
+  for (std::size_t p = 0; p < N; ++p) {
+    const ProcessId pid(static_cast<int>(p));
+    b.mark_pred(pid, local_pred(pid, 1));
+  }
+
+  // Greedy causal replay of the event columns; builder message ids are
+  // assigned in replay order, so map the file's ids as sends are emitted.
+  std::vector<std::size_t> next(N, 0);
+  std::vector<MessageId> new_id(num_messages(), -1);
+  std::size_t remaining = events_.size();
+  while (remaining > 0) {
+    bool progressed = false;
+    for (std::size_t p = 0; p < N; ++p) {
+      const ProcessId pid(static_cast<int>(p));
+      const std::size_t count = num_events(pid);
+      while (next[p] < count) {
+        const std::uint32_t w = events_[event_offsets_[p] + next[p]];
+        const auto id = static_cast<std::size_t>(w & ~kReceiveBit);
+        if ((w & kReceiveBit) == 0) {
+          new_id[id] = b.send(pid, message(static_cast<MessageId>(id)).to);
+        } else {
+          if (new_id[id] < 0) break;  // wait for the sender's replay
+          b.receive(new_id[id]);
+        }
+        b.mark_pred(pid, local_pred(pid, static_cast<StateIndex>(next[p]) + 2));
+        ++next[p];
+        --remaining;
+        progressed = true;
+      }
+    }
+    WCP_REQUIRE(progressed || remaining == 0,
+                "wcp-tracebin parse error: event columns deadlock under "
+                "causal replay (a receive precedes its send)");
+  }
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// File-level helpers.
+
+void save_tracebin(std::ostream& os, const Computation& c) {
+  c.trace_store().save(os);
+}
+
+void save_tracebin_file(const std::string& path, const Computation& c) {
+  std::ofstream f(path, std::ios::binary);
+  WCP_REQUIRE(f.good(), "cannot open '" << path << "' for writing");
+  save_tracebin(f, c);
+}
+
+Computation load_tracebin(std::istream& is) {
+  Computation c;
+  TraceStore::load_impl(is, &c);
+  return c;
+}
+
+Computation load_tracebin_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  WCP_REQUIRE(f.good(), "cannot open '" << path << "' for reading");
+  return load_tracebin(f);
+}
+
+Computation load_any_trace_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  WCP_REQUIRE(f.good(), "cannot open '" << path << "' for reading");
+  char magic[8] = {};
+  f.read(magic, sizeof magic);
+  const bool binary =
+      f.gcount() == sizeof magic &&
+      kTracebinMagic.compare(0, kTracebinMagic.size(), magic, sizeof magic) == 0;
+  f.clear();
+  f.seekg(0);
+  return binary ? load_tracebin(f) : read_trace(f);
+}
+
+}  // namespace wcp

@@ -1,0 +1,162 @@
+// Columnar trace storage: the at-rest counterpart of common/cut_storage.h.
+//
+// A Computation's ground-truth causality used to be an eager clock matrix —
+// one heap-backed N-wide VectorClock per local state, O(N * total_states)
+// bytes — which caps lattice/slice runs long before the exploration itself
+// does. TraceStore replaces that matrix with flat, fixed-width columns:
+//
+//   - per-process event columns: one packed 32-bit word per event (high bit
+//     = receive, low 31 bits = message id), concatenated back to back;
+//   - per-process predicate columns: one bit per local state;
+//   - a packed message table: four 32-bit words per message;
+//   - delta-encoded vector clocks: the Singhal-Kshemkalyani differential
+//     idea applied at rest. The own component of state (p, k) is k by
+//     construction (Fig. 2 ticks once per event), so it is never stored.
+//     Every other component (p, j) is a non-decreasing step function of k
+//     that only moves on receives, so the store keeps just its change
+//     points — a sorted (k, value) list per (process, component) pair,
+//     addressed through a flat interval index of N*N+1 offsets. Reading a
+//     component is one binary search; reconstructing a full clock is N of
+//     them, on demand, instead of N words held resident per state.
+//
+// The same columns define the versioned on-disk format "wcp-tracebin 1":
+// every section is fixed-width little-endian, the header carries the column
+// offsets, and all sections are 8-byte aligned, so a loader may equally
+// mmap the file and point the columns straight into it. save/load
+// round-trips computations exactly — including undelivered in-flight
+// messages — and the loader validates every section (magic, version,
+// offsets, ids, monotonicity) before building anything, failing with a
+// descriptive parse error rather than corrupting state.
+//
+// Everything is measured: TraceStoreStats reports the store's resident
+// high-water mark (build scratch included), the number of clocks it
+// represents, and the delta-compression ratio against the full-matrix
+// representation it replaced — the counters behind bench E18.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "clock/vector_clock.h"
+#include "common/types.h"
+#include "trace/computation.h"
+#include "trace/trace_store_stats.h"
+
+namespace wcp {
+
+/// Flat, immutable, columnar snapshot of one Computation.
+class TraceStore {
+ public:
+  TraceStore() = default;
+
+  /// Builds the columns by one causal replay of `c` (receives are processed
+  /// after their sends, exactly the order ComputationBuilder guarantees).
+  static TraceStore build(const Computation& c);
+
+  // ---- shape ---------------------------------------------------------------
+
+  [[nodiscard]] std::size_t num_processes() const {
+    return state_counts_.size();
+  }
+  [[nodiscard]] StateIndex num_states(ProcessId p) const {
+    return static_cast<StateIndex>(state_counts_.at(p.idx()));
+  }
+  [[nodiscard]] std::size_t num_events(ProcessId p) const {
+    return state_counts_.at(p.idx()) - 1;
+  }
+  [[nodiscard]] std::size_t num_messages() const {
+    return messages_.size() / 4;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> predicate_processes() const {
+    return pred_procs_;
+  }
+  [[nodiscard]] std::int64_t total_states() const;
+
+  // ---- columns -------------------------------------------------------------
+
+  /// Event t (0-based) on process p's timeline.
+  [[nodiscard]] Event event(ProcessId p, std::size_t t) const;
+  /// Truth of p's local predicate in state k (1-based).
+  [[nodiscard]] bool local_pred(ProcessId p, StateIndex k) const;
+  [[nodiscard]] MessageRecord message(MessageId id) const;
+
+  // ---- ground-truth clocks -------------------------------------------------
+
+  /// Component j of the clock of state (p, k): O(1) for the own component,
+  /// one interval-index binary search otherwise.
+  [[nodiscard]] StateIndex clock_component(ProcessId p, StateIndex k,
+                                           ProcessId j) const;
+  /// Full N-wide clock of state (p, k), reconstructed on demand.
+  [[nodiscard]] VectorClock clock(ProcessId p, StateIndex k) const;
+
+  [[nodiscard]] const TraceStoreStats& stats() const { return stats_; }
+
+  // ---- binary format (wcp-tracebin 1) --------------------------------------
+
+  /// Serializes every column in the fixed-width little-endian layout
+  /// documented in docs/ALGORITHMS.md §13.
+  void save(std::ostream& os) const;
+  /// Parses and validates a wcp-tracebin stream; throws
+  /// std::invalid_argument with the offending section/field on any
+  /// malformed input.
+  static TraceStore load(std::istream& is);
+
+  /// Rebuilds the full Computation (events, predicates, messages) by causal
+  /// replay of the columns. The result carries no clock store; callers that
+  /// want to reuse this store's clocks attach it via
+  /// Computation::adopt_trace_store (load_tracebin does).
+  [[nodiscard]] Computation to_computation() const;
+
+ private:
+  friend class Computation;
+  friend Computation load_tracebin(std::istream& is);
+
+  /// Shared loader: structural + semantic validation; when `comp_out` is
+  /// non-null it also receives the replayed Computation with the verified
+  /// store attached (saving load_tracebin a second replay).
+  static TraceStore load_impl(std::istream& is, Computation* comp_out);
+
+  [[nodiscard]] std::int64_t resident_bytes() const;
+
+  // Shape + flat columns (all indices into them are derived from
+  // state_counts_, so the layout has no per-process pointer structures).
+  std::vector<std::uint64_t> state_counts_;     // per process
+  std::vector<std::uint32_t> pred_procs_;       // predicate slots, in order
+  std::vector<std::uint64_t> event_offsets_;    // N+1, into events_
+  std::vector<std::uint32_t> events_;           // kReceiveBit | message id
+  std::vector<std::uint64_t> pred_word_offsets_;  // N+1, into pred_bits_
+  std::vector<std::uint64_t> pred_bits_;        // per process, 64 states/word
+  std::vector<std::uint32_t> messages_;         // {from, send_state, to, recv_state}
+
+  // Interval index: change points of component j on process p live at
+  // clock_entries_[clock_offsets_[p*N+j] .. clock_offsets_[p*N+j+1]), each
+  // packed (k << 32) | value with k strictly increasing.
+  std::vector<std::uint64_t> clock_offsets_;    // N*N + 1
+  std::vector<std::uint64_t> clock_entries_;
+
+  TraceStoreStats stats_;
+};
+
+// ---- file-level helpers ----------------------------------------------------
+
+inline constexpr std::string_view kTracebinMagic = "wcptrbin";
+
+/// Writes `c` in the wcp-tracebin 1 binary format (builds or reuses the
+/// computation's TraceStore).
+void save_tracebin(std::ostream& os, const Computation& c);
+void save_tracebin_file(const std::string& path, const Computation& c);
+
+/// Reads a wcp-tracebin stream back into a Computation whose ground-truth
+/// clocks are served by the loaded store (no recomputation).
+Computation load_tracebin(std::istream& is);
+Computation load_tracebin_file(const std::string& path);
+
+/// Loads either trace format, sniffing the magic bytes: "wcptrbin" selects
+/// the binary reader, anything else falls through to the text reader.
+Computation load_any_trace_file(const std::string& path);
+
+}  // namespace wcp

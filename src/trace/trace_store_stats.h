@@ -1,0 +1,28 @@
+// Storage accounting for the columnar trace store, split out so result and
+// report headers can carry the counters without pulling in the store itself.
+#pragma once
+
+#include <cstdint>
+
+namespace wcp {
+
+/// Storage accounting for one materialized TraceStore. All fields are
+/// deterministic functions of the computation (never of thread count or
+/// allocator behavior), so they are safe to emit in reproducible reports.
+struct TraceStoreStats {
+  /// High-water mark of store bytes: the resident columns plus the replay
+  /// scratch the build phase held alongside them.
+  std::int64_t peak_bytes = 0;
+  /// Number of full vector clocks the store represents (== total states).
+  std::int64_t clocks_interned = 0;
+  /// Explicit (state, component) change points stored; every component not
+  /// listed is implied (own component == k, others carry forward).
+  std::int64_t delta_entries = 0;
+  /// Full-matrix components (N * total_states) per stored change point;
+  /// higher is better.
+  double delta_ratio = 0.0;
+
+  [[nodiscard]] bool materialized() const { return clocks_interned > 0; }
+};
+
+}  // namespace wcp

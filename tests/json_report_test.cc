@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <limits>
 #include <sstream>
 
 #include "common/json.h"
@@ -68,6 +69,23 @@ TEST(JsonWriter, IntegralDoublesAvoidExponentNotation) {
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(v->array[0].integer, 100000);
   EXPECT_EQ(v->array[1].integer, 10000000);
+}
+
+TEST(JsonWriter, NonFiniteDoublesClampToNullAndCount) {
+  std::ostringstream os;
+  json::Writer w(os, 0);
+  w.begin_array();
+  EXPECT_EQ(w.nonfinite_clamped(), 0);
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.value(1.5);  // finite values do not bump the counter
+  w.end_array();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(), "[null,null,null,1.5]");
+  EXPECT_EQ(w.nonfinite_clamped(), 3);
+  // The clamped output still parses cleanly.
+  EXPECT_TRUE(json::parse(os.str()).has_value());
 }
 
 TEST(JsonReport, FlatMetricsKeepIntegerTypes) {

@@ -100,6 +100,88 @@ TEST(TraceIo, IgnoresCommentsAndBlankLines) {
   EXPECT_EQ(c.messages().size(), 1u);
 }
 
+TEST(TraceIo, RoundTripsUndeliveredInFlightMessages) {
+  ComputationBuilder b(3);
+  b.set_predicate_processes({ProcessId(0), ProcessId(1), ProcessId(2)});
+  const MessageId delivered = b.send(ProcessId(0), ProcessId(1));
+  const MessageId in_flight = b.send(ProcessId(0), ProcessId(2));
+  b.receive(delivered);
+  b.mark_pred(ProcessId(1), true);
+  const auto original = b.build();
+  ASSERT_FALSE(original.message(in_flight).delivered());
+
+  const auto reread = trace_from_string(trace_to_string(original));
+  EXPECT_TRUE(same_computation(original, reread));
+  std::size_t undelivered = 0;
+  for (const MessageRecord& m : reread.messages())
+    if (!m.delivered()) ++undelivered;
+  EXPECT_EQ(undelivered, 1u);
+}
+
+TEST(TraceIo, RejectsDuplicateProcessesDirective) {
+  try {
+    trace_from_string(
+        "wcp-trace 1\nprocesses 2\nprocesses 3\nsend 0 1\nend\n");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIo, RejectsOutOfRangeProcessIds) {
+  // pid >= N used to read as a silent out-of-bounds builder call.
+  EXPECT_THROW(trace_from_string("wcp-trace 1\nprocesses 2\nsend 0 2\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW(trace_from_string("wcp-trace 1\nprocesses 2\nmark -1 1\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      trace_from_string("wcp-trace 1\nprocesses 2\npredicate 0 5\nend\n"),
+      std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsBadReceives) {
+  // Receive of a message that was never sent.
+  EXPECT_THROW(trace_from_string("wcp-trace 1\nprocesses 2\nrecv 0\nend\n"),
+               std::invalid_argument);
+  // Double delivery of the same message.
+  EXPECT_THROW(trace_from_string("wcp-trace 1\nprocesses 2\nsend 0 1\n"
+                                 "recv 0\nrecv 0\nend\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsUnparseableIntegers) {
+  // These all silently read as 0 before the reader validated tokens.
+  EXPECT_THROW(trace_from_string("wcp-trace 1\nprocesses two\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW(trace_from_string("wcp-trace 1\nprocesses 2\nsend 0 1x\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      trace_from_string("wcp-trace 1\nprocesses 2\nmark 0 yes\nend\n"),
+      std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsMalformedStructure) {
+  // Self-send, non-binary mark, trailing tokens, missing/duplicated end.
+  EXPECT_THROW(trace_from_string("wcp-trace 1\nprocesses 2\nsend 1 1\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW(trace_from_string("wcp-trace 1\nprocesses 2\nmark 0 2\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      trace_from_string("wcp-trace 1\nprocesses 2\nsend 0 1 9\nend\n"),
+      std::invalid_argument);
+  EXPECT_THROW(trace_from_string("wcp-trace 1\nprocesses 2\nsend 0 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(trace_from_string("wcp-trace 1\nprocesses 2\nend\nsend 0 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      trace_from_string(
+          "wcp-trace 1\nprocesses 2\npredicate 0\npredicate 1\nend\n"),
+      std::invalid_argument);
+}
+
 TEST(TraceIo, FileRoundTrip) {
   workload::RandomSpec spec;
   spec.num_processes = 4;
