@@ -1,0 +1,90 @@
+// E19 — streaming detection service: throughput and bounded memory.
+//
+// Streams one long random trace through the full client -> wire -> session
+// path with 1, 4, and 16 concurrent subscriptions (cycling token, checker,
+// slicer — the bounded-frontier family; the lattice explorer is O(m^n) and
+// excluded from the scaling claim) and frontier GC on. Claims:
+//
+//   - Throughput (events/sec) degrades roughly linearly in the number of
+//     subscriptions sharing the stream (each snapshot fans into every
+//     core).
+//   - Peak retained snapshot-store bytes stay a small fraction of the
+//     offline baseline (retaining every snapshot: states * (4n + 8) bytes,
+//     the columnar cost per row) regardless of stream length — the
+//     `ratio` column is what CI gates (<= 0.5).
+#include <chrono>
+
+#include "bench_common.h"
+#include "serve/replay.h"
+
+namespace wcp::bench {
+namespace {
+
+void BM_Serve_Stream(benchmark::State& state) {
+  const auto subs = static_cast<std::size_t>(state.range(0));
+  const std::size_t N = 12, n = 6;
+  const std::int64_t events = 240;
+  const auto& comp = cached_random(N, n, events, /*seed=*/19 + subs,
+                                   /*pred_prob=*/0.15,
+                                   /*ensure_detectable=*/false);
+
+  serve::ReplayOptions opts;
+  opts.serve.gc_every = 64;
+  const serve::StreamAlgo cycle[] = {serve::StreamAlgo::kToken,
+                                     serve::StreamAlgo::kChecker,
+                                     serve::StreamAlgo::kSlicer};
+  for (std::size_t i = 0; i < subs; ++i)
+    opts.subs.push_back({cycle[i % 3], 0, -1});
+
+  serve::ReplayResult r;
+  double seconds = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    r = serve::replay_stream(comp, opts);
+    seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count();
+    benchmark::DoNotOptimize(r.stats.snapshots_in);
+  }
+
+  const double snapshots = static_cast<double>(r.stats.snapshots_in);
+  const double events_per_sec = seconds > 0 ? snapshots / seconds : 0;
+  // Offline baseline: what the store would hold with GC off — every
+  // appended snapshot at the columnar row cost of 4n + 8 bytes.
+  const double baseline = snapshots * static_cast<double>(4 * n + 8);
+  const double ratio =
+      baseline > 0 ? static_cast<double>(r.stats.store_peak_bytes) / baseline
+                   : 0;
+
+  state.counters["subs"] = static_cast<double>(subs);
+  state.counters["events_per_sec"] = events_per_sec;
+  state.counters["store_peak_bytes"] =
+      static_cast<double>(r.stats.store_peak_bytes);
+  state.counters["peak_retained_states"] =
+      static_cast<double>(r.stats.peak_retained_states);
+  state.counters["checker_peak_bytes"] =
+      static_cast<double>(r.stats.checker_peak_bytes);
+  state.counters["bound"] = baseline;
+  state.counters["ratio"] = ratio;
+
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(N);
+  rp.n = static_cast<std::int64_t>(n);
+  rp.m = comp.max_messages_per_process();
+  rp.seed = 19 + subs;
+  report_run(state, "E19_serve", rp,
+             {{"subs", static_cast<std::int64_t>(subs)},
+              {"snapshots", r.stats.snapshots_in},
+              {"events_per_sec", events_per_sec},
+              {"store_peak_bytes", r.stats.store_peak_bytes},
+              {"peak_retained_states", r.stats.peak_retained_states},
+              {"checker_peak_bytes", r.stats.checker_peak_bytes},
+              {"gc_rounds", r.stats.gc_rounds},
+              {"states_retired", r.stats.states_retired},
+              {"verdicts_detected", r.stats.verdicts_detected}},
+             baseline, ratio);
+}
+BENCHMARK(BM_Serve_Stream)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace wcp::bench

@@ -17,6 +17,7 @@
 // Example:
 //   $ wcp_cli generate /tmp/run.trace --N 8 --n 4 --events 30
 //   $ wcp_cli detect /tmp/run.trace --algo dd
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -26,6 +27,8 @@
 
 #include "common/json.h"
 #include "detect/batch.h"
+#include "serve/replay.h"
+#include "serve/tcp.h"
 #include "detect/centralized.h"
 #include "detect/lattice_online.h"
 #include "detect/direct_dep.h"
@@ -53,7 +56,7 @@ struct Args {
 /// Flags that never take a value (so `--json in.trace` does not swallow the
 /// trace path).
 bool is_boolean_flag(const std::string& key) {
-  return key == "json" || key == "binary";
+  return key == "json" || key == "binary" || key == "verdict";
 }
 
 Args parse_args(int argc, char** argv) {
@@ -105,6 +108,12 @@ int usage() {
       "                   [--threads t]   t=0: WCP_THREADS env or hardware\n"
       "                   [--faults spec]   e.g. "
       "--faults drop=0.2,dup=0.05,seed=7,crash=m1@40+30\n"
+      "                   [--verdict]   print only the canonical verdict "
+      "line\n"
+      "  wcp_cli stream   <in.trace> [--algos token,checker,lattice-online,"
+      "slicer]\n"
+      "                   [--faults spec] [--reorder p] [--gc-every k]\n"
+      "                   [--window w] [--connect host:port] [--json]\n"
       "  wcp_cli slice    <in.trace> [--max-cuts k] [--threads t] [--json]\n"
       "  wcp_cli sweep    <in.trace> [--algos a,b,..] [--seeds s1,s2,..]\n"
       "                   [--threads t] [--json]\n"
@@ -119,6 +128,22 @@ void print_cut(const std::vector<StateIndex>& cut) {
   for (std::size_t s = 0; s < cut.size(); ++s)
     std::cout << (s ? "," : "") << cut[s];
   std::cout << ']';
+}
+
+/// The canonical algorithm-agnostic verdict line. `wcp_cli detect --verdict`
+/// and `wcp_cli stream` both emit exactly this, so a byte-diff proves the
+/// streamed path reproduces the offline one (CI does exactly that).
+void print_verdict_line(bool detected, const std::vector<StateIndex>& cut) {
+  json::Writer w(std::cout);
+  w.begin_object();
+  w.key("schema").value("wcp-verdict/1");
+  w.key("detected").value(detected);
+  w.key("cut").begin_array();
+  if (detected)
+    for (const StateIndex k : cut) w.value(k);
+  w.end_array();
+  w.end_object();
+  std::cout << "\n";
 }
 
 int cmd_generate(const Args& a) {
@@ -225,8 +250,14 @@ int cmd_detect(const Args& a) {
         std::cout << "\n";
       };
 
+  const bool verdict_only = a.flags.contains("verdict");
   if (algo == "oracle") {
     const auto cut = comp.first_wcp_cut();
+    if (verdict_only) {
+      print_verdict_line(cut.has_value(),
+                         cut.value_or(std::vector<StateIndex>{}));
+      return 0;
+    }
     if (as_json) {
       emit_flat({{"detected", cut ? 1 : 0}});
       return 0;
@@ -248,6 +279,10 @@ int cmd_detect(const Args& a) {
                                     std::int64_t max_frontier, bool truncated,
                                     std::int64_t witness_len,
                                     const TraceStoreStats& ts) {
+      if (verdict_only) {
+        print_verdict_line(detected, cut);
+        return;
+      }
       if (as_json) {
         std::vector<std::pair<std::string, detect::MetricValue>> metrics = {
             {"detected", detected ? 1 : 0},
@@ -358,6 +393,10 @@ int cmd_detect(const Args& a) {
     std::cerr << "unknown --algo '" << algo << "'\n";
     return usage();
   }
+  if (verdict_only) {
+    print_verdict_line(r.detected, r.cut);
+    return 0;
+  }
   if (as_json) {
     const double work = static_cast<double>(r.monitor_metrics.total_work());
     std::optional<double> ratio;
@@ -378,6 +417,74 @@ int cmd_detect(const Args& a) {
   }
   std::cout << "  app:     " << r.app_metrics.summary() << "\n";
   std::cout << "  monitor: " << r.monitor_metrics.summary() << "\n";
+  return 0;
+}
+
+std::vector<std::string> split_list(const std::string& csv);
+
+int cmd_stream(const Args& a) {
+  if (a.positional.size() < 2) return usage();
+  const auto comp = load_any_trace_file(a.positional[1]);
+  const bool as_json = a.flags.contains("json");
+
+  serve::ReplayOptions opts;
+  opts.serve.gc_every = static_cast<std::size_t>(flag_int(a, "gc-every", 64));
+  opts.client.window = static_cast<std::size_t>(flag_int(a, "window", 64));
+  const std::string fault_spec = flag_str(a, "faults", "");
+  if (!fault_spec.empty())
+    opts.faults.plan = sim::FaultPlan::parse(fault_spec);
+  opts.faults.reorder = flag_double(a, "reorder", 0.0);
+
+  std::vector<std::string> algos = split_list(
+      flag_str(a, "algos", "token,checker,lattice-online,slicer"));
+  for (const std::string& name : algos) {
+    serve::ReplaySubscription sub;
+    sub.algo = serve::stream_algo_from_string(name);
+    opts.subs.push_back(sub);
+  }
+
+  serve::ReplayResult r;
+  const std::string connect = flag_str(a, "connect", "");
+  if (!connect.empty()) {
+    const auto colon = connect.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "--connect expects host:port\n";
+      return usage();
+    }
+    const auto port = static_cast<std::uint16_t>(
+        std::strtoul(connect.substr(colon + 1).c_str(), nullptr, 10));
+    const auto t = serve::tcp_connect(connect.substr(0, colon), port);
+    r = serve::replay_stream_over(comp, opts, *t);
+  } else {
+    r = serve::replay_stream(comp, opts);
+  }
+
+  if (as_json) {
+    detect::ReportParams rp = report_params(comp, 0);
+    if (opts.faults.plan.enabled()) rp.faults = opts.faults.plan.to_string();
+    std::vector<std::pair<std::string, detect::MetricValue>> metrics;
+    for (const auto& [name, value] : r.stats.items())
+      metrics.emplace_back(name, value);
+    metrics.emplace_back("pipe_frames_sent", r.pipe.sent);
+    metrics.emplace_back("pipe_frames_dropped", r.pipe.dropped);
+    metrics.emplace_back("pipe_frames_duplicated", r.pipe.duplicated);
+    metrics.emplace_back("pipe_frames_reordered", r.pipe.reordered);
+    metrics.emplace_back("client_retransmits", r.retransmits);
+    json::Writer w(std::cout);
+    detect::write_run_report(w, "cli:stream", rp, metrics, std::nullopt,
+                             std::nullopt);
+    std::cout << "\n";
+    return 0;
+  }
+  // One canonical verdict line per subscription, in subscription order —
+  // byte-identical to `detect --verdict` on the same trace and algorithm.
+  std::vector<serve::VerdictBody> by_sub = r.verdicts;
+  std::sort(by_sub.begin(), by_sub.end(),
+            [](const serve::VerdictBody& x, const serve::VerdictBody& y) {
+              return x.sub_id < y.sub_id;
+            });
+  for (const serve::VerdictBody& v : by_sub)
+    print_verdict_line(v.detected, v.cut);
   return 0;
 }
 
@@ -490,6 +597,7 @@ int main(int argc, char** argv) {
     const std::string& cmd = a.positional[0];
     if (cmd == "generate") return cmd_generate(a);
     if (cmd == "detect") return cmd_detect(a);
+    if (cmd == "stream") return cmd_stream(a);
     if (cmd == "slice") return cmd_slice(a);
     if (cmd == "sweep") return cmd_sweep(a);
     if (cmd == "info") return cmd_info(a);

@@ -145,6 +145,9 @@ class CutTable {
 
   [[nodiscard]] std::size_t size() const { return count_; }
   [[nodiscard]] std::int64_t probes() const { return probes_; }
+  [[nodiscard]] std::int64_t bytes_in_use() const {
+    return static_cast<std::int64_t>(slots_.size() * sizeof(Slot));
+  }
   [[nodiscard]] std::int64_t peak_bytes() const { return peak_bytes_; }
   [[nodiscard]] std::int64_t growths() const { return growths_; }
 

@@ -7,10 +7,24 @@
 
 namespace wcp::detect {
 
-CentralizedChecker::CentralizedChecker(Config cfg) : cfg_(std::move(cfg)) {
+CentralizedChecker::CentralizedChecker(Config cfg)
+    : cfg_(std::move(cfg)), stream_(states_) {
   WCP_REQUIRE(cfg_.shared != nullptr, "checker needs shared detection state");
-  queues_.resize(n());
-  in_dirty_.assign(n(), false);
+  states_.resize(n());
+  app::CoreHooks hooks;
+  // Comparisons and head eliminations happen inside the core; forward them
+  // into the coordinator's metrics at the same call sites as before the
+  // extraction (byte-identical reports).
+  hooks.work = [this](std::int64_t units) {
+    const ProcessId coord(static_cast<int>(net().num_processes()));
+    net().add_monitor_work(coord, units);
+  };
+  hooks.released = [this](std::size_t s, StateIndex pos) {
+    const ProcessId coord(static_cast<int>(net().num_processes()));
+    net().monitor_buffer_change(
+        coord, -states_[s][static_cast<std::size_t>(pos - 1)].bytes(), -1);
+  };
+  core_ = std::make_unique<CentralizedCore>(stream_, std::move(hooks));
 }
 
 void CentralizedChecker::on_packet(sim::Packet&& p) {
@@ -34,67 +48,18 @@ void CentralizedChecker::on_packet(sim::Packet&& p) {
       break;
     }
   WCP_CHECK_MSG(slot >= 0, "snapshot from non-predicate process " << p.from);
+  const auto su = static_cast<std::size_t>(slot);
 
-  auto& q = queues_[static_cast<std::size_t>(slot)];
-  q.push_back(std::move(snap));
-  if (q.size() == 1 && !in_dirty_[static_cast<std::size_t>(slot)]) {
-    dirty_.push_back(static_cast<std::size_t>(slot));
-    in_dirty_[static_cast<std::size_t>(slot)] = true;
+  states_[su].push_back(std::move(snap));
+  core_->on_state(su);
+
+  if (core_->done() && core_->detected()) {
+    auto& shared = *cfg_.shared;
+    shared.detected = true;
+    shared.cut = core_->cut();
+    shared.detect_time = net().simulator().now();
+    net().simulator().stop();
   }
-  process();
-}
-
-void CentralizedChecker::pop_head(std::size_t s) {
-  const ProcessId coord(static_cast<int>(net().num_processes()));
-  net().monitor_buffer_change(coord, -queues_[s].front().bytes(), -1);
-  queues_[s].pop_front();
-  ++eliminations_;
-  if (!queues_[s].empty() && !in_dirty_[s]) {
-    dirty_.push_back(s);
-    in_dirty_[s] = true;
-  }
-}
-
-void CentralizedChecker::process() {
-  const ProcessId coord(static_cast<int>(net().num_processes()));
-
-  while (!dirty_.empty()) {
-    const std::size_t s = dirty_.front();
-    dirty_.pop_front();
-    in_dirty_[s] = false;
-    if (queues_[s].empty()) continue;  // re-queued when a head arrives
-
-    bool s_eliminated = false;
-    const VectorClock& head_s = queues_[s].front().vclock;
-    for (std::size_t t = 0; t < n() && !s_eliminated; ++t) {
-      if (t == s || queues_[t].empty()) continue;
-      const VectorClock& head_t = queues_[t].front().vclock;
-      net().add_monitor_work(coord, 1);
-      // Own-component happened-before tests (O(1) each).
-      if (head_t[s] >= head_s[s]) {
-        // head_s -> head_t: eliminate s.
-        pop_head(s);
-        s_eliminated = true;
-      } else if (head_s[t] >= head_t[t]) {
-        // head_t -> head_s: eliminate t.
-        pop_head(t);
-      }
-    }
-    if (s_eliminated) continue;
-  }
-
-  // dirty empty: all present heads are pairwise concurrent. Detection needs
-  // all n heads present.
-  for (std::size_t s = 0; s < n(); ++s)
-    if (queues_[s].empty()) return;
-
-  auto& shared = *cfg_.shared;
-  shared.detected = true;
-  shared.cut.resize(n());
-  for (std::size_t s = 0; s < n(); ++s)
-    shared.cut[s] = queues_[s].front().vclock[s];
-  shared.detect_time = net().simulator().now();
-  net().simulator().stop();
 }
 
 DetectionResult run_centralized(const Computation& comp,

@@ -9,16 +9,22 @@
 // When all n heads are present and pairwise concurrent they form the first
 // WCP cut.
 //
+// The elimination state machine lives in detect::CentralizedCore
+// (detect/stream_core.h) so the streaming service can run it over wire-fed
+// streams; this node hosts the core on the simulator and forwards the
+// buffer/work accounting into the network metrics.
+//
 // Cost profile (E9): same O(n^2 m) total time as the token algorithm, but
 // concentrated in one process, with O(n^2 m) buffer space at the checker.
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "app/snapshot.h"
+#include "app/snapshot_stream.h"
 #include "detect/result.h"
+#include "detect/stream_core.h"
 #include "sim/network.h"
 #include "trace/computation.h"
 
@@ -35,18 +41,17 @@ class CentralizedChecker final : public sim::Node {
 
   void on_packet(sim::Packet&& p) override;
 
-  [[nodiscard]] std::int64_t eliminations() const { return eliminations_; }
+  [[nodiscard]] std::int64_t eliminations() const {
+    return core_->eliminations();
+  }
 
  private:
-  void process();
-  void pop_head(std::size_t s);
   [[nodiscard]] std::size_t n() const { return cfg_.slot_to_pid.size(); }
 
   Config cfg_;
-  std::vector<std::deque<app::VcSnapshot>> queues_;
-  std::deque<std::size_t> dirty_;  // slots whose head needs cross-comparison
-  std::vector<bool> in_dirty_;
-  std::int64_t eliminations_ = 0;
+  std::vector<std::vector<app::VcSnapshot>> states_;  // per slot, in order
+  app::SnapshotStateStream stream_;
+  std::unique_ptr<CentralizedCore> core_;
 };
 
 /// Runs the centralized checker online over a replay of `comp`.

@@ -1,35 +1,29 @@
 #include "detect/lattice_online.h"
 
-#include <algorithm>
 #include <utility>
 
 #include "app/app_driver.h"
-#include "common/cut_hash.h"
 #include "common/error.h"
 
 namespace wcp::detect {
 
-LatticeChecker::LatticeChecker(Config cfg) : cfg_(std::move(cfg)) {
+LatticeChecker::LatticeChecker(Config cfg)
+    : cfg_(std::move(cfg)), stream_(states_) {
   WCP_REQUIRE(cfg_.shared != nullptr, "checker needs shared detection state");
   states_.resize(n());
-  visited_arena_ = CutArena(n());
-  // Seed the search with the bottom cut (always consistent).
-  const std::vector<StateIndex> bottom(n(), 1);
-  enqueue(visited_table_.intern(visited_arena_, bottom, CutHash{}(bottom))
-              .handle);
-}
-
-void LatticeChecker::enqueue(CutHandle h) {
-  StateIndex level = 0;
-  for (const std::uint32_t k : visited_arena_.get(h))
-    level += static_cast<StateIndex>(k);
-  ready_.push(Entry{level, seq_++, h});
+  app::CoreHooks hooks;
+  hooks.work = [this](std::int64_t units) {
+    const ProcessId coord(static_cast<int>(net().num_processes()));
+    net().add_monitor_work(coord, units);
+  };
+  core_ = std::make_unique<LatticeOnlineCore>(stream_, std::move(hooks),
+                                              cfg_.max_cuts);
 }
 
 void LatticeChecker::on_packet(sim::Packet&& p) {
   WCP_CHECK_MSG(p.kind == MsgKind::kSnapshot || p.kind == MsgKind::kControl,
                 "lattice checker got unexpected " << to_string(p.kind));
-  if (p.kind == MsgKind::kControl || gave_up_) return;
+  if (p.kind == MsgKind::kControl || core_->truncated()) return;
 
   auto snap = std::any_cast<app::VcSnapshot>(std::move(p.payload));
   const ProcessId coord(static_cast<int>(net().num_processes()));
@@ -50,111 +44,13 @@ void LatticeChecker::on_packet(sim::Packet&& p) {
                 "state stream gap at slot " << slot);
   states_[su].push_back(std::move(snap));
 
-  // Wake every cut that was waiting for exactly this state.
-  auto it = parked_.find({su, k});
-  if (it != parked_.end()) {
-    for (const CutHandle h : it->second) enqueue(h);
-    parked_.erase(it);
-  }
-  drain();
-}
-
-bool LatticeChecker::available(const std::vector<StateIndex>& cut) const {
-  for (std::size_t s = 0; s < n(); ++s)
-    if (cut[s] > static_cast<StateIndex>(states_[s].size())) return false;
-  return true;
-}
-
-void LatticeChecker::drain() {
-  const ProcessId coord(static_cast<int>(net().num_processes()));
-  const CutHash hasher;
-
-  while (!ready_.empty()) {
-    const CutHandle handle = ready_.top().cut;
-    ready_.pop();
-    visited_arena_.copy_to(handle, scratch_);
-    std::vector<StateIndex>& cut = scratch_;
-
-    if (!available(cut)) {
-      // Park on the first missing component.
-      for (std::size_t s = 0; s < n(); ++s) {
-        if (cut[s] > static_cast<StateIndex>(states_[s].size())) {
-          parked_[{s, cut[s]}].push_back(handle);
-          break;
-        }
-      }
-      continue;
-    }
-
-    // Cuts that travelled through the parked path were generated before
-    // their advanced state's clock was known, so consistency could not be
-    // checked then; validate every popped cut here.
-    {
-      bool consistent = true;
-      for (std::size_t s = 0; s < n() && consistent; ++s) {
-        const VectorClock& vs = snap(s, cut[s]).vclock;
-        for (std::size_t t = s + 1; t < n() && consistent; ++t) {
-          net().add_monitor_work(coord, 1);
-          const VectorClock& vt = snap(t, cut[t]).vclock;
-          if (vs[t] >= cut[t] || vt[s] >= cut[s]) consistent = false;
-        }
-      }
-      if (!consistent) continue;
-    }
-
-    ++cuts_explored_;
-    max_frontier_ = std::max(
-        max_frontier_,
-        static_cast<std::int64_t>(ready_.size() + parked_.size()));
-    if (cfg_.max_cuts >= 0 && cuts_explored_ > cfg_.max_cuts) {
-      gave_up_ = true;
-      return;
-    }
-
-    bool satisfies = true;
-    for (std::size_t s = 0; s < n() && satisfies; ++s)
-      if (!snap(s, cut[s]).pred) satisfies = false;
-    if (satisfies) {
-      auto& shared = *cfg_.shared;
-      shared.detected = true;
-      shared.cut = cut;
-      shared.detect_time = net().simulator().now();
-      net().simulator().stop();
-      return;
-    }
-
-    // Expand consistent successors. Consistency of (s advanced by one)
-    // against component t: neither state happened before the other, via
-    // the own-component vector-clock test. The advance is done in place on
-    // the scratch cut and undone after interning — no temporary vectors.
-    for (std::size_t s = 0; s < n(); ++s) {
-      cut[s] += 1;
-      const std::size_t hash = hasher(cut);
-      if (visited_table_.find(visited_arena_, cut, hash) != kNoCut) {
-        cut[s] -= 1;
-        continue;
-      }
-      // The advanced state may not have arrived yet; consistency can only
-      // be decided with its clock. Park the candidate until it arrives.
-      if (cut[s] > static_cast<StateIndex>(states_[s].size())) {
-        parked_[{s, cut[s]}].push_back(
-            visited_table_.intern(visited_arena_, cut, hash).handle);
-        cut[s] -= 1;
-        continue;
-      }
-      const VectorClock& vs = snap(s, cut[s]).vclock;
-      bool consistent = true;
-      for (std::size_t t = 0; t < n() && consistent; ++t) {
-        if (t == s) continue;
-        net().add_monitor_work(coord, 1);
-        const VectorClock& vt = snap(t, cut[t]).vclock;
-        // (t, cut[t]) -> (s, cut[s]) iff vs[t] >= cut[t]; and vice versa.
-        if (vs[t] >= cut[t] || vt[s] >= cut[s]) consistent = false;
-      }
-      if (consistent)
-        enqueue(visited_table_.intern(visited_arena_, cut, hash).handle);
-      cut[s] -= 1;
-    }
+  core_->on_state(su);
+  if (core_->done() && core_->detected()) {
+    auto& shared = *cfg_.shared;
+    shared.detected = true;
+    shared.cut = core_->cut();
+    shared.detect_time = net().simulator().now();
+    net().simulator().stop();
   }
 }
 

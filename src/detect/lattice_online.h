@@ -9,16 +9,22 @@
 // the paper's WCP-specialized detectors avoid. The offline
 // detect_lattice() explores the same lattice post-hoc; the two must agree
 // (tests/lattice_online_test.cc).
+//
+// The level-ordered exploration itself lives in detect::LatticeOnlineCore
+// (detect/stream_core.h) so the streaming service can run it over wire-fed
+// streams with frontier GC; this node hosts the core on the simulator
+// (never garbage-collecting — simulator replays are bounded) and forwards
+// the work accounting into the coordinator metrics.
 #pragma once
 
-#include <map>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "app/snapshot.h"
+#include "app/snapshot_stream.h"
 #include "common/cut_storage.h"
 #include "detect/result.h"
+#include "detect/stream_core.h"
 #include "sim/network.h"
 #include "trace/computation.h"
 
@@ -37,56 +43,22 @@ class LatticeChecker final : public sim::Node {
 
   void on_packet(sim::Packet&& p) override;
 
-  [[nodiscard]] std::int64_t cuts_explored() const { return cuts_explored_; }
-  [[nodiscard]] std::int64_t max_frontier() const { return max_frontier_; }
-  [[nodiscard]] CutStorageStats storage() const {
-    CutStorageStats s;
-    visited_arena_.add_stats(s);
-    visited_table_.add_stats(s);
-    return s;
+  [[nodiscard]] std::int64_t cuts_explored() const {
+    return core_->cuts_explored();
   }
+  [[nodiscard]] std::int64_t max_frontier() const {
+    return core_->max_frontier();
+  }
+  [[nodiscard]] CutStorageStats storage() const { return core_->storage(); }
 
  private:
-  void drain();
-  /// All component snapshots of `cut` available?
-  [[nodiscard]] bool available(const std::vector<StateIndex>& cut) const;
-  [[nodiscard]] const app::VcSnapshot& snap(std::size_t slot,
-                                            StateIndex k) const {
-    return states_[slot][static_cast<std::size_t>(k - 1)];
-  }
   [[nodiscard]] std::size_t n() const { return cfg_.slot_to_pid.size(); }
 
   Config cfg_;
   std::vector<std::vector<app::VcSnapshot>> states_;  // per slot, by index
   std::vector<int> slot_of_pid_;
-
-  // Level-ordered exploration (level = sum of components): parking for
-  // not-yet-arrived states can perturb plain BFS order, so a min-heap on
-  // the level restores the guarantee that the first satisfying cut popped
-  // is the pointwise-minimal one (the unique minimum of the WCP's
-  // meet-closed satisfying set).
-  // Every cut the checker ever generates is interned once into the visited
-  // arena (common/cut_storage.h); the heap entries and the parking lists
-  // hold 32-bit handles into it instead of full state vectors.
-  struct Entry {
-    StateIndex level;
-    std::int64_t seq;
-    CutHandle cut;
-    bool operator>(const Entry& o) const {
-      return level != o.level ? level > o.level : seq > o.seq;
-    }
-  };
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready_;
-  std::int64_t seq_ = 0;
-  void enqueue(CutHandle h);
-  std::map<std::pair<std::size_t, StateIndex>, std::vector<CutHandle>>
-      parked_;
-  CutArena visited_arena_;
-  CutTable visited_table_;
-  std::vector<StateIndex> scratch_;  // popped cut, widened; reused
-  std::int64_t cuts_explored_ = 0;
-  std::int64_t max_frontier_ = 0;
-  bool gave_up_ = false;
+  app::SnapshotStateStream stream_;
+  std::unique_ptr<LatticeOnlineCore> core_;
 };
 
 struct LatticeOnlineResult {

@@ -1,0 +1,96 @@
+#include "serve/client.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/error.h"
+
+namespace wcp::serve {
+
+StreamClient::StreamClient(Transport& transport, ClientOptions opts)
+    : transport_(transport), opts_(opts) {
+  WCP_REQUIRE(opts_.window >= 1, "client window must be at least 1");
+}
+
+void StreamClient::enqueue(const Frame& f) {
+  outbox_.push_back(encode_frame(f, next_seq_++));
+}
+
+void StreamClient::hello(std::uint32_t slots, std::uint32_t num_predicates) {
+  enqueue(make_hello(slots, num_predicates));
+}
+
+void StreamClient::subscribe(std::uint32_t sub_id, StreamAlgo algo,
+                             std::uint32_t pred_index, std::int64_t max_cuts) {
+  enqueue(make_subscribe(sub_id, algo, pred_index, max_cuts));
+}
+
+void StreamClient::snapshot(std::uint32_t slot, std::uint64_t pred_mask,
+                            std::vector<StateIndex> clock) {
+  enqueue(make_snapshot(slot, pred_mask, std::move(clock)));
+}
+
+void StreamClient::eos(std::uint32_t slot) { enqueue(make_eos(slot)); }
+
+void StreamClient::finish() { enqueue(make_finish()); }
+
+void StreamClient::handle(const Frame& f) {
+  switch (f.type) {
+    case FrameType::kAck:
+      if (f.ack.next_seq > acked_) {
+        acked_ = f.ack.next_seq;
+        while (!unacked_.empty() && unacked_.front().first < acked_)
+          unacked_.pop_front();
+      }
+      break;
+    case FrameType::kVerdict:
+      verdicts_.push_back(f.verdict);
+      break;
+    case FrameType::kStats:
+      server_stats_ = f.stats.stats;
+      done_ = true;
+      break;
+    case FrameType::kError:
+      throw std::runtime_error(f.error.message);
+    default:
+      // A server must only speak ack/verdict/stats/error.
+      throw std::runtime_error(
+          "wcp-stream parse error: client-bound stream carries frame type " +
+          std::string(to_string(f.type)));
+  }
+}
+
+bool StreamClient::pump(bool block) {
+  bool progressed = false;
+  while (!outbox_.empty() && unacked_.size() < opts_.window) {
+    const std::uint64_t seq = acked_ + unacked_.size();
+    transport_.send(outbox_.front());
+    unacked_.emplace_back(seq, std::move(outbox_.front()));
+    outbox_.pop_front();
+    progressed = true;
+  }
+  while (std::optional<std::vector<std::uint8_t>> raw =
+             transport_.receive(/*block=*/false)) {
+    progressed = true;
+    handle(decode_frame(*raw));
+  }
+  if (!progressed && block && !done_) {
+    if (std::optional<std::vector<std::uint8_t>> raw =
+            transport_.receive(/*block=*/true)) {
+      progressed = true;
+      handle(decode_frame(*raw));
+    }
+  }
+  return progressed;
+}
+
+void StreamClient::retransmit() {
+  if (unacked_.empty()) return;
+  for (const auto& [seq, bytes] : unacked_) {
+    (void)seq;
+    transport_.send(bytes);
+  }
+  ++retransmits_;
+}
+
+}  // namespace wcp::serve

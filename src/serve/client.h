@@ -1,0 +1,82 @@
+// Client side of a `wcp-stream 1` connection.
+//
+// The client enqueues logical frames (hello/subscribe/snapshot/eos/finish),
+// stamps sequence numbers, and pump() moves the stream forward: it sends
+// while the unacked window has room and drains incoming server frames
+// (acks advance the window and release the retransmission buffer; verdicts
+// and stats are collected; an ERROR frame raises std::runtime_error with
+// the server's message).
+//
+// Loss recovery mirrors sim/reliable.h at the frame level: everything sent
+// but not cumulatively acked is retained, and retransmit() resends it all.
+// The driver calls retransmit() whenever a full pump round makes no
+// progress — on a faulty pipe that means frames were dropped; the server's
+// resequencer makes redelivery idempotent.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/transport.h"
+
+namespace wcp::serve {
+
+struct ClientOptions {
+  std::size_t window = 64;  ///< max unacked frames in flight
+};
+
+class StreamClient {
+ public:
+  explicit StreamClient(Transport& transport, ClientOptions opts = {});
+
+  // Frame enqueueing (buffered; sent by pump()).
+  void hello(std::uint32_t slots, std::uint32_t num_predicates);
+  void subscribe(std::uint32_t sub_id, StreamAlgo algo,
+                 std::uint32_t pred_index, std::int64_t max_cuts = -1);
+  void snapshot(std::uint32_t slot, std::uint64_t pred_mask,
+                std::vector<StateIndex> clock);
+  void eos(std::uint32_t slot = kAllSlots);
+  void finish();
+
+  /// Sends what the window allows and drains server frames. Returns true
+  /// if anything moved (a frame sent or received). With `block`, waits for
+  /// one server frame when nothing else can progress (reliable transports
+  /// only — a pipe's receive never blocks).
+  bool pump(bool block = false);
+  /// Resends every unacked frame (call after a stalled pump round).
+  void retransmit();
+
+  /// STATS received: the server applied the whole stream.
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] bool idle() const {
+    return outbox_.empty() && unacked_.empty();
+  }
+  [[nodiscard]] const std::vector<VerdictBody>& verdicts() const {
+    return verdicts_;
+  }
+  [[nodiscard]] const ServeStats& server_stats() const {
+    return server_stats_;
+  }
+  [[nodiscard]] std::int64_t retransmits() const { return retransmits_; }
+
+ private:
+  void enqueue(const Frame& f);
+  void handle(const Frame& f);
+
+  Transport& transport_;
+  ClientOptions opts_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t acked_ = 0;
+  std::deque<std::vector<std::uint8_t>> outbox_;  // not yet sent
+  /// (seq, frame) in flight, ordered by seq.
+  std::deque<std::pair<std::uint64_t, std::vector<std::uint8_t>>> unacked_;
+  std::vector<VerdictBody> verdicts_;
+  ServeStats server_stats_;
+  bool done_ = false;
+  std::int64_t retransmits_ = 0;
+};
+
+}  // namespace wcp::serve

@@ -1,0 +1,60 @@
+// In-process replay: drive a recorded Computation through the full
+// client -> transport -> session path and return the verdicts the server
+// produced. This is the deterministic backbone of `wcp_cli stream`, the
+// serve tests, and the E19 bench: the same code path as the TCP daemon,
+// minus the sockets.
+//
+// Snapshots are emitted round-robin by state index (state 1 of every slot,
+// then state 2, ...), which is a legal arrival order for any computation
+// because vector clocks only reference equal-or-lower state indices. The
+// clocks shipped are the n-wide projections onto predicate_processes() —
+// exactly what the instrumented processes of §4 would piggyback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/session.h"
+#include "serve/transport.h"
+#include "trace/computation.h"
+
+namespace wcp::serve {
+
+struct ReplaySubscription {
+  StreamAlgo algo = StreamAlgo::kToken;
+  std::uint32_t pred_index = 0;
+  std::int64_t max_cuts = -1;  ///< lattice-online budget; <0 = server default
+};
+
+struct ReplayOptions {
+  std::vector<ReplaySubscription> subs;
+  std::uint32_t num_predicates = 1;
+  /// Predicate-mask source for state (slot, k). Default: bit 0 carries the
+  /// computation's local predicate.
+  std::function<std::uint64_t(std::size_t, StateIndex)> pred_mask;
+  PipeFaults faults;
+  ServeOptions serve;
+  ClientOptions client;
+};
+
+struct ReplayResult {
+  std::vector<VerdictBody> verdicts;  ///< in decision order
+  ServeStats stats;
+  PipeFaultCounters pipe;
+  std::int64_t retransmits = 0;
+};
+
+/// Replays `comp` through a fresh session over an in-process pipe with the
+/// given faults. Throws on protocol violations (which a clean replay never
+/// triggers) and on transport deadlock.
+ReplayResult replay_stream(const Computation& comp, const ReplayOptions& opts);
+
+/// Same stream, but over an already-connected reliable transport (TCP to a
+/// wcp_served daemon). Faults are ignored; pipe counters stay zero.
+ReplayResult replay_stream_over(const Computation& comp,
+                                const ReplayOptions& opts,
+                                Transport& transport);
+
+}  // namespace wcp::serve

@@ -1,0 +1,77 @@
+// Per-session counters of the streaming detection service. Surfaced three
+// ways: in the STATS frame a session sends its client on FINISH, in the
+// `wcp-run-report/1` records `wcp_cli stream --json` emits, and in the E19
+// streaming bench rows — the peak/retired numbers are the observable
+// evidence that frontier GC bounds server memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wcp::serve {
+
+struct ServeStats {
+  // Wire / sequencing.
+  std::int64_t frames_in = 0;      ///< frames accepted (after resequencing)
+  std::int64_t snapshots_in = 0;   ///< SNAPSHOT frames applied
+  std::int64_t resequenced = 0;    ///< frames stashed out of order
+  std::int64_t duplicates = 0;     ///< duplicate frames discarded
+  std::int64_t acks_sent = 0;
+  // Subscriptions.
+  std::int64_t subscriptions = 0;
+  std::int64_t verdicts_detected = 0;
+  // Frontier GC.
+  std::int64_t gc_rounds = 0;
+  std::int64_t states_retired = 0;       ///< snapshots trimmed from the buffer
+  std::int64_t peak_retained_states = 0; ///< high-water of buffered snapshots
+  std::int64_t store_peak_bytes = 0;     ///< high-water of the stream buffer
+  std::int64_t checker_peak_bytes = 0;   ///< high-water of summed core state
+  std::int64_t cuts_retired = 0;         ///< lattice visited cuts collected
+
+  /// Fixed serialization/report order; the STATS frame carries exactly this
+  /// sequence, count-prefixed, so new counters append compatibly.
+  [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> items()
+      const {
+    return {
+        {"frames_in", frames_in},
+        {"snapshots_in", snapshots_in},
+        {"resequenced", resequenced},
+        {"duplicates", duplicates},
+        {"acks_sent", acks_sent},
+        {"subscriptions", subscriptions},
+        {"verdicts_detected", verdicts_detected},
+        {"gc_rounds", gc_rounds},
+        {"states_retired", states_retired},
+        {"peak_retained_states", peak_retained_states},
+        {"store_peak_bytes", store_peak_bytes},
+        {"checker_peak_bytes", checker_peak_bytes},
+        {"cuts_retired", cuts_retired},
+    };
+  }
+
+  [[nodiscard]] std::vector<std::int64_t> values() const {
+    std::vector<std::int64_t> v;
+    for (const auto& [name, value] : items()) v.push_back(value);
+    return v;
+  }
+
+  /// Inverse of values() for the counters a peer can reconstruct; extra
+  /// trailing values from a newer peer are ignored.
+  static ServeStats from_values(const std::vector<std::int64_t>& v) {
+    ServeStats s;
+    std::int64_t* fields[] = {
+        &s.frames_in,      &s.snapshots_in,        &s.resequenced,
+        &s.duplicates,     &s.acks_sent,           &s.subscriptions,
+        &s.verdicts_detected, &s.gc_rounds,        &s.states_retired,
+        &s.peak_retained_states, &s.store_peak_bytes, &s.checker_peak_bytes,
+        &s.cuts_retired,
+    };
+    const std::size_t n = sizeof(fields) / sizeof(fields[0]);
+    for (std::size_t i = 0; i < n && i < v.size(); ++i) *fields[i] = v[i];
+    return s;
+  }
+};
+
+}  // namespace wcp::serve

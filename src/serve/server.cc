@@ -1,0 +1,36 @@
+#include "serve/server.h"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace wcp::serve {
+
+ConnectionResult serve_connection(Transport& transport,
+                                  const ServeOptions& opts) {
+  Session session(opts, [&transport](std::vector<std::uint8_t> bytes) {
+    transport.send(bytes);
+  });
+  ConnectionResult result;
+  try {
+    while (!session.finished()) {
+      std::optional<std::vector<std::uint8_t>> raw =
+          transport.receive(/*block=*/true);
+      if (!raw) break;  // peer closed mid-stream
+      session.on_frame(*raw);
+    }
+    result.clean = session.finished();
+  } catch (const std::invalid_argument& e) {
+    result.error = e.what();
+    try {
+      transport.send(encode_frame(make_error(e.what()), /*seq=*/0));
+    } catch (...) {
+      // Best effort: the peer may already be gone.
+    }
+  }
+  result.stats = session.stats();
+  transport.close();
+  return result;
+}
+
+}  // namespace wcp::serve

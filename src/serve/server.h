@@ -1,0 +1,29 @@
+// Server side of a `wcp-stream 1` connection: a blocking per-connection
+// loop that feeds a Session from a Transport and ships its output back.
+//
+// Protocol violations (std::invalid_argument from the session or decoder)
+// become an ERROR frame on the wire before the connection is closed, so a
+// misbehaving client learns exactly which frame broke the stream instead
+// of seeing a silent hangup.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "serve/session.h"
+#include "serve/transport.h"
+
+namespace wcp::serve {
+
+struct ConnectionResult {
+  ServeStats stats;
+  bool clean = false;        ///< FINISH processed (stats frame sent)
+  std::string error;         ///< set when the session was failed
+};
+
+/// Serves one connection to completion. Blocks until the client finishes
+/// (FINISH applied), the transport closes, or a protocol violation occurs.
+ConnectionResult serve_connection(Transport& transport,
+                                  const ServeOptions& opts);
+
+}  // namespace wcp::serve

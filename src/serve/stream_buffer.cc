@@ -1,0 +1,51 @@
+#include "serve/stream_buffer.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace wcp::serve {
+
+StreamBuffer::StreamBuffer(std::size_t slots) {
+  WCP_REQUIRE(slots >= 1, "stream buffer needs at least one slot");
+  cols_.resize(slots);
+}
+
+void StreamBuffer::append(std::size_t s, const std::vector<StateIndex>& clock,
+                          std::uint64_t pred_mask) {
+  Col& c = cols_[s];
+  WCP_CHECK(clock.size() == slots());
+  for (const StateIndex v : clock) {
+    WCP_CHECK_MSG(v >= 0 && v <= 0xFFFFFFFF,
+                  "clock component " << v << " exceeds packed 32-bit range");
+    c.clocks.push_back(static_cast<std::uint32_t>(v));
+  }
+  c.masks.push_back(pred_mask);
+  ++appended_;
+  peak_retained_ = std::max(peak_retained_, retained());
+  peak_bytes_ = std::max(peak_bytes_, bytes_in_use());
+}
+
+void StreamBuffer::trim(std::size_t s, StateIndex floor) {
+  Col& c = cols_[s];
+  const StateIndex hi = c.base + static_cast<StateIndex>(c.masks.size());
+  const StateIndex target = std::min(std::max(floor, c.base), hi);
+  const auto rows = static_cast<std::size_t>(target - c.base);
+  if (rows == 0) return;
+  c.clocks.erase(c.clocks.begin(),
+                 c.clocks.begin() + static_cast<std::ptrdiff_t>(rows * slots()));
+  c.masks.erase(c.masks.begin(),
+                c.masks.begin() + static_cast<std::ptrdiff_t>(rows));
+  c.base = target;
+  retired_ += static_cast<std::int64_t>(rows);
+}
+
+std::int64_t StreamBuffer::bytes_in_use() const {
+  std::int64_t b = 0;
+  for (const Col& c : cols_)
+    b += static_cast<std::int64_t>(c.clocks.size() * sizeof(std::uint32_t) +
+                                   c.masks.size() * sizeof(std::uint64_t));
+  return b;
+}
+
+}  // namespace wcp::serve

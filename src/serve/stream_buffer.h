@@ -1,0 +1,119 @@
+// Columnar per-session snapshot store with frontier trimming.
+//
+// One StreamBuffer backs every subscription of a session: snapshots arrive
+// once, each core reads them through a SubscriptionView (an app::StateStream
+// binding one predicate bit of the shared pred-mask word). Storage is
+// columnar per slot — packed 32-bit clock components back to back plus one
+// u64 predicate mask per snapshot — the same packing CutArena uses, so a
+// retained snapshot costs 4*slots + 8 bytes regardless of width.
+//
+// trim(s, floor) retires every position below `floor` (the session's
+// global-min frontier across subscriptions); base(s) advances so positions
+// stay absolute. The retained/peak counters are the evidence the GC tests
+// and the E19 bench assert on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "app/state_stream.h"
+#include "common/types.h"
+
+namespace wcp::serve {
+
+class StreamBuffer final : public app::StateStream {
+ public:
+  explicit StreamBuffer(std::size_t slots);
+
+  // --- app::StateStream (pred() answers predicate bit 0) ---
+  [[nodiscard]] std::size_t slots() const override { return cols_.size(); }
+  [[nodiscard]] StateIndex last(std::size_t s) const override {
+    const Col& c = cols_[s];
+    return c.base + static_cast<StateIndex>(c.masks.size()) - 1;
+  }
+  [[nodiscard]] StateIndex base(std::size_t s) const override {
+    return cols_[s].base;
+  }
+  [[nodiscard]] bool eos(std::size_t s) const override {
+    return cols_[s].eos;
+  }
+  [[nodiscard]] StateIndex clock(std::size_t s, StateIndex pos,
+                                 std::size_t t) const override {
+    const Col& c = cols_[s];
+    return static_cast<StateIndex>(
+        c.clocks[static_cast<std::size_t>(pos - c.base) * slots() + t]);
+  }
+  [[nodiscard]] bool pred(std::size_t s, StateIndex pos) const override {
+    return pred_bit(s, pos, 0);
+  }
+
+  [[nodiscard]] bool pred_bit(std::size_t s, StateIndex pos,
+                              std::size_t bit) const {
+    const Col& c = cols_[s];
+    return (c.masks[static_cast<std::size_t>(pos - c.base)] >> bit & 1) != 0;
+  }
+
+  /// Appends the next snapshot on slot s. The caller (Session) has already
+  /// validated width, monotonicity, and the u32 component bound.
+  void append(std::size_t s, const std::vector<StateIndex>& clock,
+              std::uint64_t pred_mask);
+  void set_eos(std::size_t s) { cols_[s].eos = true; }
+
+  /// Retires positions of slot s strictly below `floor` (clamped to
+  /// [base, last+1]).
+  void trim(std::size_t s, StateIndex floor);
+
+  // --- accounting ---
+  [[nodiscard]] std::int64_t appended() const { return appended_; }
+  [[nodiscard]] std::int64_t retired() const { return retired_; }
+  [[nodiscard]] std::int64_t retained() const { return appended_ - retired_; }
+  [[nodiscard]] std::int64_t peak_retained() const { return peak_retained_; }
+  [[nodiscard]] std::int64_t bytes_in_use() const;
+  [[nodiscard]] std::int64_t peak_bytes() const { return peak_bytes_; }
+
+ private:
+  struct Col {
+    std::vector<std::uint32_t> clocks;  // width-`slots` rows, packed
+    std::vector<std::uint64_t> masks;   // one predicate word per row
+    StateIndex base = 1;
+    bool eos = false;
+  };
+
+  std::vector<Col> cols_;
+  std::int64_t appended_ = 0;
+  std::int64_t retired_ = 0;
+  std::int64_t peak_retained_ = 0;
+  std::int64_t peak_bytes_ = 0;
+};
+
+/// The view one subscription reads the shared buffer through: identical to
+/// the buffer except pred() answers the subscription's predicate bit.
+class SubscriptionView final : public app::StateStream {
+ public:
+  SubscriptionView(const StreamBuffer& buf, std::size_t pred_bit)
+      : buf_(buf), bit_(pred_bit) {}
+
+  [[nodiscard]] std::size_t slots() const override { return buf_.slots(); }
+  [[nodiscard]] StateIndex last(std::size_t s) const override {
+    return buf_.last(s);
+  }
+  [[nodiscard]] StateIndex base(std::size_t s) const override {
+    return buf_.base(s);
+  }
+  [[nodiscard]] bool eos(std::size_t s) const override {
+    return buf_.eos(s);
+  }
+  [[nodiscard]] StateIndex clock(std::size_t s, StateIndex pos,
+                                 std::size_t t) const override {
+    return buf_.clock(s, pos, t);
+  }
+  [[nodiscard]] bool pred(std::size_t s, StateIndex pos) const override {
+    return buf_.pred_bit(s, pos, bit_);
+  }
+
+ private:
+  const StreamBuffer& buf_;
+  std::size_t bit_;
+};
+
+}  // namespace wcp::serve

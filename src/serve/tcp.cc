@@ -1,0 +1,160 @@
+#include "serve/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace wcp::serve {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(int fd) : fd_(fd) { set_nodelay(fd_); }
+
+TcpTransport::~TcpTransport() { close(); }
+
+void TcpTransport::send(std::vector<std::uint8_t> frame) {
+  if (fd_ < 0) return;
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      peer_closed_ = true;
+      return;  // peer gone; receive() will report the close
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+bool TcpTransport::fill(bool block) {
+  std::uint8_t buf[4096];
+  for (;;) {
+    const ssize_t n =
+        ::recv(fd_, buf, sizeof(buf), block ? 0 : MSG_DONTWAIT);
+    if (n > 0) {
+      assembler_.feed(std::span<const std::uint8_t>(buf,
+                                                    static_cast<std::size_t>(n)));
+      // Non-blocking: grab everything already queued, then stop.
+      if (block) return true;
+      block = false;
+      continue;
+    }
+    if (n == 0) {
+      peer_closed_ = true;
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+    peer_closed_ = true;
+    return false;
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> TcpTransport::receive(bool block) {
+  if (fd_ < 0) return std::nullopt;
+  for (;;) {
+    if (std::optional<std::vector<std::uint8_t>> f = assembler_.next())
+      return f;
+    if (peer_closed_) return std::nullopt;
+    if (!fill(block) && !block) {
+      // Non-blocking and nothing new: maybe the fill completed a frame.
+      if (std::optional<std::vector<std::uint8_t>> f = assembler_.next())
+        return f;
+      return std::nullopt;
+    }
+    if (peer_closed_) {
+      // Drain what arrived before EOF.
+      if (std::optional<std::vector<std::uint8_t>> f = assembler_.next())
+        return f;
+      return std::nullopt;
+    }
+  }
+}
+
+bool TcpTransport::closed() const { return fd_ < 0 || peer_closed_; }
+
+void TcpTransport::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::TcpListener(std::uint16_t port) : fd_(-1), port_(0) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) fail_errno("socket");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    fail_errno("bind 127.0.0.1");
+  }
+  if (::listen(fd_, 16) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    fail_errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    fail_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<TcpTransport> TcpListener::accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return std::make_unique<TcpTransport>(fd);
+    if (errno == EINTR) continue;
+    fail_errno("accept");
+  }
+}
+
+std::unique_ptr<TcpTransport> tcp_connect(const std::string& host,
+                                          std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("tcp_connect: bad IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    fail_errno("connect " + host);
+  }
+  return std::make_unique<TcpTransport>(fd);
+}
+
+}  // namespace wcp::serve

@@ -1,0 +1,69 @@
+// TCP backend for the `wcp-stream 1` transport abstraction.
+//
+// A TcpTransport wraps one connected socket: send() writes a frame's bytes
+// whole, receive() reassembles frames from the byte stream with a
+// FrameAssembler (TCP has no message boundaries). TcpListener binds a
+// loopback listener — port 0 picks an ephemeral port, reported by port(),
+// which is how the tests avoid colliding with anything on the host.
+//
+// Everything here is plain POSIX sockets; no external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/protocol.h"
+#include "serve/transport.h"
+
+namespace wcp::serve {
+
+class TcpTransport final : public Transport {
+ public:
+  /// Takes ownership of a connected socket fd.
+  explicit TcpTransport(int fd);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  void send(std::vector<std::uint8_t> frame) override;
+  std::optional<std::vector<std::uint8_t>> receive(bool block) override;
+  [[nodiscard]] bool closed() const override;
+  void close() override;
+
+ private:
+  /// Reads whatever the socket has; returns false on EOF/error.
+  bool fill(bool block);
+
+  int fd_;
+  FrameAssembler assembler_;
+  bool peer_closed_ = false;
+};
+
+class TcpListener {
+ public:
+  /// Binds and listens on 127.0.0.1:port (port 0 = ephemeral). Throws
+  /// std::runtime_error if the bind fails (tests treat that as a skip).
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// The bound port (resolves port 0 to the kernel's pick).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Blocks until a client connects.
+  std::unique_ptr<TcpTransport> accept();
+
+ private:
+  int fd_;
+  std::uint16_t port_;
+};
+
+/// Connects to host:port; throws std::runtime_error on failure.
+std::unique_ptr<TcpTransport> tcp_connect(const std::string& host,
+                                          std::uint16_t port);
+
+}  // namespace wcp::serve

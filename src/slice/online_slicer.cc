@@ -6,17 +6,99 @@
 
 namespace wcp::slice {
 
-OnlineSlicer::OnlineSlicer(Config cfg) : cfg_(std::move(cfg)) {
+// ---------------------------------------------------------------------------
+// SlicerCore
+// ---------------------------------------------------------------------------
+
+SlicerCore::SlicerCore(const app::StateStream& stream, app::CoreHooks hooks)
+    : stream_(stream), hooks_(std::move(hooks)) {
+  WCP_REQUIRE(stream_.slots() >= 1, "empty predicate");
+  candidate_.assign(stream_.slots(), 1);
+}
+
+void SlicerCore::on_state(std::size_t s) {
+  (void)s;
+  if (done_) return;
+  advance();
+}
+
+void SlicerCore::on_eos(std::size_t s) {
+  (void)s;
+  if (done_) return;
+  advance();
+}
+
+void SlicerCore::advance() {
+  const auto arrived = [&](std::size_t s) {
+    return candidate_[s] <= stream_.last(s);
+  };
+
+  // Run the jil.h fixpoint over whatever has arrived. Every advance is
+  // forced by arrived data only (a false state, or a state causally
+  // dominated by another candidate component), so the candidate is always
+  // a lower bound of the true least satisfying cut.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t s = 0; s < n() && !changed; ++s) {
+      if (!arrived(s)) {
+        if (stream_.eos(s)) {
+          done_ = true;  // the stream ended below the candidate
+          detected_ = false;
+          return;
+        }
+        continue;
+      }
+      if (!stream_.pred(s, candidate_[s])) {
+        ++candidate_[s];
+        ++jil_advances_;
+        changed = true;
+        break;
+      }
+      for (std::size_t t = 0; t < n() && !changed; ++t) {
+        if (t == s || !arrived(t)) continue;
+        ++clock_lookups_;
+        hooks_.add_work(1);
+        // (s, cut[s]) -> (t, cut[t]): advance s past what t has seen.
+        const StateIndex floor = stream_.clock(t, candidate_[t], s);
+        if (candidate_[s] <= floor) {
+          jil_advances_ += floor + 1 - candidate_[s];
+          candidate_[s] = floor + 1;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Stable and fully arrived: the candidate is the least satisfying
+  // consistent cut.
+  for (std::size_t s = 0; s < n(); ++s)
+    if (!arrived(s)) return;
+  done_ = true;
+  detected_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// OnlineSlicer (sim host)
+// ---------------------------------------------------------------------------
+
+OnlineSlicer::OnlineSlicer(Config cfg)
+    : cfg_(std::move(cfg)), stream_(states_, &eos_) {
   WCP_REQUIRE(!cfg_.slot_to_pid.empty(), "empty predicate");
   states_.resize(n());
   eos_.assign(n(), false);
-  cut_.assign(n(), 1);
+  app::CoreHooks hooks;
+  hooks.work = [this](std::int64_t units) {
+    const ProcessId coord(static_cast<int>(net().num_processes()));
+    net().add_monitor_work(coord, units);
+  };
+  core_ = std::make_unique<SlicerCore>(stream_, std::move(hooks));
 }
 
 void OnlineSlicer::on_packet(sim::Packet&& p) {
   WCP_CHECK_MSG(p.kind == MsgKind::kSnapshot || p.kind == MsgKind::kControl,
                 "online slicer got unexpected " << to_string(p.kind));
-  if (detected_ || impossible_) return;
+  if (core_->done()) return;
 
   if (slot_of_pid_.empty()) {
     slot_of_pid_.assign(net().num_processes(), -1);
@@ -29,7 +111,11 @@ void OnlineSlicer::on_packet(sim::Packet&& p) {
       const int slot = slot_of_pid_.at(p.from.pid.idx());
       if (slot >= 0) {
         eos_[static_cast<std::size_t>(slot)] = true;
-        advance_candidate();
+        core_->on_eos(static_cast<std::size_t>(slot));
+        if (core_->done()) {
+          if (core_->detected()) detect_time_ = net().simulator().now();
+          net().simulator().stop();
+        }
       }
     }
     return;
@@ -50,60 +136,11 @@ void OnlineSlicer::on_packet(sim::Packet&& p) {
   states_[su].push_back(std::move(snap));
   ++states_received_;
 
-  advance_candidate();
-}
-
-void OnlineSlicer::advance_candidate() {
-  const ProcessId coord(static_cast<int>(net().num_processes()));
-  const auto arrived = [&](std::size_t s) {
-    return cut_[s] <= static_cast<StateIndex>(states_[s].size());
-  };
-
-  // Run the jil.h fixpoint over whatever has arrived. Every advance is
-  // forced by arrived data only (a false state, or a state causally
-  // dominated by another candidate component), so the candidate is always
-  // a lower bound of the true least satisfying cut.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (std::size_t s = 0; s < n() && !changed; ++s) {
-      if (!arrived(s)) {
-        if (eos_[s]) {
-          impossible_ = true;
-          net().simulator().stop();
-          return;
-        }
-        continue;
-      }
-      const auto& snap = states_[s][static_cast<std::size_t>(cut_[s] - 1)];
-      if (!snap.pred) {
-        ++cut_[s];
-        ++jil_advances_;
-        changed = true;
-        break;
-      }
-      for (std::size_t t = 0; t < n() && !changed; ++t) {
-        if (t == s || !arrived(t)) continue;
-        ++clock_lookups_;
-        net().add_monitor_work(coord, 1);
-        // (s, cut_[s]) -> (t, cut_[t]): advance s past what t has seen.
-        const StateIndex floor =
-            states_[t][static_cast<std::size_t>(cut_[t] - 1)].vclock[s];
-        if (cut_[s] <= floor) {
-          jil_advances_ += floor + 1 - cut_[s];
-          cut_[s] = floor + 1;
-          changed = true;
-        }
-      }
-    }
+  core_->on_state(su);
+  if (core_->done()) {
+    if (core_->detected()) detect_time_ = net().simulator().now();
+    net().simulator().stop();
   }
-
-  // Stable and fully arrived: cut_ is the least satisfying consistent cut.
-  for (std::size_t s = 0; s < n(); ++s)
-    if (!arrived(s)) return;
-  detected_ = true;
-  detect_time_ = net().simulator().now();
-  net().simulator().stop();
 }
 
 }  // namespace wcp::slice

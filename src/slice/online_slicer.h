@@ -13,12 +13,19 @@
 // detect_lattice returns. After the run, the slice of the received stream
 // is built to report slice-specific counters (JIL groups, quotient-DAG
 // edges, satisfying-cut count) next to the baseline's cuts_explored.
+//
+// The candidate fixpoint lives in slice::SlicerCore so the streaming
+// service (src/serve) can run it over wire-fed streams; SlicerCore is the
+// cheapest core of the four — O(n) resident state, frontier == candidate.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "app/snapshot.h"
+#include "app/snapshot_stream.h"
+#include "app/state_stream.h"
 #include "sim/network.h"
 #include "slice/slice.h"
 
@@ -51,6 +58,52 @@ class SnapshotInput final : public SliceInput {
   const std::vector<std::vector<app::VcSnapshot>>& states_;
 };
 
+/// The incremental candidate fixpoint over a StateStream. Maintains the
+/// least consistent cut whose arrived components all satisfy the local
+/// predicates; detected when stable and fully arrived, impossible when a
+/// stream ends below the candidate.
+class SlicerCore final : public app::StreamCore {
+ public:
+  SlicerCore(const app::StateStream& stream, app::CoreHooks hooks);
+
+  void on_state(std::size_t s) override;
+  void on_eos(std::size_t s) override;
+
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] bool detected() const override { return detected_; }
+  [[nodiscard]] const std::vector<StateIndex>& cut() const override {
+    return detected_ ? candidate_ : empty_;
+  }
+  [[nodiscard]] StateIndex frontier(std::size_t s) const override {
+    return done_ ? stream_.last(s) + 1 : candidate_[s];
+  }
+  [[nodiscard]] std::int64_t resident_bytes() const override {
+    return static_cast<std::int64_t>(candidate_.size() * sizeof(StateIndex));
+  }
+
+  /// The current least-candidate cut (meaningful even before detection).
+  [[nodiscard]] const std::vector<StateIndex>& candidate() const {
+    return candidate_;
+  }
+  /// Some slot's stream ended below the candidate: no satisfying cut.
+  [[nodiscard]] bool impossible() const { return done_ && !detected_; }
+  [[nodiscard]] std::int64_t jil_advances() const { return jil_advances_; }
+  [[nodiscard]] std::int64_t clock_lookups() const { return clock_lookups_; }
+
+ private:
+  void advance();
+  [[nodiscard]] std::size_t n() const { return candidate_.size(); }
+
+  const app::StateStream& stream_;
+  app::CoreHooks hooks_;
+  std::vector<StateIndex> candidate_;  // the incremental candidate
+  std::vector<StateIndex> empty_;
+  bool done_ = false;
+  bool detected_ = false;
+  std::int64_t jil_advances_ = 0;
+  std::int64_t clock_lookups_ = 0;
+};
+
 /// Coordinator node running the incremental candidate fixpoint.
 class OnlineSlicer final : public sim::Node {
  public:
@@ -62,17 +115,25 @@ class OnlineSlicer final : public sim::Node {
 
   void on_packet(sim::Packet&& p) override;
 
-  [[nodiscard]] bool detected() const { return detected_; }
-  [[nodiscard]] const std::vector<StateIndex>& cut() const { return cut_; }
+  [[nodiscard]] bool detected() const {
+    return core_->done() && core_->detected();
+  }
+  [[nodiscard]] const std::vector<StateIndex>& cut() const {
+    return core_->candidate();
+  }
   [[nodiscard]] SimTime detect_time() const { return detect_time_; }
   /// Some slot's stream ended below the candidate: no satisfying cut.
-  [[nodiscard]] bool impossible() const { return impossible_; }
+  [[nodiscard]] bool impossible() const { return core_->impossible(); }
 
   [[nodiscard]] std::int64_t states_received() const {
     return states_received_;
   }
-  [[nodiscard]] std::int64_t jil_advances() const { return jil_advances_; }
-  [[nodiscard]] std::int64_t clock_lookups() const { return clock_lookups_; }
+  [[nodiscard]] std::int64_t jil_advances() const {
+    return core_->jil_advances();
+  }
+  [[nodiscard]] std::int64_t clock_lookups() const {
+    return core_->clock_lookups();
+  }
 
   /// The snapshot streams received so far (for post-run slice building).
   [[nodiscard]] const std::vector<std::vector<app::VcSnapshot>>& states()
@@ -81,21 +142,16 @@ class OnlineSlicer final : public sim::Node {
   }
 
  private:
-  void advance_candidate();
   [[nodiscard]] std::size_t n() const { return cfg_.slot_to_pid.size(); }
 
   Config cfg_;
   std::vector<std::vector<app::VcSnapshot>> states_;  // per slot, in order
   std::vector<bool> eos_;
   std::vector<int> slot_of_pid_;
-
-  std::vector<StateIndex> cut_;  // the incremental candidate
-  bool detected_ = false;
-  bool impossible_ = false;
+  app::SnapshotStateStream stream_;
+  std::unique_ptr<SlicerCore> core_;
   SimTime detect_time_ = 0;
   std::int64_t states_received_ = 0;
-  std::int64_t jil_advances_ = 0;
-  std::int64_t clock_lookups_ = 0;
 };
 
 }  // namespace wcp::slice
