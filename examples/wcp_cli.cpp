@@ -319,7 +319,9 @@ int cmd_detect(const Args& a) {
                      static_cast<std::int64_t>(r.witness_path.size()),
                      r.trace_store);
     } else if (algo == "lattice-sliced") {
-      const auto r = detect::detect_lattice_sliced(comp);
+      const auto threads =
+          static_cast<std::size_t>(flag_int(a, "threads", 0));
+      const auto r = detect::detect_lattice_sliced(comp, threads);
       report_lattice(r.detected, r.cut, r.cuts_explored, r.max_frontier,
                      r.truncated,
                      static_cast<std::int64_t>(r.witness_path.size()),
@@ -336,7 +338,7 @@ int cmd_detect(const Args& a) {
     const auto r =
         algo == "definitely"
             ? detect::detect_definitely(comp, 10'000'000, threads)
-            : detect::detect_definitely_sliced(comp, 10'000'000);
+            : detect::detect_definitely_sliced(comp, 10'000'000, threads);
     if (as_json) {
       std::int64_t witness_level = 0;
       for (StateIndex k : r.witness) witness_level += k;

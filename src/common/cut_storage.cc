@@ -163,4 +163,94 @@ CutHandle CutTable::find(const CutArena& arena,
   return slots_[idx].handle;
 }
 
+// ---- SegmentedCutStore ------------------------------------------------------
+
+SegmentedCutStore::Block::Block(std::size_t width, std::size_t cap)
+    : cuts(width),
+      hash(cap),
+      level(cap),
+      false_count(cap),
+      expanded(cap, 0),
+      succ(cap * width) {
+  // Fixed-capacity arena: all cap slots exist up front and are written in
+  // place via slot(), so the backing buffer never reallocates — the
+  // no-moved-cuts guarantee the acquire/release block publication needs.
+  cuts.resize(cap);
+}
+
+SegmentedCutStore::SegmentedCutStore(std::size_t width, std::size_t lanes)
+    : width_(width), lanes_(lanes) {
+  WCP_REQUIRE(width >= 1, "segmented cut store needs width >= 1");
+  WCP_REQUIRE(lanes >= 1 && lanes <= kMaxLanes,
+              "segmented cut store lanes out of range: " << lanes);
+}
+
+SegmentedCutStore::~SegmentedCutStore() {
+  for (Lane& lane : lanes_)
+    for (auto& b : lane.blocks)
+      delete b.load(std::memory_order_relaxed);
+}
+
+SegmentedCutStore::Block& SegmentedCutStore::ensure_block(std::size_t lane,
+                                                          std::size_t blk) {
+  auto& slot = lanes_[lane].blocks[blk];
+  Block* b = slot.load(std::memory_order_acquire);
+  if (b != nullptr) return *b;
+  // Only the owner lane stages into its segment, so block creation is
+  // single-threaded per slot; the release store publishes the fully
+  // constructed block to readers.
+  const std::size_t cap = block_cap(blk);
+  b = new Block(width_, cap);
+  // Per cut: packed components + successor array (width u32 each), 8-byte
+  // hash, 4-byte level, 1-byte false_count, 1-byte expanded flag.
+  const std::size_t per_cut = 2 * width_ * sizeof(std::uint32_t) +
+                              sizeof(std::uint64_t) + sizeof(std::uint32_t) + 2;
+  bytes_.fetch_add(static_cast<std::int64_t>(cap * per_cut),
+                   std::memory_order_relaxed);
+  block_allocs_.fetch_add(1, std::memory_order_relaxed);
+  slot.store(b, std::memory_order_release);
+  return *b;
+}
+
+CutHandle SegmentedCutStore::stage(std::size_t lane,
+                                   std::span<const std::uint32_t> cut,
+                                   std::uint64_t hash, std::uint32_t level,
+                                   std::uint8_t false_count) {
+  Lane& L = lanes_[lane];
+  const std::size_t local = L.count;
+  // Strict < so the packed handle can never equal kNoCut, even at lane 63.
+  WCP_REQUIRE(local < (std::size_t{1} << kLocalBits) - 1,
+              "segmented cut store lane segment exhausted");
+  const std::size_t blk = block_of(local);
+  Block& b = ensure_block(lane, blk);
+  const std::size_t off = local - block_first(blk);
+  const auto dst = b.cuts.slot(static_cast<CutHandle>(off));
+  std::copy(cut.begin(), cut.end(), dst.begin());
+  b.hash[off] = hash;
+  b.level[off] = level;
+  b.false_count[off] = false_count;
+  return static_cast<CutHandle>((lane << kLocalBits) | local);
+}
+
+std::size_t SegmentedCutStore::total_cuts() const {
+  std::size_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.count;
+  return total;
+}
+
+void SegmentedCutStore::add_stats(CutStorageStats& s) const {
+  // Blocks are never freed during a run, so allocated == peak.
+  s.peak_bytes += bytes_.load(std::memory_order_relaxed);
+  s.cuts_interned += static_cast<std::int64_t>(total_cuts());
+  s.heap_allocs += block_allocs_.load(std::memory_order_relaxed);
+}
+
+std::vector<StateIndex> SegmentedCutStore::materialize(CutHandle h) const {
+  const auto c = cut(h);
+  std::vector<StateIndex> out(width_);
+  for (std::size_t i = 0; i < width_; ++i)
+    out[i] = static_cast<StateIndex>(c[i]);
+  return out;
+}
+
 }  // namespace wcp

@@ -30,6 +30,12 @@ struct SweepJob {
   std::uint64_t seed = 1;
   int groups = 2;                       ///< multi-token group count
   std::int64_t max_cuts = 10'000'000;   ///< lattice/definitely exploration cap
+  /// Inner thread count for the lattice-family detectors (1 = serial,
+  /// default: sweeps usually parallelize across jobs, not inside them).
+  /// Rows are byte-identical for every value — the concurrent engine's
+  /// serial replay guarantees it for lattice/definitely, and the sliced
+  /// detectors are inherently serial.
+  std::size_t threads = 1;
 };
 
 /// Outcome of one job, independent of sweep thread count.

@@ -1,13 +1,16 @@
 #include "detect/lattice.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/cut_hash.h"
 #include "common/cut_storage.h"
 #include "common/error.h"
+#include "common/lockfree_table.h"
 #include "common/thread_pool.h"
 
 namespace wcp::detect {
@@ -20,22 +23,10 @@ using Cut = std::vector<StateIndex>;
 //
 // Every visited cut lives exactly once in a CutArena (packed 32-bit
 // components, dense handles); the visited set / parent map are a CutTable
-// plus a handle-indexed parent vector. Two consequences the code below
-// leans on:
-//   - serial BFS needs no frontier queue at all: cuts enter the arena in
-//     exactly the order the queue would pop them, so the frontier is the
-//     arena suffix [head, size) and its size is size() - head;
-//   - the parallel parent map is a per-shard vector indexed by the shard
-//     handle, with cross-shard references packed as (shard << 32) | handle.
-
-/// Packed reference to a cut interned in one of the parallel shards.
-using ShardRef = std::uint64_t;
-
-ShardRef make_ref(std::size_t shard, CutHandle h) {
-  return (static_cast<ShardRef>(shard) << 32) | h;
-}
-std::size_t shard_of(ShardRef r) { return static_cast<std::size_t>(r >> 32); }
-CutHandle handle_of(ShardRef r) { return static_cast<CutHandle>(r); }
+// plus a handle-indexed parent vector. One consequence the serial code
+// below leans on: serial BFS needs no frontier queue at all — cuts enter
+// the arena in exactly the order the queue would pop them, so the frontier
+// is the arena suffix [head, size) and its size is size() - head.
 
 /// BFS parent offset of one interned cut: the reference of its predecessor
 /// (the bottom cut references itself) plus which slot the advance took.
@@ -81,80 +72,264 @@ Cut witness_from_path(const Computation& comp, std::size_t n,
   return Cut(n, 1);
 }
 
-// ---- level-parallel BFS machinery -----------------------------------------
+// ---- lock-free concurrent exploration (ALGORITHMS.md §15) ------------------
 //
-// Both parallel detectors share the same level structure. Per level:
-//   phase A (parallel over the level's cuts): evaluate the predicate and
-//     generate the consistent successors of each cut, in slot order — the
-//     exact enumeration order of the serial loop — writing them into the
-//     cut's stride-n region of a shared candidate arena (disjoint slots,
-//     no allocation, no races) and precomputing each candidate's hash;
-//   phase B (parallel over visited shards): deduplicate the flattened
-//     candidate list against the shards, each shard processing its
-//     candidates in global submission order, so "first occurrence wins"
-//     exactly as in the serial insert;
-//   serial epilogue: replay the serial loop's per-pop bookkeeping
-//     (cuts_explored, max_frontier, termination checks) from the per-cut
-//     results — acceptance of a candidate never depends on later
-//     candidates, so prefix counts equal what the serial interleaving of
-//     pops and pushes produced.
+// The concurrent detectors split the work into two passes:
 //
-// All per-level buffers (candidate arena, hash/flag vectors, shard index
-// lists, the next-level arena) persist across levels and are reset with
-// capacity kept, so the steady-state loop performs no heap allocation.
+//   Concurrent phase — lanes pop cut handles from a work-stealing frontier
+//   (common::WorkFrontier) in arbitrary order and expand them: each
+//   consistent successor is interned exactly once into a shared
+//   SegmentedCutStore through the LockFreeCutTable (stage → CAS →
+//   publish), its hash derived in O(1) from the parent's via
+//   ZobristCutHash::advance, and the resulting globally-canonical handle
+//   recorded in the parent's slot-indexed successor array. Newly inserted
+//   cuts are pushed back to the frontier. The output is the *successor
+//   graph* of the explored lattice region — a pure function of the trace,
+//   independent of exploration order.
+//
+//   Replay phase (serial, deterministic) — a plain FIFO BFS over the
+//   recorded successor arrays, walking handles exactly as the serial
+//   detector walks cuts: pops in insertion order, successors scanned in
+//   slot order, first-encounter parent links. Every counter the serial
+//   loop maintains (cuts_explored, max_frontier, truncation position,
+//   witness path) is recomputed here over identical structure, which makes
+//   the result — verdict, counters, witness, JSON report — byte-identical
+//   to the serial engine at any thread count. The differential sweep in
+//   tests/flat_storage_equiv_test.cc enforces this.
+//
+// Early-stop soundness. The serial BFS stops at the first satisfying pop
+// or at the max_cuts-th pop; a barrier-free exploration has no "first pop"
+// and would otherwise run the whole lattice. Two monotonically decreasing
+// level caps bound the expansion, and a cut is expanded only while its
+// level is <= both:
+//
+//   sat_cap (possibly mode): the minimum level of any satisfying cut
+//   interned so far. BFS pops are level-nondecreasing, so the serial loop
+//   never expands a cut deeper than the first satisfying level L_min; and
+//   since no satisfying cut exists below L_min, sat_cap >= L_min at every
+//   moment — the cap can only prune work the serial loop never does.
+//
+//   trunc_cap (max_cuts >= 0): per-level atomic intern counters feed a
+//   periodic prefix-sum scan; when the counted prefix through level l
+//   reaches max_cuts, the cap drops to l. Counts only ever under-estimate
+//   the full per-level lattice population, and the serial loop expands a
+//   level-L cut only if the full population of levels < L is under
+//   max_cuts (it pops whole levels in order), so again trunc_cap >= every
+//   level the serial loop expands.
+//
+// Together: every cut the serial loop expands is expanded here (the replay
+// asserts it), and the replay — which stops exactly where the serial loop
+// stops — never reads an unexpanded successor array.
 
-/// Flattened candidate: which level cut generated it (for prefix counts),
-/// where its packed components live, which slot was advanced (for parent
-/// offsets), and its precomputed shard/hash.
-struct Candidate {
-  std::uint32_t parent;  // index into the current level
-  std::uint32_t slot;    // cut index inside the candidate arena
-  std::uint32_t adv;     // advanced slot (inconsistent successors skip slots)
-  std::uint32_t shard;
-  std::size_t hash;
-};
-
-void flatten_candidates(std::span<const std::size_t> succ_count,
-                        std::span<const std::size_t> cand_hash,
-                        std::span<const std::uint32_t> cand_adv, std::size_t n,
-                        std::size_t num_shards, std::vector<Candidate>& out) {
-  std::size_t total = 0;
-  for (const std::size_t c : succ_count) total += c;
-  out.clear();
-  out.reserve(total);
-  for (std::size_t i = 0; i < succ_count.size(); ++i)
-    for (std::size_t j = 0; j < succ_count[i]; ++j) {
-      const std::size_t slot = i * n + j;
-      const std::size_t hash = cand_hash[slot];
-      out.push_back(Candidate{static_cast<std::uint32_t>(i),
-                              static_cast<std::uint32_t>(slot), cand_adv[slot],
-                              static_cast<std::uint32_t>(hash % num_shards),
-                              hash});
-    }
+/// Atomic running-minimum, relaxed: the caps only gate work pruning, never
+/// data visibility (handles travel through the frontier's mutexes).
+void fetch_min(std::atomic<std::uint32_t>& a, std::uint32_t v) {
+  std::uint32_t cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
 }
 
-/// Phase B: `insert(shard, j)` must intern candidate j into that shard and
-/// return true iff the cut was new. Each shard consumes its candidates in
-/// global submission order (std::uint8_t flags — vector<bool> is not safe
-/// to write concurrently).
-template <typename Insert>
-void dedup_sharded(common::ThreadPool& pool,
-                   const std::vector<Candidate>& cand, std::size_t num_shards,
-                   std::vector<std::vector<std::uint32_t>>& by_shard,
-                   std::vector<std::uint8_t>& accepted, const Insert& insert) {
-  for (auto& v : by_shard) v.clear();
-  for (std::size_t j = 0; j < cand.size(); ++j)
-    by_shard[cand[j].shard].push_back(static_cast<std::uint32_t>(j));
+class ConcurrentEngine {
+ public:
+  ConcurrentEngine(const Computation& comp, std::int64_t max_cuts,
+                   std::size_t lanes, bool definitely_mode)
+      : comp_(comp),
+        procs_(comp.predicate_processes()),
+        n_(procs_.size()),
+        max_cuts_(max_cuts),
+        definitely_mode_(definitely_mode),
+        store_(n_, lanes),
+        table_(lanes),
+        frontier_(lanes),
+        scratch_(lanes, std::vector<std::uint32_t>(n_)),
+        batch_(lanes),
+        ops_(lanes) {
+    // false_count is a uint8: enough for any real predicate width, checked
+    // so the concurrent path is never silently wrong (the dispatcher falls
+    // back to the serial engine instead of constructing this).
+    WCP_REQUIRE(n_ >= 1 && n_ <= 255,
+                "concurrent engine requires 1..255 predicate slots");
+    std::uint64_t total_states = 0;
+    for (std::size_t s = 0; s < n_; ++s)
+      total_states += static_cast<std::uint64_t>(comp.num_states(procs_[s]));
+    level_max_ = total_states - n_;
+    WCP_REQUIRE(level_max_ < kNoCut, "lattice deeper than 2^32 levels");
+    if (max_cuts_ >= 0) {
+      level_counts_ =
+          std::vector<std::atomic<std::uint32_t>>(level_max_ + 1);
+      // A cut at level L is the serial loop's (full prefix of levels < L)
+      // + 1-th pop at the earliest, so nothing past level max_cuts - 1 is
+      // ever expanded — the starting cap before any counting happens.
+      trunc_cap_.store(
+          max_cuts_ == 0
+              ? 0
+              : static_cast<std::uint32_t>(std::min<std::int64_t>(
+                    max_cuts_ - 1, static_cast<std::int64_t>(level_max_))),
+          std::memory_order_relaxed);
+    }
+  }
 
-  accepted.assign(cand.size(), 0);
-  pool.parallel_for(
-      num_shards,
-      [&](std::size_t b, std::size_t e) {
-        for (std::size_t shard = b; shard < e; ++shard)
-          for (const std::uint32_t j : by_shard[shard])
-            accepted[j] = insert(shard, j) ? 1 : 0;
-      },
-      /*grain=*/1);
+  /// Concurrent phase: explore until the frontier drains. The bottom cut
+  /// must not satisfy the predicate in definitely mode (callers handle
+  /// that case before building the engine).
+  void run(common::ThreadPool& pool) {
+    auto& bottom = scratch_[0];
+    std::fill(bottom.begin(), bottom.end(), 1u);
+    std::uint8_t fc = 0;
+    for (std::size_t s = 0; s < n_; ++s)
+      if (!comp_.local_pred(procs_[s], 1)) ++fc;
+    WCP_CHECK_MSG(!definitely_mode_ || fc > 0,
+                  "definitely engine started on a satisfying bottom cut");
+    const ZobristCutHash zob;
+    const auto r = table_.intern(0, store_, bottom, zob(bottom), 0, fc);
+    WCP_CHECK_MSG(r.outcome == LockFreeCutTable::Outcome::kInserted,
+                  "bottom cut intern failed");
+    bottom_ = r.handle;
+    if (!level_counts_.empty())
+      level_counts_[0].store(1, std::memory_order_relaxed);
+    if (fc == 0) {
+      // possibly mode, satisfied at the bottom: the serial loop breaks on
+      // its first pop — nothing is ever expanded.
+      fetch_min(sat_cap_, 0);
+      return;
+    }
+    frontier_.seed(bottom_);
+    pool.parallel_for(
+        frontier_.lanes(),
+        [&](std::size_t b, std::size_t e) {
+          for (std::size_t lane = b; lane < e; ++lane)
+            frontier_.run_lane(
+                lane, [this, lane](std::uint32_t h) { expand(lane, h); });
+        },
+        /*grain=*/1);
+  }
+
+  LatticeResult replay_lattice() const;
+  DefinitelyResult replay_definitely() const;
+
+ private:
+  [[nodiscard]] std::uint32_t cap() const {
+    return std::min(sat_cap_.load(std::memory_order_relaxed),
+                    trunc_cap_.load(std::memory_order_relaxed));
+  }
+
+  void expand(std::size_t lane, CutHandle h);
+  void tighten_trunc_cap();
+
+  struct ReplayMaps;
+
+  const Computation& comp_;
+  std::span<const ProcessId> procs_;
+  std::size_t n_;
+  std::int64_t max_cuts_;
+  bool definitely_mode_;
+  std::uint64_t level_max_ = 0;
+  CutHandle bottom_ = kNoCut;
+
+  SegmentedCutStore store_;
+  LockFreeCutTable table_;
+  common::WorkFrontier frontier_;
+
+  std::vector<std::vector<std::uint32_t>> scratch_;  // per-lane cut buffer
+  std::vector<std::vector<std::uint32_t>> batch_;    // per-lane push batch
+  struct alignas(64) OpCounter {
+    std::uint64_t v = 0;
+  };
+  std::vector<OpCounter> ops_;  // per-lane expansions, for cap tightening
+
+  std::atomic<std::uint32_t> sat_cap_{0xFFFFFFFFu};
+  std::atomic<std::uint32_t> trunc_cap_{0xFFFFFFFFu};
+  std::vector<std::atomic<std::uint32_t>> level_counts_;
+  std::mutex tighten_mu_;
+};
+
+void ConcurrentEngine::expand(std::size_t lane, CutHandle h) {
+  const std::uint32_t lvl = store_.level(h);
+  // Pruned, not expanded: the caps only ever drop below a level the serial
+  // loop never expands, so the replay cannot reach this cut's successors.
+  if (lvl > cap()) return;
+
+  const auto cut = store_.cut(h);
+  auto& buf = scratch_[lane];
+  std::copy(cut.begin(), cut.end(), buf.begin());
+  const std::uint64_t parent_hash = store_.hash(h);
+  const std::uint8_t parent_fc = store_.false_count(h);
+  const auto succ = store_.succ(h);
+  auto& out = batch_[lane];
+  out.clear();
+
+  for (std::size_t s = 0; s < n_; ++s) {
+    succ[s] = kNoCut;
+    const auto ks = static_cast<StateIndex>(buf[s]) + 1;
+    if (ks > comp_.num_states(procs_[s])) continue;
+    bool consistent = true;
+    for (std::size_t t = 0; t < n_ && consistent; ++t) {
+      if (t == s) continue;
+      const auto kt = static_cast<StateIndex>(buf[t]);
+      if (comp_.happened_before(procs_[s], ks, procs_[t], kt) ||
+          comp_.happened_before(procs_[t], kt, procs_[s], ks))
+        consistent = false;
+    }
+    if (!consistent) continue;
+    // Successor predicate state in O(1): only slot s changed.
+    const auto fc = static_cast<std::uint8_t>(
+        parent_fc - (comp_.local_pred(procs_[s], ks - 1) ? 0 : 1) +
+        (comp_.local_pred(procs_[s], ks) ? 0 : 1));
+    // definitely mode explores only predicate-avoiding cuts: satisfying
+    // successors are filtered before interning, exactly like the serial
+    // loop's `continue` — they must not enter the visited set at all.
+    if (definitely_mode_ && fc == 0) continue;
+    const std::uint64_t hash =
+        ZobristCutHash::advance(parent_hash, s, buf[s], buf[s] + 1);
+    buf[s] += 1;
+    LockFreeCutTable::Result r;
+    for (;;) {
+      r = table_.intern(lane, store_, buf, hash, lvl + 1, fc);
+      if (r.outcome != LockFreeCutTable::Outcome::kTableFull) break;
+      frontier_.quiesce([this] { table_.grow(store_); });
+    }
+    buf[s] -= 1;
+    succ[s] = r.handle;
+    if (r.outcome == LockFreeCutTable::Outcome::kInserted) {
+      if (!level_counts_.empty())
+        level_counts_[lvl + 1].fetch_add(1, std::memory_order_relaxed);
+      if (!definitely_mode_ && fc == 0)
+        // Satisfying cuts are terminal (the serial loop breaks at its
+        // first satisfying pop, never expanding one) — don't push, but do
+        // drop the satisfaction cap to their level.
+        fetch_min(sat_cap_, lvl + 1);
+      else
+        out.push_back(r.handle);
+    }
+  }
+  store_.mark_expanded(h);
+  if (!out.empty()) frontier_.push_batch(lane, out);
+  if (!level_counts_.empty() && (++ops_[lane].v & 1023) == 0)
+    tighten_trunc_cap();
+}
+
+void ConcurrentEngine::tighten_trunc_cap() {
+  // Opportunistic: one lane scans at a time, the rest skip — the cap is an
+  // optimization, not a correctness gate (the starting max_cuts - 1 bound
+  // is already sound).
+  if (!tighten_mu_.try_lock()) return;
+  const std::lock_guard lk(tighten_mu_, std::adopt_lock);
+  const auto limit = static_cast<std::uint64_t>(max_cuts_);
+  const std::uint32_t cur = trunc_cap_.load(std::memory_order_relaxed);
+  std::uint64_t prefix = 0;
+  for (std::size_t l = 0; l < level_counts_.size() &&
+                          l <= static_cast<std::size_t>(cur);
+       ++l) {
+    prefix += level_counts_[l].load(std::memory_order_relaxed);
+    if (prefix >= limit) {
+      // The counted prefix through level l already reaches max_cuts, and
+      // counts never exceed the true lattice population, so the serial
+      // loop truncates before expanding anything past level l.
+      fetch_min(trunc_cap_, static_cast<std::uint32_t>(l));
+      return;
+    }
+  }
 }
 
 LatticeResult detect_lattice_serial(const Computation& comp,
@@ -233,151 +408,119 @@ LatticeResult detect_lattice_serial(const Computation& comp,
   return res;
 }
 
-LatticeResult detect_lattice_parallel(const Computation& comp,
-                                      std::int64_t max_cuts,
-                                      std::size_t threads) {
-  const auto procs = comp.predicate_processes();
-  const std::size_t n = procs.size();
-
-  common::ThreadPool pool(threads);
-  const std::size_t num_shards = pool.num_threads();
-
-  LatticeResult res;
-  const CutHash hasher;
-
-  // Visited shards double as the parent-offset map for witness-path
-  // reconstruction, exactly as in the definitely detector below.
-  std::vector<CutArena> arenas(num_shards, CutArena(n));
-  std::vector<CutTable> tables(num_shards);
-  std::vector<std::vector<ParentLink<ShardRef>>> parents(num_shards);
-  CutArena level(n), next(n), cand(n);
-  std::vector<ShardRef> level_refs, next_refs;
-
-  // Persistent per-level buffers (reset with capacity kept each level).
-  std::vector<std::uint8_t> sat;
-  std::vector<std::size_t> succ_count, cand_hash, acc_succ;
-  std::vector<std::uint32_t> cand_adv;
-  std::vector<Candidate> meta;
-  std::vector<std::vector<std::uint32_t>> by_shard(num_shards);
-  std::vector<std::uint8_t> accepted;
-  std::vector<ShardRef> refs;
-
-  {
-    const Cut initial(n, 1);
-    const std::size_t h = hasher(initial);
-    const std::size_t shard = h % num_shards;
-    tables[shard].intern(arenas[shard], initial, h);
-    parents[shard].push_back({make_ref(shard, 0), kNoSlot});
-    level.push(initial);
-    level_refs.push_back(make_ref(shard, 0));
-  }
-
-  const auto fill_stats = [&] {
-    for (const CutArena& a : arenas) a.add_stats(res.storage);
-    for (const CutTable& t : tables) t.add_stats(res.storage);
-    res.storage.peak_bytes +=
-        level.peak_bytes() + next.peak_bytes() + cand.peak_bytes();
-    res.storage.heap_allocs +=
-        level.growths() + next.growths() + cand.growths();
-  };
-
-  while (level.size() != 0) {
-    const std::size_t width = level.size();
-    // Phase A: evaluate + expand into stride-n candidate regions.
-    cand.resize(width * n);
-    cand_hash.assign(width * n, 0);
-    cand_adv.assign(width * n, 0);
-    sat.assign(width, 0);
-    succ_count.assign(width, 0);
-    pool.parallel_for(width, [&](std::size_t b, std::size_t e) {
-      for (std::size_t i = b; i < e; ++i) {
-        const auto cut = level.get(static_cast<CutHandle>(i));
-        bool ok = true;
-        for (std::size_t s = 0; s < n && ok; ++s)
-          if (!comp.local_pred(procs[s], static_cast<StateIndex>(cut[s])))
-            ok = false;
-        sat[i] = ok ? 1 : 0;
-        std::size_t count = 0;
-        for (std::size_t s = 0; s < n; ++s) {
-          const StateIndex ks = static_cast<StateIndex>(cut[s]) + 1;
-          if (ks > comp.num_states(procs[s])) continue;
-          bool consistent = true;
-          for (std::size_t t = 0; t < n && consistent; ++t) {
-            if (t == s) continue;
-            const auto kt = static_cast<StateIndex>(cut[t]);
-            if (comp.happened_before(procs[s], ks, procs[t], kt) ||
-                comp.happened_before(procs[t], kt, procs[s], ks))
-              consistent = false;
-          }
-          if (!consistent) continue;
-          const auto out = cand.slot(static_cast<CutHandle>(i * n + count));
-          std::copy(cut.begin(), cut.end(), out.begin());
-          out[s] = static_cast<std::uint32_t>(ks);
-          cand_hash[i * n + count] = hasher(out);
-          cand_adv[i * n + count] = static_cast<std::uint32_t>(s);
-          ++count;
-        }
-        succ_count[i] = count;
-      }
-    });
-
-    flatten_candidates(succ_count, cand_hash, cand_adv, n, num_shards, meta);
-    refs.assign(meta.size(), 0);
-    dedup_sharded(pool, meta, num_shards, by_shard, accepted,
-                  [&](std::size_t shard, std::size_t j) {
-                    const auto r = tables[shard].intern_packed(
-                        arenas[shard], cand.get(meta[j].slot), meta[j].hash);
-                    if (r.inserted)
-                      parents[shard].push_back(
-                          {level_refs[meta[j].parent], meta[j].adv});
-                    refs[j] = make_ref(shard, r.handle);
-                    return r.inserted;
-                  });
-
-    // Accepted-successor count per level cut, for the frontier-size replay.
-    acc_succ.assign(width, 0);
-    for (std::size_t j = 0; j < meta.size(); ++j)
-      if (accepted[j]) ++acc_succ[meta[j].parent];
-
-    // Serial replay: the serial loop pops level[i] off a queue holding the
-    // rest of this level plus the already-pushed successors of level[0..i).
-    std::size_t pushed = 0;
-    for (std::size_t i = 0; i < width; ++i) {
-      res.max_frontier =
-          std::max(res.max_frontier,
-                   static_cast<std::int64_t>(width - i + pushed));
-      ++res.cuts_explored;
-      if (sat[i]) {
-        res.detected = true;
-        res.cut = level.materialize(static_cast<CutHandle>(i));
-        res.witness_path = collect_path_slots(
-            level_refs[i],
-            [&](ShardRef r) { return parents[shard_of(r)][handle_of(r)]; });
-        fill_stats();
-        return res;
-      }
-      if (max_cuts >= 0 && res.cuts_explored >= max_cuts) {
-        res.truncated = true;
-        fill_stats();
-        return res;
-      }
-      pushed += acc_succ[i];
+/// Per-lane seen flags and parent links for the replay BFS, indexed by the
+/// (lane, local) decomposition of the store's handles.
+struct ConcurrentEngine::ReplayMaps {
+  explicit ReplayMaps(const SegmentedCutStore& store)
+      : seen(store.lanes()), parent(store.lanes()) {
+    for (std::size_t lane = 0; lane < store.lanes(); ++lane) {
+      seen[lane].assign(store.lane_count(lane), 0);
+      parent[lane].assign(store.lane_count(lane), {kNoCut, kNoSlot});
     }
-
-    next.clear();
-    next_refs.clear();
-    next.reserve(pushed);
-    next_refs.reserve(pushed);
-    for (std::size_t j = 0; j < meta.size(); ++j)
-      if (accepted[j]) {
-        next.push_packed(cand.get(meta[j].slot));
-        next_refs.push_back(refs[j]);
-      }
-    std::swap(level, next);
-    std::swap(level_refs, next_refs);
   }
-  fill_stats();
+  [[nodiscard]] bool visit(CutHandle h, CutHandle from, std::uint32_t slot) {
+    auto& flag = seen[h >> SegmentedCutStore::kLocalBits]
+                     [h & SegmentedCutStore::kLocalMask];
+    if (flag) return false;
+    flag = 1;
+    parent[h >> SegmentedCutStore::kLocalBits]
+          [h & SegmentedCutStore::kLocalMask] = {from, slot};
+    return true;
+  }
+  [[nodiscard]] ParentLink<CutHandle> link(CutHandle h) const {
+    return parent[h >> SegmentedCutStore::kLocalBits]
+                 [h & SegmentedCutStore::kLocalMask];
+  }
+  std::vector<std::vector<std::uint8_t>> seen;
+  std::vector<std::vector<ParentLink<CutHandle>>> parent;
+};
+
+LatticeResult ConcurrentEngine::replay_lattice() const {
+  LatticeResult res;
+  ReplayMaps maps(store_);
+  std::vector<CutHandle> queue;
+  queue.reserve(store_.total_cuts());
+  (void)maps.visit(bottom_, bottom_, kNoSlot);
+  queue.push_back(bottom_);
+
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    // queue mirrors the serial arena: pops in insertion order, so the
+    // frontier is the suffix [head, size).
+    res.max_frontier = std::max(
+        res.max_frontier, static_cast<std::int64_t>(queue.size() - head));
+    const CutHandle h = queue[head];
+    ++res.cuts_explored;
+    if (store_.satisfying(h)) {
+      res.detected = true;
+      res.cut = store_.materialize(h);
+      res.witness_path = collect_path_slots(
+          h, [&](CutHandle c) { return maps.link(c); });
+      break;
+    }
+    if (max_cuts_ >= 0 && res.cuts_explored >= max_cuts_) {
+      res.truncated = true;
+      break;
+    }
+    WCP_CHECK_MSG(store_.expanded(h),
+                  "concurrent phase pruned a cut the serial order expands");
+    const auto succ = store_.succ(h);
+    for (std::size_t s = 0; s < n_; ++s)
+      if (succ[s] != kNoCut &&
+          maps.visit(succ[s], h, static_cast<std::uint32_t>(s)))
+        queue.push_back(succ[s]);
+  }
+  store_.add_stats(res.storage);
+  table_.add_stats(res.storage);
   return res;
+}
+
+DefinitelyResult ConcurrentEngine::replay_definitely() const {
+  DefinitelyResult res;
+  res.definitely = true;  // until the top cut proves reachable
+  ReplayMaps maps(store_);
+  std::vector<CutHandle> queue;
+  queue.reserve(store_.total_cuts());
+  (void)maps.visit(bottom_, bottom_, kNoSlot);
+  queue.push_back(bottom_);
+
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const CutHandle h = queue[head];
+    ++res.cuts_explored;
+    // The top cut is the unique cut at the maximal level.
+    if (store_.level(h) == level_max_) {
+      res.definitely = false;  // an observation avoided the predicate
+      res.witness_path = collect_path_slots(
+          h, [&](CutHandle c) { return maps.link(c); });
+      res.witness = witness_from_path(comp_, n_, res.witness_path);
+      break;
+    }
+    if (max_cuts_ >= 0 && res.cuts_explored >= max_cuts_) {
+      res.truncated = true;
+      break;
+    }
+    WCP_CHECK_MSG(store_.expanded(h),
+                  "concurrent phase pruned a cut the serial order expands");
+    const auto succ = store_.succ(h);
+    for (std::size_t s = 0; s < n_; ++s)
+      if (succ[s] != kNoCut &&
+          maps.visit(succ[s], h, static_cast<std::uint32_t>(s)))
+        queue.push_back(succ[s]);
+  }
+  store_.add_stats(res.storage);
+  table_.add_stats(res.storage);
+  return res;
+}
+
+LatticeResult detect_lattice_concurrent(const Computation& comp,
+                                        std::int64_t max_cuts,
+                                        std::size_t threads) {
+  common::ThreadPool pool(threads);
+  ConcurrentEngine engine(
+      comp, max_cuts,
+      std::min(pool.num_threads(), SegmentedCutStore::kMaxLanes),
+      /*definitely_mode=*/false);
+  engine.run(pool);
+  return engine.replay_lattice();
 }
 
 DefinitelyResult detect_definitely_serial(const Computation& comp,
@@ -461,163 +604,31 @@ DefinitelyResult detect_definitely_serial(const Computation& comp,
   return res;
 }
 
-DefinitelyResult detect_definitely_parallel(const Computation& comp,
-                                            std::int64_t max_cuts,
-                                            std::size_t threads) {
+DefinitelyResult detect_definitely_concurrent(const Computation& comp,
+                                              std::int64_t max_cuts,
+                                              std::size_t threads) {
   const auto procs = comp.predicate_processes();
   const std::size_t n = procs.size();
 
-  common::ThreadPool pool(threads);
-  const std::size_t num_shards = pool.num_threads();
-
-  DefinitelyResult res;
-  const CutHash hasher;
-
-  auto satisfies = [&](const Cut& cut) {
-    for (std::size_t s = 0; s < n; ++s)
-      if (!comp.local_pred(procs[s], cut[s])) return false;
-    return true;
-  };
-
-  Cut top(n);
-  for (std::size_t s = 0; s < n; ++s) top[s] = comp.num_states(procs[s]);
-
-  const Cut initial(n, 1);
-  if (satisfies(initial)) {
+  // Bottom-satisfies early return, byte-identical to the serial prologue
+  // (the engine requires a non-satisfying bottom in definitely mode).
+  bool bottom_sat = true;
+  for (std::size_t s = 0; s < n && bottom_sat; ++s)
+    if (!comp.local_pred(procs[s], 1)) bottom_sat = false;
+  if (bottom_sat) {
+    DefinitelyResult res;
     res.definitely = true;
     res.cuts_explored = 1;
     return res;
   }
 
-  // Visited shards double as the parent-offset map for witness
-  // reconstruction: parents[shard][h] is the cross-shard reference of the
-  // BFS predecessor of the cut interned at (shard, h), plus the slot the
-  // advance took.
-  std::vector<CutArena> arenas(num_shards, CutArena(n));
-  std::vector<CutTable> tables(num_shards);
-  std::vector<std::vector<ParentLink<ShardRef>>> parents(num_shards);
-  CutArena level(n), next(n), cand(n);
-  std::vector<ShardRef> level_refs, next_refs;
-
-  std::vector<std::size_t> succ_count, cand_hash;
-  std::vector<std::uint32_t> cand_adv;
-  std::vector<Candidate> meta;
-  std::vector<std::vector<std::uint32_t>> by_shard(num_shards);
-  std::vector<std::uint8_t> accepted;
-  std::vector<ShardRef> refs;
-
-  {
-    const std::size_t h = hasher(initial);
-    const std::size_t shard = h % num_shards;
-    tables[shard].intern(arenas[shard], initial, h);
-    parents[shard].push_back({make_ref(shard, 0), kNoSlot});
-    level.push(initial);
-    level_refs.push_back(make_ref(shard, 0));
-  }
-
-  const auto fill_stats = [&] {
-    for (const CutArena& a : arenas) a.add_stats(res.storage);
-    for (const CutTable& t : tables) t.add_stats(res.storage);
-    res.storage.peak_bytes +=
-        level.peak_bytes() + next.peak_bytes() + cand.peak_bytes();
-    res.storage.heap_allocs +=
-        level.growths() + next.growths() + cand.growths();
-  };
-  const auto link_of = [&](ShardRef r) {
-    return parents[shard_of(r)][handle_of(r)];
-  };
-  const auto is_top = [&](std::span<const std::uint32_t> cut) {
-    for (std::size_t s = 0; s < n; ++s)
-      if (static_cast<StateIndex>(cut[s]) != top[s]) return false;
-    return true;
-  };
-
-  res.definitely = true;  // until the top cut proves reachable
-  while (level.size() != 0) {
-    const std::size_t width = level.size();
-    // Phase A. Successors blocked by the WCP (satisfying cuts) are filtered
-    // here and never become candidates — mirroring the serial `continue`.
-    cand.resize(width * n);
-    cand_hash.assign(width * n, 0);
-    cand_adv.assign(width * n, 0);
-    succ_count.assign(width, 0);
-    pool.parallel_for(width, [&](std::size_t b, std::size_t e) {
-      for (std::size_t i = b; i < e; ++i) {
-        const auto cut = level.get(static_cast<CutHandle>(i));
-        std::size_t count = 0;
-        for (std::size_t s = 0; s < n; ++s) {
-          const StateIndex ks = static_cast<StateIndex>(cut[s]) + 1;
-          if (ks > comp.num_states(procs[s])) continue;
-          bool consistent = true;
-          for (std::size_t t = 0; t < n && consistent; ++t) {
-            if (t == s) continue;
-            const auto kt = static_cast<StateIndex>(cut[t]);
-            if (comp.happened_before(procs[s], ks, procs[t], kt) ||
-                comp.happened_before(procs[t], kt, procs[s], ks))
-              consistent = false;
-          }
-          if (!consistent) continue;
-          bool sat = true;
-          for (std::size_t t = 0; t < n && sat; ++t) {
-            const StateIndex kt =
-                t == s ? ks : static_cast<StateIndex>(cut[t]);
-            if (!comp.local_pred(procs[t], kt)) sat = false;
-          }
-          if (sat) continue;
-          const auto out = cand.slot(static_cast<CutHandle>(i * n + count));
-          std::copy(cut.begin(), cut.end(), out.begin());
-          out[s] = static_cast<std::uint32_t>(ks);
-          cand_hash[i * n + count] = hasher(out);
-          cand_adv[i * n + count] = static_cast<std::uint32_t>(s);
-          ++count;
-        }
-        succ_count[i] = count;
-      }
-    });
-
-    flatten_candidates(succ_count, cand_hash, cand_adv, n, num_shards, meta);
-    refs.assign(meta.size(), 0);
-    dedup_sharded(pool, meta, num_shards, by_shard, accepted,
-                  [&](std::size_t shard, std::size_t j) {
-                    const auto r = tables[shard].intern_packed(
-                        arenas[shard], cand.get(meta[j].slot), meta[j].hash);
-                    if (r.inserted)
-                      parents[shard].push_back(
-                          {level_refs[meta[j].parent], meta[j].adv});
-                    refs[j] = make_ref(shard, r.handle);
-                    return r.inserted;
-                  });
-
-    for (std::size_t i = 0; i < width; ++i) {
-      ++res.cuts_explored;
-      if (is_top(level.get(static_cast<CutHandle>(i)))) {
-        res.definitely = false;
-        res.witness_path = collect_path_slots(level_refs[i], link_of);
-        res.witness = witness_from_path(comp, n, res.witness_path);
-        fill_stats();
-        return res;
-      }
-      if (max_cuts >= 0 && res.cuts_explored >= max_cuts) {
-        res.truncated = true;
-        fill_stats();
-        return res;
-      }
-    }
-
-    next.clear();
-    next_refs.clear();
-    next.reserve(meta.size());
-    next_refs.reserve(meta.size());
-    for (std::size_t j = 0; j < meta.size(); ++j)
-      if (accepted[j]) {
-        next.push_packed(cand.get(meta[j].slot));
-        next_refs.push_back(refs[j]);
-      }
-    std::swap(level, next);
-    std::swap(level_refs, next_refs);
-  }
-  fill_stats();
-  return res;
+  common::ThreadPool pool(threads);
+  ConcurrentEngine engine(
+      comp, max_cuts,
+      std::min(pool.num_threads(), SegmentedCutStore::kMaxLanes),
+      /*definitely_mode=*/true);
+  engine.run(pool);
+  return engine.replay_definitely();
 }
 
 }  // namespace
@@ -631,9 +642,13 @@ LatticeResult detect_lattice(const Computation& comp, std::int64_t max_cuts,
   // on the lazy build, and doing it here for the serial path too keeps the
   // reported trace-store stats identical across thread counts.
   (void)comp.trace_store();
-  LatticeResult res = threads <= 1
-                          ? detect_lattice_serial(comp, max_cuts)
-                          : detect_lattice_parallel(comp, max_cuts, threads);
+  // The concurrent engine packs the predicate-false count into a byte;
+  // wider predicates (absurd in practice) take the serial path, which is
+  // result-identical anyway.
+  LatticeResult res =
+      threads <= 1 || procs.size() > 255
+          ? detect_lattice_serial(comp, max_cuts)
+          : detect_lattice_concurrent(comp, max_cuts, threads);
   res.trace_store = comp.trace_store_stats();
   return res;
 }
@@ -646,8 +661,9 @@ DefinitelyResult detect_definitely(const Computation& comp,
   if (threads == 0) threads = common::ThreadPool::default_threads();
   (void)comp.trace_store();
   DefinitelyResult res =
-      threads <= 1 ? detect_definitely_serial(comp, max_cuts)
-                   : detect_definitely_parallel(comp, max_cuts, threads);
+      threads <= 1 || procs.size() > 255
+          ? detect_definitely_serial(comp, max_cuts)
+          : detect_definitely_concurrent(comp, max_cuts, threads);
   res.trace_store = comp.trace_store_stats();
   return res;
 }

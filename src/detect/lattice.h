@@ -12,15 +12,19 @@
 // the paper's algorithms; bench E10 measures the blowup.
 //
 // Both detectors accept a `threads` parameter. threads == 1 (the default)
-// runs the reference serial BFS; threads != 1 runs the level-parallel BFS:
-// each antichain level's predicate evaluation and successor generation fan
-// out across a common::ThreadPool, duplicates are eliminated against
-// visited shards hash-partitioned by wcp::CutHash, and the shard outputs
-// are merged at the level barrier in submission order. Verdict, cut,
-// cuts_explored and max_frontier are bit-identical to the serial path for
-// every thread count (tests/lattice_test.cc sweeps threads ∈ {1,2,8}).
+// runs the reference serial BFS; threads > 1 runs the barrier-free
+// concurrent engine (ALGORITHMS.md §15): lanes pop cut handles from a
+// work-stealing frontier in arbitrary order, intern successors exactly
+// once through a lockless CAS-published hash table over per-lane arena
+// segments (incremental Zobrist hashing, O(1) per advance), and record
+// each cut's successor handles. A deterministic serial replay then walks
+// the recorded successor graph in exact serial BFS order, so verdict, cut,
+// cuts_explored, max_frontier, and witness_path are byte-identical to the
+// serial path at every thread count (tests/flat_storage_equiv_test.cc
+// byte-diffs full JSON reports at threads 1/2/4/8).
 // threads == 0 resolves to common::ThreadPool::default_threads()
-// (WCP_THREADS env var, else hardware_concurrency()).
+// (WCP_THREADS env var — which must be a positive integer — else
+// hardware_concurrency()).
 // Cut storage: both detectors keep every visited cut in flat arenas
 // (common/cut_storage.h) — packed 32-bit components, open-addressing
 // dedup tables with precomputed hashes, dense-handle parent vectors —

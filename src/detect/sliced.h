@@ -32,13 +32,22 @@
 namespace wcp::detect {
 
 /// possibly(WCP) from the slice bottom; agrees with detect_lattice.
-LatticeResult detect_lattice_sliced(const Computation& comp);
+/// `threads` exists for interface uniformity with detect_lattice (the CLI
+/// and sweep runner pass --threads through every detector): the JIL
+/// fixpoint is inherently serial — a chain of dependent candidate
+/// eliminations — so the parameter only resolves 0 via default_threads()
+/// and the result is identical for every value, which the differential
+/// sweep in tests/flat_storage_equiv_test.cc asserts.
+LatticeResult detect_lattice_sliced(const Computation& comp,
+                                    std::size_t threads = 1);
 
 /// definitely(WCP) via the false-interval handoff search. `max_cuts` caps
 /// the number of candidate handoff cuts examined (<0: unbounded); on cap
 /// the result is inconclusive and truncated is set, mirroring the baseline.
+/// `threads` as in detect_lattice_sliced: accepted, thread-invariant.
 DefinitelyResult detect_definitely_sliced(const Computation& comp,
-                                          std::int64_t max_cuts = -1);
+                                          std::int64_t max_cuts = -1,
+                                          std::size_t threads = 1);
 
 /// Outcome of one online slicing run (see slice/online_slicer.h).
 struct SliceOnlineResult {

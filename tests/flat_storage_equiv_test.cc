@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "common/cut_hash.h"
+#include "detect/batch.h"
 #include "detect/gcp.h"
 #include "detect/lattice.h"
+#include "detect/sliced.h"
 #include "slice/slice.h"
 #include "workload/random_workload.h"
 
@@ -316,6 +318,112 @@ TEST(FlatStorageEquiv, SliceEnumerationMatchesBruteForceSatisfyingCuts) {
     std::sort(brute.begin(), brute.end());
     std::sort(enumerated.begin(), enumerated.end());
     EXPECT_EQ(enumerated, brute) << "seed " << seed;
+  }
+}
+
+// ---- concurrent-engine differential oracle ----------------------------------
+//
+// The barrier-free engine (ALGORITHMS.md §15) promises byte-identical
+// observable output at every thread count: the concurrent phase may visit
+// cuts in any order, but the serial replay reproduces the reference BFS
+// exactly. The sweep below drives lattice / definitely / sliced over 32
+// randomized traces — including truncation caps and witness-producing
+// traces — at threads 1/2/4/8 and byte-diffs the full JSON run reports
+// (which exclude the storage block, the one legitimately thread-variant
+// field) against the serial rows.
+
+TEST(FlatStorageEquiv, DifferentialOracleSweepByteIdenticalReports) {
+  struct TraceSpec {
+    std::uint64_t seed;
+    std::size_t N, n;
+    std::int64_t m;
+    double prob;
+    std::int64_t max_cuts;
+  };
+  std::vector<TraceSpec> specs;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    TraceSpec t;
+    t.seed = 100 + i;
+    t.N = 4 + i % 2;
+    t.n = 3 + i % 2;
+    t.m = 6 + static_cast<std::int64_t>(i % 6);
+    constexpr double kProbs[] = {0.05, 0.2, 0.35, 0.5};
+    t.prob = kProbs[i % 4];
+    // Every fifth trace gets a tiny cap to exercise the truncation path;
+    // low-prob traces among the rest produce definitely=false witnesses.
+    t.max_cuts = (i % 5 == 4) ? 25 : 10'000'000;
+    specs.push_back(t);
+  }
+
+  const std::vector<std::string> algos = {"lattice", "lattice-sliced",
+                                          "definitely", "definitely-sliced"};
+  bool saw_truncation = false, saw_witness = false, saw_detection = false;
+  for (const TraceSpec& ts : specs) {
+    const auto comp = random_comp(ts.seed, ts.N, ts.n, ts.m, ts.prob);
+    std::vector<SweepJob> jobs;
+    for (const std::string& algo : algos) {
+      SweepJob j;
+      j.algo = algo;
+      j.seed = ts.seed;
+      j.max_cuts = ts.max_cuts;
+      j.threads = 1;
+      jobs.push_back(std::move(j));
+    }
+    const auto base = run_sweep(comp, jobs, /*threads=*/1);
+    ASSERT_EQ(base.size(), algos.size());
+    for (const SweepRow& row : base) {
+      if (row.verdict && row.algo == "lattice") saw_detection = true;
+      if (!row.verdict && row.algo == "definitely" && !row.cut.empty())
+        saw_witness = true;
+      if (row.report.find("\"truncated\":1") != std::string::npos)
+        saw_truncation = true;
+    }
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+      auto tj = jobs;
+      for (SweepJob& j : tj) j.threads = threads;
+      const auto rows = run_sweep(comp, tj, /*threads=*/1);
+      ASSERT_EQ(rows.size(), base.size());
+      for (std::size_t k = 0; k < rows.size(); ++k) {
+        EXPECT_EQ(rows[k].verdict, base[k].verdict)
+            << algos[k] << " seed " << ts.seed << " threads " << threads;
+        EXPECT_EQ(rows[k].cut, base[k].cut)
+            << algos[k] << " seed " << ts.seed << " threads " << threads;
+        EXPECT_EQ(rows[k].cost, base[k].cost)
+            << algos[k] << " seed " << ts.seed << " threads " << threads;
+        EXPECT_EQ(rows[k].report, base[k].report)
+            << algos[k] << " seed " << ts.seed << " threads " << threads
+            << ": JSON report not byte-identical";
+      }
+    }
+  }
+  // The spec mix must actually cover the interesting regimes.
+  EXPECT_TRUE(saw_detection);
+  EXPECT_TRUE(saw_witness);
+  EXPECT_TRUE(saw_truncation);
+}
+
+TEST(FlatStorageEquiv, WitnessPathsByteIdenticalAcrossThreads) {
+  // witness_path is not part of the sweep report; compare the full result
+  // structs directly (everything except the storage block).
+  for (std::uint64_t seed = 50; seed < 62; ++seed) {
+    const auto comp = random_comp(seed, 4, 4, 10, /*prob=*/0.3);
+    const auto bl = detect_lattice(comp, -1, 1);
+    const auto bd = detect_definitely(comp, -1, 1);
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+      const auto l = detect_lattice(comp, -1, threads);
+      EXPECT_EQ(l.detected, bl.detected) << seed << "/" << threads;
+      EXPECT_EQ(l.truncated, bl.truncated) << seed << "/" << threads;
+      EXPECT_EQ(l.cut, bl.cut) << seed << "/" << threads;
+      EXPECT_EQ(l.cuts_explored, bl.cuts_explored) << seed << "/" << threads;
+      EXPECT_EQ(l.max_frontier, bl.max_frontier) << seed << "/" << threads;
+      EXPECT_EQ(l.witness_path, bl.witness_path) << seed << "/" << threads;
+      const auto d = detect_definitely(comp, -1, threads);
+      EXPECT_EQ(d.definitely, bd.definitely) << seed << "/" << threads;
+      EXPECT_EQ(d.truncated, bd.truncated) << seed << "/" << threads;
+      EXPECT_EQ(d.cuts_explored, bd.cuts_explored) << seed << "/" << threads;
+      EXPECT_EQ(d.witness, bd.witness) << seed << "/" << threads;
+      EXPECT_EQ(d.witness_path, bd.witness_path) << seed << "/" << threads;
+    }
   }
 }
 
