@@ -1,120 +1,34 @@
 // wcp_served — the streaming detection daemon.
 //
-// Listens on a loopback TCP port and serves `wcp-stream 1` connections:
-// each client opens a session (HELLO), attaches detection subscriptions,
-// streams vector-clock snapshots, and receives VERDICT frames online plus
-// a final STATS frame. Frontier GC keeps per-connection memory bounded by
-// the slowest subscription's frontier, not by stream length.
+// Listens on a loopback TCP port and serves `wcp-stream 1` connections on
+// an epoll event loop (serve/event_loop.h): each client opens a session
+// (HELLO), attaches detection subscriptions, streams vector-clock
+// snapshots, and receives VERDICT frames online plus a final STATS frame.
+// Frontier GC keeps per-connection memory bounded by the slowest
+// subscription's frontier, not by stream length; the event loop multiplexes
+// all connections on a few loop threads, so concurrency is bounded by fds,
+// not by thread stacks.
 //
 //   $ wcp_served --port 0            # ephemeral port, printed on stdout
 //   $ wcp_served --port 7410 --once 4 --gc-every 32 --json
 //
-// Flags:
-//   --port p      listen port (0 = kernel-assigned ephemeral; default 7410)
-//   --once k      exit after serving k connections (0 = run forever)
-//   --threads t   worker lanes for concurrent connections (default 0 = auto)
-//   --gc-every k  snapshots between frontier-GC rounds (0 disables GC)
-//   --window w    resequencing window (max out-of-order frames buffered)
-//   --json        per-connection wcp-run-report/1 lines on stdout
-#include <atomic>
-#include <cstring>
+// All the logic lives in serve/daemon.{h,cc} (so the flag parser and
+// report writer are unit-tested); this file is just main().
 #include <iostream>
-#include <map>
-#include <memory>
+#include <stdexcept>
 #include <string>
-#include <thread>
+#include <vector>
 
-#include "common/json.h"
-#include "common/thread_pool.h"
-#include "serve/server.h"
-#include "serve/tcp.h"
-
-namespace {
-
-using namespace wcp;
-
-std::int64_t arg_int(const std::map<std::string, std::string>& flags,
-                     const std::string& key, std::int64_t def) {
-  auto it = flags.find(key);
-  return it == flags.end() ? def
-                           : std::strtoll(it->second.c_str(), nullptr, 10);
-}
-
-void report_connection(std::int64_t id, const serve::ConnectionResult& r,
-                       bool as_json) {
-  if (as_json) {
-    json::Writer w(std::cout);
-    w.begin_object();
-    w.key("schema").value("wcp-run-report/1");
-    w.key("name").value("served:connection");
-    w.key("connection").value(id);
-    w.key("clean").value(r.clean ? 1 : 0);
-    if (!r.error.empty()) w.key("error").value(r.error);
-    w.key("metrics");
-    w.begin_object();
-    for (const auto& [name, value] : r.stats.items()) w.key(name).value(value);
-    w.end_object();
-    w.end_object();
-    std::cout << "\n";
-  } else {
-    std::cout << "connection " << id << (r.clean ? ": clean" : ": failed")
-              << " frames=" << r.stats.frames_in
-              << " snapshots=" << r.stats.snapshots_in
-              << " subscriptions=" << r.stats.subscriptions
-              << " verdicts_detected=" << r.stats.verdicts_detected
-              << " gc_rounds=" << r.stats.gc_rounds
-              << " states_retired=" << r.stats.states_retired;
-    if (!r.error.empty()) std::cout << " error=\"" << r.error << '"';
-    std::cout << "\n";
-  }
-  std::cout.flush();
-}
-
-}  // namespace
+#include "serve/daemon.h"
 
 int main(int argc, char** argv) {
-  std::map<std::string, std::string> flags;
-  for (int i = 1; i < argc; ++i) {
-    std::string s = argv[i];
-    if (s.rfind("--", 0) != 0) continue;
-    const std::string key = s.substr(2);
-    if (key != "json" && i + 1 < argc)
-      flags[key] = argv[++i];
-    else
-      flags[key] = "";
-  }
-  const bool as_json = flags.contains("json");
-  const auto once = arg_int(flags, "once", 0);
-
-  serve::ServeOptions opts;
-  opts.gc_every = static_cast<std::size_t>(arg_int(flags, "gc-every", 64));
-  opts.reseq_window = static_cast<std::size_t>(arg_int(flags, "window", 256));
-
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  wcp::serve::DaemonOptions opts;
   try {
-    serve::TcpListener listener(
-        static_cast<std::uint16_t>(arg_int(flags, "port", 7410)));
-    std::cout << "wcp_served: listening on 127.0.0.1:" << listener.port()
-              << "\n";
-    std::cout.flush();
-
-    common::ThreadPool pool(
-        static_cast<std::size_t>(arg_int(flags, "threads", 0)));
-    std::atomic<std::int64_t> active{0};
-    std::int64_t served = 0;
-    while (once == 0 || served < once) {
-      std::shared_ptr<serve::TcpTransport> conn = listener.accept();
-      const std::int64_t id = served++;
-      ++active;
-      pool.submit([conn, id, opts, as_json, &active] {
-        const serve::ConnectionResult r = serve::serve_connection(*conn, opts);
-        report_connection(id, r, as_json);
-        --active;
-      });
-    }
-    while (active.load() > 0) std::this_thread::yield();
-  } catch (const std::exception& e) {
-    std::cerr << "wcp_served: " << e.what() << "\n";
-    return 1;
+    opts = wcp::serve::parse_daemon_flags(args);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n" << wcp::serve::daemon_usage();
+    return 2;
   }
-  return 0;
+  return wcp::serve::run_daemon(opts, std::cout, std::cerr);
 }

@@ -1,0 +1,48 @@
+// The wcp_served daemon as a library: strict flag parsing, per-connection
+// reporting, and the listen/serve loop over the epoll EventLoopServer.
+// Living here (instead of inside examples/wcp_served.cpp) makes every
+// piece unit-testable: the malformed-flag corpus, the well-formedness of
+// concurrent report lines, and the daemon loop itself.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/event_loop.h"
+
+namespace wcp::serve {
+
+struct DaemonOptions {
+  std::uint16_t port = 7410;  ///< 0 = kernel-assigned ephemeral
+  std::int64_t once = 0;      ///< exit after serving this many (0 = forever)
+  bool json = false;          ///< wcp-run-report/1 lines instead of text
+  EventLoopOptions loop;
+};
+
+/// Parses wcp_served's argv (without argv[0]). Strict: unknown flags,
+/// non-flag arguments, missing values (a value flag followed by another
+/// `--flag` or nothing), non-numeric or out-of-range numbers all throw
+/// std::invalid_argument with a message naming the offending flag —
+/// malformed input never silently parses as a default.
+[[nodiscard]] DaemonOptions parse_daemon_flags(
+    const std::vector<std::string>& args);
+
+[[nodiscard]] std::string daemon_usage();
+
+/// Writes one complete report line for a finished connection (JSON
+/// `wcp-run-report/1` or human-readable) with a single stream insertion,
+/// so serialized callers can never interleave partial lines.
+void report_connection(std::ostream& out, std::int64_t id,
+                       const ConnectionResult& r, bool as_json);
+
+/// Binds the listener, prints the "listening on" line to `out`, and
+/// serves on the epoll event loop until `opts.once` connections complete
+/// (forever when 0). Returns the process exit code (0, or 1 after a fatal
+/// server error printed to `err`). Per-connection failures are reported
+/// and survived, never fatal.
+int run_daemon(const DaemonOptions& opts, std::ostream& out,
+               std::ostream& err);
+
+}  // namespace wcp::serve

@@ -7,11 +7,7 @@
 
 namespace wcp::serve {
 
-namespace {
-
-/// Enqueues the whole stream (hello, subscriptions, snapshots in
-/// round-robin state order, eos, finish) on the client.
-void enqueue_stream(StreamClient& client, const Computation& comp,
+void enqueue_replay(StreamClient& client, const Computation& comp,
                     const ReplayOptions& opts) {
   const std::span<const ProcessId> preds = comp.predicate_processes();
   const auto n = preds.size();
@@ -44,8 +40,6 @@ void enqueue_stream(StreamClient& client, const Computation& comp,
   client.finish();
 }
 
-}  // namespace
-
 ReplayResult replay_stream(const Computation& comp,
                            const ReplayOptions& opts) {
   auto [client_end, server_end] = make_pipe(opts.faults);
@@ -56,7 +50,7 @@ ReplayResult replay_stream(const Computation& comp,
   });
 
   StreamClient client(*client_end, opts.client);
-  enqueue_stream(client, comp, opts);
+  enqueue_replay(client, comp, opts);
 
   // Event loop: alternate client pump with server frame processing until
   // the stats frame lands. A stalled round means the pipe dropped frames;
@@ -92,7 +86,7 @@ ReplayResult replay_stream_over(const Computation& comp,
                                 const ReplayOptions& opts,
                                 Transport& transport) {
   StreamClient client(transport, opts.client);
-  enqueue_stream(client, comp, opts);
+  enqueue_replay(client, comp, opts);
   while (!client.done()) {
     if (!client.pump(/*block=*/true))
       WCP_CHECK_MSG(!transport.closed(),

@@ -46,6 +46,13 @@ struct ReplayResult {
   std::int64_t retransmits = 0;
 };
 
+/// Enqueues `comp`'s whole stream (hello, subscriptions, snapshots in
+/// round-robin state order, eos, finish) on a client. The building block
+/// of both replay drivers and of external drivers that pump many clients
+/// concurrently (the E21 saturation bench).
+void enqueue_replay(StreamClient& client, const Computation& comp,
+                    const ReplayOptions& opts);
+
 /// Replays `comp` through a fresh session over an in-process pipe with the
 /// given faults. Throws on protocol violations (which a clean replay never
 /// triggers) and on transport deadlock.

@@ -6,31 +6,77 @@
 
 namespace wcp::serve {
 
+ConnectionDriver::ConnectionDriver(Transport& transport,
+                                   const ServeOptions& opts)
+    : transport_(transport),
+      session_(opts, [this](std::vector<std::uint8_t> bytes) {
+        transport_.send(std::move(bytes));
+      }) {}
+
+bool ConnectionDriver::on_frame(std::span<const std::uint8_t> bytes) {
+  if (done_) return false;
+  try {
+    session_.on_frame(bytes);
+  } catch (const std::invalid_argument& e) {
+    fail_protocol(e.what());
+    return false;
+  }
+  if (session_.finished()) {
+    result_.clean = true;
+    finalize();
+    return false;
+  }
+  return true;
+}
+
+void ConnectionDriver::on_peer_closed() {
+  if (done_) return;
+  result_.clean = session_.finished();
+  finalize();
+}
+
+void ConnectionDriver::fail_protocol(const std::string& what) {
+  if (done_) return;
+  result_.error = what;
+  try {
+    transport_.send(encode_frame(make_error(what), /*seq=*/0));
+  } catch (...) {
+    // Best effort: the peer may already be gone.
+  }
+  finalize();
+}
+
+void ConnectionDriver::on_transport_error(const std::string& what) {
+  if (done_) return;
+  if (result_.error.empty()) result_.error = what;
+  finalize();
+}
+
+void ConnectionDriver::finalize() {
+  result_.stats = session_.stats();
+  done_ = true;
+}
+
 ConnectionResult serve_connection(Transport& transport,
                                   const ServeOptions& opts) {
-  Session session(opts, [&transport](std::vector<std::uint8_t> bytes) {
-    transport.send(bytes);
-  });
-  ConnectionResult result;
+  ConnectionDriver driver(transport, opts);
   try {
-    while (!session.finished()) {
+    while (!driver.done()) {
       std::optional<std::vector<std::uint8_t>> raw =
           transport.receive(/*block=*/true);
-      if (!raw) break;  // peer closed mid-stream
-      session.on_frame(*raw);
+      if (!raw) {
+        driver.on_peer_closed();
+        break;
+      }
+      driver.on_frame(*raw);
     }
-    result.clean = session.finished();
   } catch (const std::invalid_argument& e) {
-    result.error = e.what();
-    try {
-      transport.send(encode_frame(make_error(e.what()), /*seq=*/0));
-    } catch (...) {
-      // Best effort: the peer may already be gone.
-    }
+    driver.fail_protocol(e.what());
+  } catch (const std::exception& e) {
+    driver.on_transport_error(e.what());
   }
-  result.stats = session.stats();
   transport.close();
-  return result;
+  return driver.result();
 }
 
 }  // namespace wcp::serve

@@ -1,13 +1,22 @@
-// Server side of a `wcp-stream 1` connection: a blocking per-connection
-// loop that feeds a Session from a Transport and ships its output back.
+// Server side of a `wcp-stream 1` connection.
 //
-// Protocol violations (std::invalid_argument from the session or decoder)
-// become an ERROR frame on the wire before the connection is closed, so a
-// misbehaving client learns exactly which frame broke the stream instead
-// of seeing a silent hangup.
+// ConnectionDriver is the transport-agnostic frame-at-a-time state machine:
+// feed it complete raw frames as they arrive and it pushes the session's
+// responses back through the transport, classifying the three ways a
+// connection ends — clean FINISH, protocol violation (an ERROR frame is
+// sent so a misbehaving client learns exactly which frame broke the stream
+// instead of seeing a silent hangup), and transport failure (the peer is
+// gone; nothing can be sent). Both connection hosts are built on it:
+//
+//   - serve_connection(): the blocking loop (one thread per connection) —
+//     receive(block=true), feed, repeat. Used by tests and simple embeds.
+//   - EventLoopServer (serve/event_loop.h): the epoll reactor feeds each
+//     connection's driver only when its socket is readable, multiplexing
+//     thousands of connections on a few loop threads.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 
 #include "serve/session.h"
@@ -21,8 +30,47 @@ struct ConnectionResult {
   std::string error;         ///< set when the session was failed
 };
 
-/// Serves one connection to completion. Blocks until the client finishes
-/// (FINISH applied), the transport closes, or a protocol violation occurs.
+/// Drives one server-side connection a frame at a time. Not thread-safe;
+/// one driver is owned by exactly one connection host.
+class ConnectionDriver {
+ public:
+  ConnectionDriver(Transport& transport, const ServeOptions& opts);
+
+  /// Feeds one complete raw frame (length prefix included). Returns true
+  /// while the connection should keep reading; false once it is done
+  /// (clean finish or protocol violation — never throws for those).
+  /// Transport errors raised while emitting responses (std::runtime_error
+  /// from Transport::send) propagate; route them to on_transport_error().
+  bool on_frame(std::span<const std::uint8_t> bytes);
+
+  /// Peer EOF before FINISH: finalizes (clean only if the session had
+  /// already finished).
+  void on_peer_closed();
+  /// Protocol violation raised outside on_frame (e.g. the frame assembler
+  /// rejecting a corrupt length prefix): sends a best-effort ERROR frame
+  /// and finalizes, exactly like an in-frame violation.
+  void fail_protocol(const std::string& what);
+  /// Transport-level failure (send/recv error): finalizes with the
+  /// message; nothing more can be sent to this peer.
+  void on_transport_error(const std::string& what);
+
+  /// No further frames are expected; result() is final.
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] const ConnectionResult& result() const { return result_; }
+
+ private:
+  void finalize();
+
+  Transport& transport_;
+  Session session_;
+  ConnectionResult result_;
+  bool done_ = false;
+};
+
+/// Serves one connection to completion on the calling thread. Blocks until
+/// the client finishes (FINISH applied), the transport closes, or a
+/// protocol violation occurs. Never throws for per-connection failures —
+/// they are reported in the result.
 ConnectionResult serve_connection(Transport& transport,
                                   const ServeOptions& opts);
 

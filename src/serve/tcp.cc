@@ -1,6 +1,7 @@
 #include "serve/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -23,25 +24,67 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+void fd_nonblocking(int fd) {
+  const int fl = ::fcntl(fd, F_GETFL, 0);
+  if (fl < 0 || ::fcntl(fd, F_SETFL, fl | O_NONBLOCK) < 0)
+    fail_errno("fcntl O_NONBLOCK");
+}
+
 }  // namespace
 
 TcpTransport::TcpTransport(int fd) : fd_(fd) { set_nodelay(fd_); }
 
 TcpTransport::~TcpTransport() { close(); }
 
+void TcpTransport::set_nonblocking() {
+  fd_nonblocking(fd_);
+  nonblocking_ = true;
+}
+
 void TcpTransport::send(std::vector<std::uint8_t> frame) {
-  if (fd_ < 0) return;
-  std::size_t off = 0;
-  while (off < frame.size()) {
-    const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      peer_closed_ = true;
-      return;  // peer gone; receive() will report the close
-    }
-    off += static_cast<std::size_t>(n);
+  if (fd_ < 0 || peer_closed_)
+    throw std::runtime_error("tcp send: connection is closed");
+  if (pending_out() == 0) {
+    out_ = std::move(frame);
+    out_off_ = 0;
+  } else {
+    out_.insert(out_.end(), frame.begin(), frame.end());
   }
+  flush();
+}
+
+bool TcpTransport::flush() {
+  while (out_off_ < out_.size()) {
+    const ssize_t n = ::send(fd_, out_.data() + out_off_,
+                             out_.size() - out_off_, MSG_NOSIGNAL);
+    if (n >= 0) {
+      out_off_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Kernel buffer full (nonblocking sockets only). Keep the tail
+      // buffered — compacted so pending_out() bounds memory, not the sum
+      // of everything ever sent — and let the caller retry on EPOLLOUT.
+      if (out_off_ > 0) {
+        out_.erase(out_.begin(),
+                   out_.begin() + static_cast<std::ptrdiff_t>(out_off_));
+        out_off_ = 0;
+      }
+      return false;
+    }
+    // Real socket error: the stream is dead. Surface it — swallowing it
+    // here would silently drop the frame tail and desync the peer's
+    // frame assembler.
+    const int err = errno;
+    peer_closed_ = true;
+    out_.clear();
+    out_off_ = 0;
+    throw std::runtime_error(std::string("tcp send: ") + std::strerror(err));
+  }
+  out_.clear();
+  out_off_ = 0;
+  return true;
 }
 
 bool TcpTransport::fill(bool block) {
@@ -70,6 +113,7 @@ bool TcpTransport::fill(bool block) {
 
 std::optional<std::vector<std::uint8_t>> TcpTransport::receive(bool block) {
   if (fd_ < 0) return std::nullopt;
+  if (nonblocking_) block = false;  // an O_NONBLOCK recv never waits
   for (;;) {
     if (std::optional<std::vector<std::uint8_t>> f = assembler_.next())
       return f;
@@ -98,7 +142,8 @@ void TcpTransport::close() {
   }
 }
 
-TcpListener::TcpListener(std::uint16_t port) : fd_(-1), port_(0) {
+TcpListener::TcpListener(std::uint16_t port, int backlog)
+    : fd_(-1), port_(0) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) fail_errno("socket");
   int one = 1;
@@ -112,7 +157,7 @@ TcpListener::TcpListener(std::uint16_t port) : fd_(-1), port_(0) {
     fd_ = -1;
     fail_errno("bind 127.0.0.1");
   }
-  if (::listen(fd_, 16) < 0) {
+  if (::listen(fd_, backlog) < 0) {
     ::close(fd_);
     fd_ = -1;
     fail_errno("listen");
@@ -130,12 +175,47 @@ TcpListener::~TcpListener() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+void TcpListener::set_nonblocking() { fd_nonblocking(fd_); }
+
 std::unique_ptr<TcpTransport> TcpListener::accept() {
   for (;;) {
     const int fd = ::accept(fd_, nullptr, nullptr);
     if (fd >= 0) return std::make_unique<TcpTransport>(fd);
     if (errno == EINTR) continue;
     fail_errno("accept");
+  }
+}
+
+std::unique_ptr<TcpTransport> TcpListener::try_accept(
+    bool* resource_pressure) {
+  if (resource_pressure) *resource_pressure = false;
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return std::make_unique<TcpTransport>(fd);
+    switch (errno) {
+      case EINTR:
+      case ECONNABORTED:  // client gave up during the handshake: next
+#ifdef EPROTO
+      case EPROTO:
+#endif
+        continue;
+      case EAGAIN:
+#if EWOULDBLOCK != EAGAIN
+      case EWOULDBLOCK:
+#endif
+        return nullptr;
+      case EMFILE:
+      case ENFILE:
+      case ENOBUFS:
+      case ENOMEM:
+        // Out of fds/buffers: the connection stays in the backlog; tell
+        // the caller to back off instead of spinning on level-triggered
+        // readiness.
+        if (resource_pressure) *resource_pressure = true;
+        return nullptr;
+      default:
+        fail_errno("accept");
+    }
   }
 }
 

@@ -1,0 +1,352 @@
+// The daemon layer around the epoll event loop: the strict flag parser
+// (PR-9 bugfix: `--port xyz` used to parse as 0 and a valueless flag used
+// to swallow the next `--flag`), serialized report lines that stay
+// well-formed under concurrent connection completion (bugfix: lines used
+// to interleave), the event-loop equivalence guarantee (many concurrent
+// TCP clients each get verdicts identical to the offline oracle), and the
+// no-terminate guarantee (a misbehaving client fails its own connection,
+// never the daemon).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "serve/daemon.h"
+#include "serve/replay.h"
+#include "serve/tcp.h"
+#include "workload/random_workload.h"
+
+namespace wcp::serve {
+namespace {
+
+// ---------------------------------------------------------------- flags ---
+
+TEST(DaemonFlags, DefaultsAndGoodValues) {
+  const DaemonOptions d = parse_daemon_flags({});
+  EXPECT_EQ(d.port, 7410);
+  EXPECT_EQ(d.once, 0);
+  EXPECT_FALSE(d.json);
+  EXPECT_EQ(d.loop.loop_threads, 0u);
+
+  const DaemonOptions o = parse_daemon_flags(
+      {"--port", "0", "--once", "4", "--threads", "2", "--gc-every", "32",
+       "--window", "8", "--high-water", "65536", "--json"});
+  EXPECT_EQ(o.port, 0);
+  EXPECT_EQ(o.once, 4);
+  EXPECT_TRUE(o.json);
+  EXPECT_EQ(o.loop.loop_threads, 2u);
+  EXPECT_EQ(o.loop.serve.gc_every, 32u);
+  EXPECT_EQ(o.loop.serve.reseq_window, 8u);
+  EXPECT_EQ(o.loop.write_high_water, 65536u);
+}
+
+TEST(DaemonFlags, MalformedFlagCorpusAllRejected) {
+  // Every entry used to be accepted by the old strtoll-without-endptr
+  // parser (or mis-parsed a neighbouring flag). Each must now throw with
+  // a message that names the offending flag.
+  const struct {
+    std::vector<std::string> argv;
+    std::string needle;  // must appear in the exception message
+  } corpus[] = {
+      {{"--port", "xyz"}, "--port"},           // pure garbage -> was port 0
+      {{"--port", "74x10"}, "--port"},         // trailing garbage
+      {{"--port", ""}, "--port"},              // empty value
+      {{"--port", "70000"}, "--port"},         // > 65535
+      {{"--port", "-1"}, "--port"},            // negative
+      {{"--once", "4x"}, "--once"},            // trailing garbage
+      {{"--once", "-2"}, "--once"},            // negative quota
+      {{"--once", "99999999999999999999"}, "--once"},  // overflow
+      {{"--window", "0"}, "--window"},         // below minimum (1)
+      {{"--high-water", "10"}, "--high-water"},  // below minimum (4096)
+      {{"--threads", "1e3"}, "--threads"},     // no float syntax
+      {{"--port"}, "--port"},                  // value flag at end of argv
+      {{"--once", "--json"}, "--once"},        // valueless flag ate a flag
+      {{"--prot", "7410"}, "--prot"},          // typo'd flag name
+      {{"7410"}, "7410"},                      // bare non-flag argument
+      {{"--json", "extra"}, "extra"},          // trailing junk
+  };
+  for (const auto& c : corpus) {
+    try {
+      (void)parse_daemon_flags(c.argv);
+      FAIL() << "argv accepted: " << ::testing::PrintToString(c.argv);
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(c.needle), std::string::npos)
+          << "message \"" << e.what() << "\" does not name " << c.needle;
+      EXPECT_EQ(std::string(e.what()).rfind("wcp_served: ", 0), 0u)
+          << e.what();
+    }
+  }
+}
+
+TEST(DaemonFlags, UsageMentionsEveryFlag) {
+  const std::string u = daemon_usage();
+  for (const char* flag : {"--port", "--once", "--threads", "--gc-every",
+                           "--window", "--high-water", "--json"})
+    EXPECT_NE(u.find(flag), std::string::npos) << flag;
+}
+
+// -------------------------------------------------------------- reports ---
+
+ConnectionResult fake_result(bool clean, const std::string& error) {
+  ConnectionResult r;
+  r.clean = clean;
+  r.error = error;
+  r.stats.frames_in = 12;
+  r.stats.snapshots_in = 9;
+  return r;
+}
+
+TEST(DaemonReport, JsonLineParsesAndCarriesTheFields) {
+  std::ostringstream out;
+  report_connection(out, 3, fake_result(false, "boom \"quoted\""), true);
+  const std::string line = out.str();
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  const auto v = json::parse(line);
+  ASSERT_TRUE(v.has_value()) << line;
+  EXPECT_EQ(v->find("schema")->string, "wcp-run-report/1");
+  EXPECT_EQ(v->find("connection")->as_number(), 3);
+  EXPECT_EQ(v->find("clean")->as_number(), 0);
+  EXPECT_EQ(v->find("error")->string, "boom \"quoted\"");
+  ASSERT_NE(v->find("metrics"), nullptr);
+  EXPECT_EQ(v->find("metrics")->find("frames_in")->as_number(), 12);
+}
+
+TEST(DaemonReport, TextLineIsSingleTerminatedLine) {
+  std::ostringstream out;
+  report_connection(out, 7, fake_result(true, ""), false);
+  const std::string line = out.str();
+  EXPECT_EQ(line.rfind("connection 7: clean", 0), 0u) << line;
+  EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1);
+}
+
+// --------------------------------------------- event-loop over real TCP ---
+
+Computation make_comp(std::uint64_t seed, bool detectable) {
+  workload::RandomSpec spec;
+  spec.num_processes = 5;
+  spec.num_predicate = 3;
+  spec.events_per_process = 12;
+  spec.seed = seed;
+  spec.ensure_detectable = detectable;
+  return workload::make_random(spec);
+}
+
+ReplayOptions all_algo_options() {
+  ReplayOptions opts;
+  for (const StreamAlgo algo :
+       {StreamAlgo::kToken, StreamAlgo::kChecker, StreamAlgo::kLatticeOnline,
+        StreamAlgo::kSlicer})
+    opts.subs.push_back({algo, 0, -1});
+  return opts;
+}
+
+/// An EventLoopServer on an ephemeral loopback port, running on its own
+/// thread, with reports appended (already serialized by the server) to a
+/// shared stream. Skips the test if loopback is unavailable.
+struct ServerFixture {
+  std::unique_ptr<TcpListener> listener;
+  std::unique_ptr<EventLoopServer> server;
+  std::thread thread;
+  std::ostringstream reports;
+
+  explicit ServerFixture(std::int64_t once, EventLoopOptions opts = {}) {
+    listener = std::make_unique<TcpListener>(0);
+    server = std::make_unique<EventLoopServer>(
+        *listener, opts, [this](std::int64_t id, const ConnectionResult& r) {
+          report_connection(reports, id, r, /*as_json=*/true);
+        });
+    thread = std::thread([this, once] { server->run(once); });
+  }
+  ~ServerFixture() {
+    server->stop();
+    if (thread.joinable()) thread.join();
+  }
+};
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+TEST(DaemonLoop, ConcurrentClientsMatchTheOfflineOracle) {
+  // The tentpole equivalence check: many clients stream concurrently
+  // through the epoll loop and every one must receive exactly the offline
+  // verdict for its own trace — same detection bit, same minimal cut, for
+  // all four algorithms. Mixed detectable/undetectable traces so both
+  // verdict shapes cross the wire under contention.
+  constexpr int kClients = 24;
+  std::unique_ptr<ServerFixture> fx;
+  try {
+    fx = std::make_unique<ServerFixture>(kClients);
+  } catch (const std::runtime_error& e) {
+    GTEST_SKIP() << "loopback bind unavailable: " << e.what();
+  }
+
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        const Computation comp =
+            make_comp(1000 + static_cast<std::uint64_t>(c), (c % 2) == 0);
+        const auto transport = tcp_connect("127.0.0.1", fx->listener->port());
+        const ReplayResult r =
+            replay_stream_over(comp, all_algo_options(), *transport);
+        const auto oracle = comp.first_wcp_cut();
+        if (r.verdicts.size() != 4)
+          throw std::runtime_error("expected 4 verdicts, got " +
+                                   std::to_string(r.verdicts.size()));
+        for (const VerdictBody& v : r.verdicts) {
+          if (v.detected != oracle.has_value())
+            throw std::runtime_error("verdict disagrees with oracle");
+          if (v.detected && v.cut != *oracle)
+            throw std::runtime_error("cut disagrees with oracle");
+        }
+      } catch (const std::exception& e) {
+        failures[static_cast<std::size_t>(c)] = e.what();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  fx->thread.join();  // run(once=kClients) returns after the last report
+
+  for (int c = 0; c < kClients; ++c)
+    EXPECT_TRUE(failures[static_cast<std::size_t>(c)].empty())
+        << "client " << c << ": " << failures[static_cast<std::size_t>(c)];
+  EXPECT_EQ(fx->server->served(), kClients);
+
+  // Bugfix regression: with connections finishing concurrently, every
+  // report line must still be one complete JSON object — no interleaving.
+  const std::vector<std::string> lines = split_lines(fx->reports.str());
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kClients));
+  std::set<double> ids;
+  for (const std::string& line : lines) {
+    const auto v = json::parse(line);
+    ASSERT_TRUE(v.has_value()) << "garbled report line: " << line;
+    EXPECT_EQ(v->find("schema")->string, "wcp-run-report/1");
+    EXPECT_EQ(v->find("clean")->as_number(), 1) << line;
+    ids.insert(v->find("connection")->as_number());
+  }
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kClients))
+      << "duplicate or missing connection ids";
+}
+
+TEST(DaemonLoop, BadClientFailsAloneGoodClientStillServed) {
+  std::unique_ptr<ServerFixture> fx;
+  try {
+    fx = std::make_unique<ServerFixture>(2);
+  } catch (const std::runtime_error& e) {
+    GTEST_SKIP() << "loopback bind unavailable: " << e.what();
+  }
+
+  {
+    // A client that speaks garbage: a giant bogus length prefix. The old
+    // thread-per-connection daemon relied on a per-thread try/catch; the
+    // event loop must likewise fail only this connection.
+    const auto bad = tcp_connect("127.0.0.1", fx->listener->port());
+    std::vector<std::uint8_t> junk(64, 0xFF);
+    bad->send(std::move(junk));
+    // Wait for the server to reject us (ERROR frame or close).
+    try {
+      while (bad->receive(/*block=*/true)) {
+      }
+    } catch (const std::exception&) {
+    }
+  }
+
+  // The daemon survived: a well-behaved client completes normally.
+  const Computation comp = make_comp(2026, true);
+  const auto good = tcp_connect("127.0.0.1", fx->listener->port());
+  const ReplayResult r = replay_stream_over(comp, all_algo_options(), *good);
+  ASSERT_EQ(r.verdicts.size(), 4u);
+  const auto oracle = comp.first_wcp_cut();
+  ASSERT_TRUE(oracle.has_value());
+  for (const VerdictBody& v : r.verdicts) {
+    EXPECT_TRUE(v.detected);
+    EXPECT_EQ(v.cut, *oracle);
+  }
+
+  fx->thread.join();  // once=2: bad + good both reported
+  const std::vector<std::string> lines = split_lines(fx->reports.str());
+  ASSERT_EQ(lines.size(), 2u);
+  int clean = 0, failed = 0;
+  for (const std::string& line : lines) {
+    const auto v = json::parse(line);
+    ASSERT_TRUE(v.has_value()) << line;
+    if (v->find("clean")->as_number() == 1) {
+      ++clean;
+    } else {
+      ++failed;
+      ASSERT_NE(v->find("error"), nullptr);
+      EXPECT_FALSE(v->find("error")->string.empty());
+    }
+  }
+  EXPECT_EQ(clean, 1);
+  EXPECT_EQ(failed, 1);
+}
+
+TEST(DaemonLoop, SingleLoopThreadStillServesManyClients) {
+  // Concurrency without parallelism: one loop thread multiplexing all
+  // connections is the pure-reactor configuration.
+  constexpr int kClients = 8;
+  EventLoopOptions opts;
+  opts.loop_threads = 1;
+  std::unique_ptr<ServerFixture> fx;
+  try {
+    fx = std::make_unique<ServerFixture>(kClients, opts);
+  } catch (const std::runtime_error& e) {
+    GTEST_SKIP() << "loopback bind unavailable: " << e.what();
+  }
+
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        const Computation comp =
+            make_comp(3000 + static_cast<std::uint64_t>(c), true);
+        const auto transport = tcp_connect("127.0.0.1", fx->listener->port());
+        const ReplayResult r =
+            replay_stream_over(comp, all_algo_options(), *transport);
+        if (r.verdicts.size() == 4) ok.fetch_add(1);
+      } catch (const std::exception&) {
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  fx->thread.join();
+  EXPECT_EQ(ok.load(), kClients);
+  EXPECT_EQ(fx->server->served(), kClients);
+}
+
+// --------------------------------------------------------------- daemon ---
+
+TEST(Daemon, RunDaemonReportsBindFailure) {
+  // Occupy a port, then ask the daemon for the same one: run_daemon must
+  // return nonzero and explain itself on err instead of throwing.
+  std::unique_ptr<TcpListener> holder;
+  try {
+    holder = std::make_unique<TcpListener>(0);
+  } catch (const std::runtime_error& e) {
+    GTEST_SKIP() << "loopback bind unavailable: " << e.what();
+  }
+  DaemonOptions opts;
+  opts.port = holder->port();
+  std::ostringstream out, err;
+  EXPECT_EQ(run_daemon(opts, out, err), 1);
+  EXPECT_NE(err.str().find("wcp_served: "), std::string::npos) << err.str();
+}
+
+}  // namespace
+}  // namespace wcp::serve
