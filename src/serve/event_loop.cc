@@ -2,6 +2,7 @@
 
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -95,7 +96,9 @@ void EventLoopServer::run(std::int64_t once) {
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.ptr = loop.get();  // wake tag: the loop itself
-    ::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, loop->wakefd, &ev);
+    if (::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, loop->wakefd, &ev) < 0)
+      throw std::runtime_error(std::string("epoll_ctl add wakefd: ") +
+                               std::strerror(errno));
     loops_.push_back(std::move(loop));
   }
   {
@@ -103,7 +106,9 @@ void EventLoopServer::run(std::int64_t once) {
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.ptr = this;
-    ::epoll_ctl(loops_[0]->epfd, EPOLL_CTL_ADD, listener_.fd(), &ev);
+    if (::epoll_ctl(loops_[0]->epfd, EPOLL_CTL_ADD, listener_.fd(), &ev) < 0)
+      throw std::runtime_error(std::string("epoll_ctl add listener: ") +
+                               std::strerror(errno));
   }
   for (std::size_t i = 0; i < loops_.size(); ++i)
     loops_[i]->thread = std::thread([this, i] { loop_main(i); });
@@ -122,9 +127,16 @@ void EventLoopServer::run(std::int64_t once) {
 }
 
 void EventLoopServer::stop() {
-  stop_.store(true, std::memory_order_release);
-  for (const auto& loop : loops_) wake(*loop);
+  {
+    // The store must happen under done_mu_: run()'s wait predicate reads
+    // stop_, and a store between the predicate evaluating false and the
+    // waiter blocking would make this notify a lost wakeup — run() would
+    // sleep forever once the last connection has been retired.
+    std::lock_guard lock(done_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
   done_cv_.notify_all();
+  for (const auto& loop : loops_) wake(*loop);
 }
 
 void EventLoopServer::loop_main(std::size_t index) {
@@ -160,7 +172,16 @@ void EventLoopServer::loop_main(std::size_t index) {
 
 void EventLoopServer::on_accept(Loop& loop) {
   for (;;) {
-    if (once_ > 0 && accepted_ >= once_) return;  // quota reached
+    if (once_ > 0 && accepted_ >= once_) {
+      // Quota reached: deregister the listener, or any connection still
+      // parked in the backlog keeps its level-triggered readiness firing
+      // and spins loop 0 at 100% CPU until the served quota completes.
+      if (!listener_retired_) {
+        listener_retired_ = true;
+        ::epoll_ctl(loop.epfd, EPOLL_CTL_DEL, listener_.fd(), nullptr);
+      }
+      return;
+    }
     bool pressure = false;
     std::unique_ptr<TcpTransport> transport = listener_.try_accept(&pressure);
     if (!transport) {
@@ -169,6 +190,9 @@ void EventLoopServer::on_accept(Loop& loop) {
       return;
     }
     transport->set_nonblocking();
+    if (opts_.so_sndbuf > 0)
+      ::setsockopt(transport->fd(), SOL_SOCKET, SO_SNDBUF, &opts_.so_sndbuf,
+                   sizeof(opts_.so_sndbuf));
     auto conn = std::make_unique<Conn>(std::move(transport), opts_.serve,
                                        accepted_++);
     Loop& target = *loops_[static_cast<std::size_t>(conn->id) %
@@ -221,16 +245,25 @@ void EventLoopServer::handle_conn(Loop& loop, Conn* conn,
   // an exception escaping a detection core) fails just this connection.
   try {
     if (events & EPOLLOUT) t.flush();
-    if (events & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
-      while (!conn->driver.done() &&
-             t.pending_out() <= opts_.write_high_water) {
-        std::optional<std::vector<std::uint8_t>> raw =
-            t.receive(/*block=*/false);
-        if (!raw) break;
-        conn->driver.on_frame(*raw);
-      }
-      if (!conn->driver.done() && t.closed()) conn->driver.on_peer_closed();
+    // The drive loop runs on EVERY wakeup, not just readable ones: the
+    // nonblocking fill may have parked complete frames in the frame
+    // assembler before backpressure paused processing, and buffered
+    // frames never re-trigger EPOLLIN (level-triggered readiness is
+    // about socket bytes, not assembler contents). The EPOLLOUT flush
+    // that brings pending_out() back under the high-water mark must
+    // therefore resume the loop itself, or a client that has already
+    // sent its whole stream strands forever on an empty socket. The
+    // backpressure invariant that keeps this live: leaving frames parked
+    // implies pending_out() > write_high_water, which arms EPOLLOUT, so
+    // a future wakeup is always scheduled.
+    while (!conn->driver.done() &&
+           t.pending_out() <= opts_.write_high_water) {
+      std::optional<std::vector<std::uint8_t>> raw =
+          t.receive(/*block=*/false);
+      if (!raw) break;
+      conn->driver.on_frame(*raw);
     }
+    if (!conn->driver.done() && t.closed()) conn->driver.on_peer_closed();
   } catch (const std::invalid_argument& e) {
     conn->driver.fail_protocol(e.what());
   } catch (const std::exception& e) {
@@ -266,7 +299,16 @@ void EventLoopServer::finish_or_rearm(Loop& loop, Conn* conn) {
     epoll_event ev{};
     ev.events = want;
     ev.data.ptr = conn;
-    ::epoll_ctl(loop.epfd, EPOLL_CTL_MOD, t.fd(), &ev);
+    if (::epoll_ctl(loop.epfd, EPOLL_CTL_MOD, t.fd(), &ev) < 0) {
+      // A failed MOD leaves the kernel registration out of sync with
+      // `armed` and would silently stall the connection; fail it loudly
+      // instead, mirroring the add_conn failure path. (No-op on a driver
+      // that already finished but could not drain.)
+      conn->driver.on_transport_error(std::string("epoll_ctl mod: ") +
+                                      std::strerror(errno));
+      retire(loop, conn);
+      return;
+    }
     conn->armed = want;
   }
 }

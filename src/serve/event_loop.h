@@ -29,6 +29,13 @@
 //     a slow or stalled client caps its own server-side memory and its
 //     TCP window eventually closes, pushing the backpressure to the
 //     sender.
+//   - The frame-drive loop runs on every wakeup, EPOLLOUT included:
+//     complete frames the nonblocking fill already pulled into the frame
+//     assembler never re-trigger level-triggered EPOLLIN, so the flush
+//     that clears backpressure resumes processing them itself. Frames
+//     are left parked only while pending_out() exceeds the high-water
+//     mark, which keeps EPOLLOUT armed — a future wakeup is always
+//     scheduled, so parked frames can never strand.
 //   - A frame is written whole or the connection is failed with the
 //     error surfaced; there is no silent tail-drop path.
 //
@@ -60,6 +67,10 @@ struct EventLoopOptions {
   /// Buffered-output bytes above which a connection stops being read
   /// until the kernel drains its socket (per-connection memory bound).
   std::size_t write_high_water = 1u << 20;
+  /// SO_SNDBUF for accepted sockets (0 = kernel default). Shrinking it
+  /// makes backpressure engage sooner; the regression tests use it to
+  /// exercise the high-water path deterministically.
+  int so_sndbuf = 0;
   ServeOptions serve;
 };
 
@@ -109,6 +120,7 @@ class EventLoopServer {
   std::atomic<bool> stop_{false};
   std::int64_t once_ = 0;      // set by run() before loops start
   std::int64_t accepted_ = 0;  // touched only on loop 0's thread
+  bool listener_retired_ = false;  // --once quota hit; also loop 0 only
   bool started_ = false;
 
   mutable std::mutex done_mu_;

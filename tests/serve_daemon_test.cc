@@ -8,8 +8,11 @@
 // never the daemon).
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -328,6 +331,85 @@ TEST(DaemonLoop, SingleLoopThreadStillServesManyClients) {
   fx->thread.join();
   EXPECT_EQ(ok.load(), kClients);
   EXPECT_EQ(fx->server->served(), kClients);
+}
+
+TEST(DaemonLoop, BackpressuredFramesResumeAfterFlush) {
+  // Regression: frames the nonblocking fill had already parked in the
+  // FrameAssembler used to strand forever under backpressure — the drive
+  // loop broke when pending_out() exceeded the high-water mark, and the
+  // EPOLLOUT flush re-armed only EPOLLIN, which is level-triggered on
+  // *socket* bytes. A client that had already sent its whole stream (so
+  // the socket stayed empty) then hung forever waiting for its verdicts.
+  //
+  // Deterministic trigger: tiny kernel buffers on both sides so the
+  // kernel cannot absorb a burst, a 1 KiB high-water mark, and 64 token
+  // subscriptions over 256 slots — processing the single EOS frame emits
+  // ~64 x 2 KiB of verdicts in one go, engaging backpressure with the
+  // FINISH frame (sent in the same client burst) parked server-side.
+  constexpr std::uint32_t kSlots = 256;
+  constexpr std::uint32_t kSubs = 64;
+  EventLoopOptions opts;
+  opts.write_high_water = 1024;
+  opts.so_sndbuf = 4096;
+  std::unique_ptr<ServerFixture> fx;
+  try {
+    fx = std::make_unique<ServerFixture>(1, opts);
+  } catch (const std::runtime_error& e) {
+    GTEST_SKIP() << "loopback bind unavailable: " << e.what();
+  }
+
+  const auto t = tcp_connect("127.0.0.1", fx->listener->port());
+  int rcvbuf = 4096;  // keep the server's TCP window small (no auto-tune)
+  ::setsockopt(t->fd(), SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  t->set_nonblocking();  // unsent tail buffers in userspace: no deadlock
+
+  // The whole stream in one burst, before reading a single response.
+  std::uint64_t seq = 0;
+  t->send(encode_frame(make_hello(kSlots, 1), seq++));
+  for (std::uint32_t i = 0; i < kSubs; ++i)
+    t->send(encode_frame(make_subscribe(i, StreamAlgo::kToken, 0), seq++));
+  for (std::uint32_t s = 0; s < kSlots; ++s) {
+    std::vector<StateIndex> clock(kSlots, 0);
+    clock[s] = 1;  // first states, mutually concurrent, predicate true
+    t->send(encode_frame(make_snapshot(s, 1, std::move(clock)), seq++));
+  }
+  t->send(encode_frame(make_eos(), seq++));
+  t->send(encode_frame(make_finish(), seq++));
+
+  // Drain until the final STATS frame. Pre-fix the stream stalls after
+  // the verdict burst, so bound the wait instead of hanging the suite.
+  std::uint32_t verdicts = 0;
+  bool stats_seen = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!stats_seen && std::chrono::steady_clock::now() < deadline) {
+    if (t->pending_out() > 0) t->flush();
+    const auto raw = t->receive(/*block=*/false);
+    if (!raw) {
+      if (t->closed()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    const Frame f = decode_frame(*raw);
+    if (f.type == FrameType::kVerdict) {
+      ++verdicts;
+      EXPECT_TRUE(f.verdict.detected);
+      EXPECT_EQ(f.verdict.cut.size(), kSlots);
+    }
+    if (f.type == FrameType::kStats) stats_seen = true;
+  }
+  ASSERT_TRUE(stats_seen)
+      << "stream stalled: frames parked under backpressure were never "
+         "resumed (" << verdicts << " verdicts arrived before the stall)";
+  EXPECT_EQ(verdicts, kSubs);
+
+  fx->thread.join();  // once=1: the connection completed and was reported
+  EXPECT_EQ(fx->server->served(), 1);
+  const std::vector<std::string> lines = split_lines(fx->reports.str());
+  ASSERT_EQ(lines.size(), 1u);
+  const auto v = json::parse(lines[0]);
+  ASSERT_TRUE(v.has_value()) << lines[0];
+  EXPECT_EQ(v->find("clean")->as_number(), 1) << lines[0];
 }
 
 // --------------------------------------------------------------- daemon ---
