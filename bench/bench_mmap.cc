@@ -1,0 +1,114 @@
+// E22 — zero-copy mapped trace loading. The wcp-tracebin loader can serve
+// its columns straight out of an mmap of the file (docs/ALGORITHMS.md §13);
+// with --trusted the O(file) replay verification is skipped too, so opening
+// a trace costs one structural scan and O(N) owned metadata instead of a
+// full buffered read plus a rebuild of every clock delta.
+//
+// This bench measures exactly that contract, per trace size:
+//   mapped_open_ns   trusted mmap open (structural validation only)
+//   heap_open_ns     the pre-mmap path: buffered stream read + replay check
+//   open_speedup     heap / mapped — the E22 gate wants >= 5x at the
+//                    largest size
+//   resident_ratio   trusted resident bytes / file bytes — O(1) in the
+//                    trace size, shrinking as files grow
+//   verdict_equal    1 iff trusted, verified, and in-memory verdicts agree
+#include "bench_common.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "trace/trace_store.h"
+
+namespace wcp::bench {
+namespace {
+
+/// Best-of-reps wall time: open latency is a lower-bound quantity, and the
+/// minimum is the estimator least disturbed by scheduler noise on shared
+/// CI runners.
+template <class F>
+double best_ns(int reps, F&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double, std::nano>(t1 - t0).count());
+  }
+  return best;
+}
+
+void BM_MappedOpen(benchmark::State& state) {
+  const std::int64_t events = state.range(0);
+  constexpr std::size_t kN = 8;
+  constexpr std::uint64_t kSeed = 22;
+  const auto& comp = cached_random(kN, 4, events, kSeed, 0.25);
+  const std::string path =
+      "/tmp/wcp_bench_mmap_" + std::to_string(events) + ".tracebin";
+  save_tracebin_file(path, comp);
+  std::uint64_t file_bytes = 0;
+  {
+    std::ifstream f(path, std::ios::binary | std::ios::ate);
+    file_bytes = static_cast<std::uint64_t>(f.tellg());
+  }
+
+  TraceLoadOptions trusted;
+  trusted.verify_replay = false;
+
+  for (auto _ : state) {
+    const auto c = load_tracebin_file(path, trusted);
+    benchmark::DoNotOptimize(c.total_states());
+  }
+
+  const int reps = events >= 2048 ? 4 : 12;
+  const double mapped_ns = best_ns(reps, [&] {
+    const auto c = load_tracebin_file(path, trusted);
+    benchmark::DoNotOptimize(c.total_states());
+  });
+  const double heap_ns = best_ns(reps, [&] {
+    std::ifstream f(path, std::ios::binary);
+    const auto c = load_tracebin(f);
+    benchmark::DoNotOptimize(c.total_states());
+  });
+
+  const auto fast = load_tracebin_file(path, trusted);
+  const auto verified = load_tracebin_file(path);
+  const bool verdict_equal = fast.first_wcp_cut() == comp.first_wcp_cut() &&
+                             verified.first_wcp_cut() == comp.first_wcp_cut();
+  const double resident =
+      static_cast<double>(fast.trace_store_stats().peak_bytes);
+  const double speedup = heap_ns / mapped_ns;
+
+  state.counters["file_bytes"] = static_cast<double>(file_bytes);
+  state.counters["mapped_open_ns"] = mapped_ns;
+  state.counters["heap_open_ns"] = heap_ns;
+  state.counters["open_speedup"] = speedup;
+  state.counters["resident_bytes"] = resident;
+  state.counters["resident_ratio"] = resident / static_cast<double>(file_bytes);
+  state.counters["verdict_equal"] = verdict_equal ? 1.0 : 0.0;
+
+  detect::ReportParams rp;
+  rp.N = static_cast<std::int64_t>(kN);
+  rp.n = 4;
+  rp.m = static_cast<std::int64_t>(comp.max_messages_per_process());
+  rp.seed = kSeed;
+  report_run(state, "E22_mmap", rp,
+             {{"events_per_process", events},
+              {"file_bytes", file_bytes},
+              {"mapped_open_ns", mapped_ns},
+              {"heap_open_ns", heap_ns},
+              {"open_speedup", speedup},
+              {"resident_bytes", resident},
+              {"resident_ratio", resident / static_cast<double>(file_bytes)},
+              {"mapped", fast.trace_store().mapped() ? 1 : 0},
+              {"verdict_equal", verdict_equal ? 1 : 0}},
+             /*bound=*/5.0, /*ratio=*/speedup);
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_MappedOpen)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace wcp::bench

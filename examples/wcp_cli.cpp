@@ -56,7 +56,8 @@ struct Args {
 /// Flags that never take a value (so `--json in.trace` does not swallow the
 /// trace path).
 bool is_boolean_flag(const std::string& key) {
-  return key == "json" || key == "binary" || key == "verdict";
+  return key == "json" || key == "binary" || key == "verdict" ||
+         key == "trusted";
 }
 
 Args parse_args(int argc, char** argv) {
@@ -95,6 +96,15 @@ std::string flag_str(const Args& a, const std::string& key,
   return it == a.flags.end() ? def : it->second;
 }
 
+/// --trusted skips the O(file) semantic replay verification of binary
+/// traces (structural validation always runs); the mmap fast path for
+/// files we wrote ourselves.
+TraceLoadOptions load_opts(const Args& a) {
+  TraceLoadOptions opts;
+  opts.verify_replay = !a.flags.contains("trusted");
+  return opts;
+}
+
 int usage() {
   std::cerr <<
       "usage:\n"
@@ -110,6 +120,8 @@ int usage() {
       "--faults drop=0.2,dup=0.05,seed=7,crash=m1@40+30\n"
       "                   [--verdict]   print only the canonical verdict "
       "line\n"
+      "                   [--trusted]   skip the binary loader's replay "
+      "check\n"
       "  wcp_cli stream   <in.trace> [--algos token,checker,lattice-online,"
       "slicer]\n"
       "                   [--faults spec] [--reorder p] [--gc-every k]\n"
@@ -172,7 +184,7 @@ int cmd_generate(const Args& a) {
 
 int cmd_info(const Args& a) {
   if (a.positional.size() < 2) return usage();
-  const auto comp = load_any_trace_file(a.positional[1]);
+  const auto comp = load_any_trace_file(a.positional[1], load_opts(a));
   std::cout << comp << "\n";
   std::cout << "m (max events/process): " << comp.max_messages_per_process()
             << "\n";
@@ -188,7 +200,7 @@ int cmd_info(const Args& a) {
 
 int cmd_diagram(const Args& a) {
   if (a.positional.size() < 2) return usage();
-  const auto comp = load_any_trace_file(a.positional[1]);
+  const auto comp = load_any_trace_file(a.positional[1], load_opts(a));
   DiagramOptions opts;
   opts.max_states = flag_int(a, "max-states", 0);
   opts.message_table = true;
@@ -203,7 +215,7 @@ int cmd_diagram(const Args& a) {
 
 int cmd_dot(const Args& a) {
   if (a.positional.size() < 2) return usage();
-  const auto comp = load_any_trace_file(a.positional[1]);
+  const auto comp = load_any_trace_file(a.positional[1], load_opts(a));
   DotOptions opts;
   if (const auto cut = comp.first_wcp_cut()) {
     opts.cut_procs.assign(comp.predicate_processes().begin(),
@@ -226,7 +238,7 @@ detect::ReportParams report_params(const Computation& comp,
 
 int cmd_detect(const Args& a) {
   if (a.positional.size() < 2) return usage();
-  const auto comp = load_any_trace_file(a.positional[1]);
+  const auto comp = load_any_trace_file(a.positional[1], load_opts(a));
   const std::string algo = flag_str(a, "algo", "token");
   const bool as_json = a.flags.contains("json");
 
@@ -426,7 +438,7 @@ std::vector<std::string> split_list(const std::string& csv);
 
 int cmd_stream(const Args& a) {
   if (a.positional.size() < 2) return usage();
-  const auto comp = load_any_trace_file(a.positional[1]);
+  const auto comp = load_any_trace_file(a.positional[1], load_opts(a));
   const bool as_json = a.flags.contains("json");
 
   serve::ReplayOptions opts;
@@ -492,7 +504,7 @@ int cmd_stream(const Args& a) {
 
 int cmd_slice(const Args& a) {
   if (a.positional.size() < 2) return usage();
-  const auto comp = load_any_trace_file(a.positional[1]);
+  const auto comp = load_any_trace_file(a.positional[1], load_opts(a));
   const bool as_json = a.flags.contains("json");
   const std::int64_t max_cuts = flag_int(a, "max-cuts", 1'000'000);
   const auto threads = static_cast<std::size_t>(flag_int(a, "threads", 0));
@@ -558,7 +570,7 @@ std::vector<std::string> split_list(const std::string& csv) {
 
 int cmd_sweep(const Args& a) {
   if (a.positional.size() < 2) return usage();
-  const auto comp = load_any_trace_file(a.positional[1]);
+  const auto comp = load_any_trace_file(a.positional[1], load_opts(a));
   const bool as_json = a.flags.contains("json");
   const auto threads = static_cast<std::size_t>(flag_int(a, "threads", 0));
 

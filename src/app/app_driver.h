@@ -98,7 +98,7 @@ class AppDriver final : public sim::Node {
 
   const Computation& comp_;
   AppDriverOptions opts_;
-  std::span<const Event> script_;
+  EventView script_;
   std::size_t next_event_ = 0;
   StateIndex state_ = 1;
 

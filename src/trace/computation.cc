@@ -8,24 +8,67 @@
 
 namespace wcp {
 
+Computation Computation::from_store(std::shared_ptr<const TraceStore> store) {
+  WCP_REQUIRE(store != nullptr, "cannot build a computation from a null store");
+  Computation c;
+  const std::size_t N = store->num_processes();
+  c.store_backed_ = true;
+  c.store_states_.resize(N);
+  for (std::size_t p = 0; p < N; ++p)
+    c.store_states_[p] = store->num_states(ProcessId(static_cast<int>(p)));
+  c.pred_slot_.assign(N, -1);
+  for (std::uint32_t v : store->predicate_processes()) {
+    const ProcessId p(static_cast<std::int32_t>(v));
+    c.pred_slot_.at(p.idx()) = static_cast<int>(c.predicate_processes_.size());
+    c.predicate_processes_.push_back(p);
+  }
+  c.store_ = std::move(store);
+  return c;
+}
+
 bool Computation::local_pred(ProcessId p, StateIndex k) const {
+  if (store_backed_) return store_->local_pred(p, k);
   const auto& pp = per_process_.at(p.idx());
   WCP_REQUIRE(k >= 1 && k <= static_cast<StateIndex>(pp.pred.size()),
               "state (" << p << "," << k << ") out of range");
   return pp.pred[static_cast<std::size_t>(k - 1)];
 }
 
+EventView Computation::events(ProcessId p) const {
+  if (store_backed_) {
+    const auto col = store_->packed_events(p);
+    return EventView(col.data(), col.size());
+  }
+  const auto& pp = per_process_.at(p.idx());
+  return EventView(pp.events.data(), pp.events.size());
+}
+
+MessageView Computation::messages() const {
+  if (store_backed_) {
+    const auto tbl = store_->packed_messages();
+    return MessageView(tbl.data(), tbl.size() / 4);
+  }
+  return MessageView(messages_.data(), messages_.size());
+}
+
+MessageRecord Computation::message(MessageId id) const {
+  if (store_backed_) return store_->message(id);
+  return messages_.at(static_cast<std::size_t>(id));
+}
+
 std::int64_t Computation::max_messages_per_process() const {
+  // events on p == states on p minus one, on both representations.
   std::int64_t mx = 0;
-  for (const auto& pp : per_process_)
-    mx = std::max(mx, static_cast<std::int64_t>(pp.events.size()));
+  for (std::size_t p = 0; p < num_processes(); ++p)
+    mx = std::max(mx, static_cast<std::int64_t>(
+                          num_states(ProcessId(static_cast<int>(p))) - 1));
   return mx;
 }
 
 std::int64_t Computation::total_states() const {
   std::int64_t sum = 0;
-  for (const auto& pp : per_process_)
-    sum += static_cast<std::int64_t>(pp.pred.size());
+  for (std::size_t p = 0; p < num_processes(); ++p)
+    sum += static_cast<std::int64_t>(num_states(ProcessId(static_cast<int>(p))));
   return sum;
 }
 
@@ -152,12 +195,12 @@ Computation::first_wcp_cut_all_processes() const {
 std::optional<Dependence> Computation::receive_dependence(ProcessId p,
                                                           StateIndex k) const {
   if (k < 2) return std::nullopt;
-  const auto& events = per_process_.at(p.idx()).events;
+  const EventView evs = events(p);
   const auto t = static_cast<std::size_t>(k - 2);
-  WCP_REQUIRE(t < events.size(), "state (" << p << "," << k << ") out of range");
-  const Event& ev = events[t];
+  WCP_REQUIRE(t < evs.size(), "state (" << p << "," << k << ") out of range");
+  const Event ev = evs[t];
   if (ev.kind != EventKind::kReceive) return std::nullopt;
-  const MessageRecord& mr = message(ev.msg);
+  const MessageRecord mr = message(ev.msg);
   return Dependence{mr.from, mr.send_state};
 }
 

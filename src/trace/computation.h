@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <iterator>
 #include <memory>
 #include <optional>
 #include <span>
@@ -63,12 +64,168 @@ struct MessageRecord {
   friend bool operator==(const MessageRecord&, const MessageRecord&) = default;
 };
 
+/// High bit of a packed trace-store event word: set for receives; the low
+/// 31 bits are the message id. This is the wcp-tracebin 1 event-column
+/// encoding (trace_store.h), shared here so views can decode it in place.
+inline constexpr std::uint32_t kPackedEventReceiveBit = 0x8000'0000u;
+
+/// Random-access, value-returning view of one process's event timeline.
+/// Backed either by the eager std::vector<Event> of a built Computation or
+/// by the packed 32-bit event column of a (possibly mmap-ed) TraceStore, so
+/// the same loop walks both without materializing Event records.
+class EventView {
+ public:
+  EventView() = default;
+  EventView(const Event* eager, std::size_t size)
+      : eager_(eager), size_(size) {}
+  EventView(const std::uint32_t* packed, std::size_t size)
+      : packed_(packed), size_(size) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] Event operator[](std::size_t i) const {
+    if (eager_ != nullptr) return eager_[i];
+    const std::uint32_t w = packed_[i];
+    return Event{(w & kPackedEventReceiveBit) != 0 ? EventKind::kReceive
+                                                   : EventKind::kSend,
+                 static_cast<MessageId>(w & ~kPackedEventReceiveBit)};
+  }
+
+  class iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = Event;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = Event;
+
+    iterator() = default;
+    iterator(const EventView* v, std::size_t i) : v_(v), i_(i) {}
+    Event operator*() const { return (*v_)[i_]; }
+    Event operator[](difference_type d) const {
+      return (*v_)[i_ + static_cast<std::size_t>(d)];
+    }
+    iterator& operator++() { ++i_; return *this; }
+    iterator operator++(int) { iterator t = *this; ++i_; return t; }
+    iterator& operator--() { --i_; return *this; }
+    iterator operator--(int) { iterator t = *this; --i_; return t; }
+    iterator& operator+=(difference_type d) { i_ += static_cast<std::size_t>(d); return *this; }
+    iterator& operator-=(difference_type d) { i_ -= static_cast<std::size_t>(d); return *this; }
+    friend iterator operator+(iterator it, difference_type d) { return it += d; }
+    friend iterator operator+(difference_type d, iterator it) { return it += d; }
+    friend iterator operator-(iterator it, difference_type d) { return it -= d; }
+    friend difference_type operator-(const iterator& a, const iterator& b) {
+      return static_cast<difference_type>(a.i_) -
+             static_cast<difference_type>(b.i_);
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.i_ == b.i_;
+    }
+    friend auto operator<=>(const iterator& a, const iterator& b) {
+      return a.i_ <=> b.i_;
+    }
+
+   private:
+    const EventView* v_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  [[nodiscard]] iterator begin() const { return {this, 0}; }
+  [[nodiscard]] iterator end() const { return {this, size_}; }
+
+ private:
+  const Event* eager_ = nullptr;
+  const std::uint32_t* packed_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Value-returning view of the message table; eager MessageRecord array or
+/// packed {from, send_state, to, recv_state} 32-bit quads, like EventView.
+class MessageView {
+ public:
+  MessageView() = default;
+  MessageView(const MessageRecord* eager, std::size_t size)
+      : eager_(eager), size_(size) {}
+  MessageView(const std::uint32_t* packed, std::size_t size)
+      : packed_(packed), size_(size) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] MessageRecord operator[](std::size_t i) const {
+    if (eager_ != nullptr) return eager_[i];
+    const std::uint32_t* q = packed_ + i * 4;
+    return MessageRecord{ProcessId(static_cast<std::int32_t>(q[0])),
+                         static_cast<StateIndex>(q[1]),
+                         ProcessId(static_cast<std::int32_t>(q[2])),
+                         static_cast<StateIndex>(q[3])};
+  }
+
+  class iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = MessageRecord;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = MessageRecord;
+
+    iterator() = default;
+    iterator(const MessageView* v, std::size_t i) : v_(v), i_(i) {}
+    MessageRecord operator*() const { return (*v_)[i_]; }
+    MessageRecord operator[](difference_type d) const {
+      return (*v_)[i_ + static_cast<std::size_t>(d)];
+    }
+    iterator& operator++() { ++i_; return *this; }
+    iterator operator++(int) { iterator t = *this; ++i_; return t; }
+    iterator& operator--() { --i_; return *this; }
+    iterator operator--(int) { iterator t = *this; --i_; return t; }
+    iterator& operator+=(difference_type d) { i_ += static_cast<std::size_t>(d); return *this; }
+    iterator& operator-=(difference_type d) { i_ -= static_cast<std::size_t>(d); return *this; }
+    friend iterator operator+(iterator it, difference_type d) { return it += d; }
+    friend iterator operator+(difference_type d, iterator it) { return it += d; }
+    friend iterator operator-(iterator it, difference_type d) { return it -= d; }
+    friend difference_type operator-(const iterator& a, const iterator& b) {
+      return static_cast<difference_type>(a.i_) -
+             static_cast<difference_type>(b.i_);
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.i_ == b.i_;
+    }
+    friend auto operator<=>(const iterator& a, const iterator& b) {
+      return a.i_ <=> b.i_;
+    }
+
+   private:
+    const MessageView* v_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  [[nodiscard]] iterator begin() const { return {this, 0}; }
+  [[nodiscard]] iterator end() const { return {this, size_}; }
+
+ private:
+  const MessageRecord* eager_ = nullptr;
+  const std::uint32_t* packed_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 class ComputationBuilder;
 
 class Computation {
  public:
+  /// Builds a computation that serves events, predicates, messages, and
+  /// ground-truth clocks directly out of `store` — no eager per-process
+  /// representation is materialized, so a mapped store stays on disk and
+  /// pages in on demand. Only O(N) shape metadata is copied.
+  static Computation from_store(std::shared_ptr<const TraceStore> store);
+
+  /// True when this computation is a thin view over its TraceStore (the
+  /// zero-copy load path) rather than an eager builder product.
+  [[nodiscard]] bool store_backed() const { return store_backed_; }
+
   /// Number of processes N.
-  [[nodiscard]] std::size_t num_processes() const { return per_process_.size(); }
+  [[nodiscard]] std::size_t num_processes() const { return pred_slot_.size(); }
 
   /// The n processes over which the WCP is defined, in cut order.
   [[nodiscard]] std::span<const ProcessId> predicate_processes() const {
@@ -80,26 +237,24 @@ class Computation {
     return pred_slot_.at(p.idx());
   }
 
-  /// Number of local states on process p (>= 1).
+  /// Number of local states on process p (>= 1). Inline on both paths:
+  /// store-backed computations cache the O(N) state counts at adoption so
+  /// the hot exploration loops never call into the store for shape.
   [[nodiscard]] StateIndex num_states(ProcessId p) const {
+    if (store_backed_) return store_states_.at(p.idx());
     return static_cast<StateIndex>(per_process_.at(p.idx()).pred.size());
   }
 
   /// Truth of p's local predicate in state k (1-based).
   [[nodiscard]] bool local_pred(ProcessId p, StateIndex k) const;
 
-  /// Events on process p's timeline, in order.
-  [[nodiscard]] std::span<const Event> events(ProcessId p) const {
-    return per_process_.at(p.idx()).events;
-  }
+  /// Events on process p's timeline, in order (a value-returning view over
+  /// either the eager vector or the store's packed column).
+  [[nodiscard]] EventView events(ProcessId p) const;
 
-  [[nodiscard]] std::span<const MessageRecord> messages() const {
-    return messages_;
-  }
+  [[nodiscard]] MessageView messages() const;
 
-  [[nodiscard]] const MessageRecord& message(MessageId id) const {
-    return messages_.at(static_cast<std::size_t>(id));
-  }
+  [[nodiscard]] MessageRecord message(MessageId id) const;
 
   /// m in the paper: max over processes of (sends + receives).
   [[nodiscard]] std::int64_t max_messages_per_process() const;
@@ -190,6 +345,12 @@ class Computation {
   std::vector<MessageRecord> messages_;
   std::vector<ProcessId> predicate_processes_;
   std::vector<int> pred_slot_;  // process idx -> slot in predicate list, -1
+
+  // Store-backed mode (from_store): per_process_/messages_ stay empty and
+  // every accessor reads the store's columns; store_states_ caches the
+  // per-process state counts so shape queries stay inline.
+  bool store_backed_ = false;
+  std::vector<StateIndex> store_states_;
 
   // Lazy ground truth: delta-encoded clock columns, one store per
   // computation (shared so adopters of a loaded file reuse the same data).

@@ -1,13 +1,17 @@
 #include "trace/trace_store.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <istream>
-#include <iterator>
 #include <memory>
 #include <ostream>
 #include <string>
+#include <utility>
 
+#include "common/byte_source.h"
 #include "common/error.h"
 #include "trace/trace_io.h"
 
@@ -15,7 +19,7 @@ namespace wcp {
 
 namespace {
 
-constexpr std::uint32_t kReceiveBit = 0x8000'0000u;
+constexpr std::uint32_t kReceiveBit = kPackedEventReceiveBit;
 constexpr std::uint64_t kStateCap = 1ull << 32;   // states per process
 constexpr std::uint64_t kMessageCap = 1ull << 31; // ids share the event word
 constexpr std::size_t kHeaderBytes = 136;
@@ -31,17 +35,19 @@ void put_u64(std::string& b, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) b.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
 }
 
-std::uint32_t get_u32(const std::string& b, std::size_t off) {
+std::uint32_t get_u32(std::span<const std::byte> b, std::size_t off) {
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i)
-    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[off + i])) << (8 * i);
+    v |= static_cast<std::uint32_t>(std::to_integer<unsigned>(b[off + i]))
+         << (8 * i);
   return v;
 }
 
-std::uint64_t get_u64(const std::string& b, std::size_t off) {
+std::uint64_t get_u64(std::span<const std::byte> b, std::size_t off) {
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i)
-    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[off + i])) << (8 * i);
+    v |= static_cast<std::uint64_t>(std::to_integer<unsigned>(b[off + i]))
+         << (8 * i);
   return v;
 }
 
@@ -67,8 +73,15 @@ std::uint64_t lookup_packed(const std::uint64_t* first, const std::uint64_t* las
 TraceStore TraceStore::build(const Computation& c) {
   const std::size_t N = c.num_processes();
   TraceStore s;
+  auto& state_counts = s.state_counts_own_;
+  auto& pred_procs = s.pred_procs_own_;
+  auto& events = s.events_own_;
+  auto& pred_bits = s.pred_bits_own_;
+  auto& messages = s.messages_own_;
+  auto& clock_offsets = s.clock_offsets_own_;
+  auto& clock_entries = s.clock_entries_own_;
 
-  s.state_counts_.resize(N);
+  state_counts.resize(N);
   s.event_offsets_.assign(N + 1, 0);
   s.pred_word_offsets_.assign(N + 1, 0);
   for (std::size_t p = 0; p < N; ++p) {
@@ -77,7 +90,7 @@ TraceStore TraceStore::build(const Computation& c) {
     WCP_REQUIRE(states < kStateCap,
                 "process " << pid << " has " << states
                            << " states, beyond the trace store's 2^32 cap");
-    s.state_counts_[p] = states;
+    state_counts[p] = states;
     s.event_offsets_[p + 1] = s.event_offsets_[p] + (states - 1);
     s.pred_word_offsets_[p + 1] = s.pred_word_offsets_[p] + (states + 63) / 64;
   }
@@ -85,32 +98,32 @@ TraceStore TraceStore::build(const Computation& c) {
               "computation has " << c.messages().size()
                                  << " messages, beyond the trace store's 2^31 cap");
 
-  s.events_.reserve(s.event_offsets_[N]);
+  events.reserve(s.event_offsets_[N]);
   for (std::size_t p = 0; p < N; ++p)
     for (const Event& ev : c.events(ProcessId(static_cast<int>(p))))
-      s.events_.push_back((ev.kind == EventKind::kReceive ? kReceiveBit : 0u) |
-                          static_cast<std::uint32_t>(ev.msg));
+      events.push_back((ev.kind == EventKind::kReceive ? kReceiveBit : 0u) |
+                       static_cast<std::uint32_t>(ev.msg));
 
-  s.pred_bits_.assign(s.pred_word_offsets_[N], 0);
+  pred_bits.assign(s.pred_word_offsets_[N], 0);
   for (std::size_t p = 0; p < N; ++p) {
     const ProcessId pid(static_cast<int>(p));
     for (StateIndex k = 1; k <= c.num_states(pid); ++k)
       if (c.local_pred(pid, k)) {
         const auto bit = static_cast<std::uint64_t>(k - 1);
-        s.pred_bits_[s.pred_word_offsets_[p] + bit / 64] |= 1ull << (bit % 64);
+        pred_bits[s.pred_word_offsets_[p] + bit / 64] |= 1ull << (bit % 64);
       }
   }
 
-  s.pred_procs_.reserve(c.predicate_processes().size());
+  pred_procs.reserve(c.predicate_processes().size());
   for (ProcessId p : c.predicate_processes())
-    s.pred_procs_.push_back(static_cast<std::uint32_t>(p.value()));
+    pred_procs.push_back(static_cast<std::uint32_t>(p.value()));
 
-  s.messages_.reserve(c.messages().size() * 4);
+  messages.reserve(c.messages().size() * 4);
   for (const MessageRecord& mr : c.messages()) {
-    s.messages_.push_back(static_cast<std::uint32_t>(mr.from.value()));
-    s.messages_.push_back(static_cast<std::uint32_t>(mr.send_state));
-    s.messages_.push_back(static_cast<std::uint32_t>(mr.to.value()));
-    s.messages_.push_back(static_cast<std::uint32_t>(mr.recv_state));
+    messages.push_back(static_cast<std::uint32_t>(mr.from.value()));
+    messages.push_back(static_cast<std::uint32_t>(mr.send_state));
+    messages.push_back(static_cast<std::uint32_t>(mr.to.value()));
+    messages.push_back(static_cast<std::uint32_t>(mr.recv_state));
   }
 
   // Clock change lists. Replay events in a causally valid global order (the
@@ -123,19 +136,19 @@ TraceStore TraceStore::build(const Computation& c) {
   std::vector<std::size_t> next(N, 0);
   std::vector<char> sent(c.messages().size(), 0);
 
-  std::size_t remaining = s.events_.size();
+  std::size_t remaining = events.size();
   while (remaining > 0) {
     bool progressed = false;
     for (std::size_t p = 0; p < N; ++p) {
-      const auto events = c.events(ProcessId(static_cast<int>(p)));
-      while (next[p] < events.size()) {
-        const Event& ev = events[next[p]];
+      const auto evs = c.events(ProcessId(static_cast<int>(p)));
+      while (next[p] < evs.size()) {
+        const Event ev = evs[next[p]];
         const auto mi = static_cast<std::size_t>(ev.msg);
         if (ev.kind == EventKind::kSend) {
           sent[mi] = 1;
         } else {
           if (!sent[mi]) break;  // wait for the sender's replay
-          const MessageRecord& mr = c.message(ev.msg);
+          const MessageRecord mr = c.message(ev.msg);
           const auto from = static_cast<std::size_t>(mr.from.idx());
           const auto bound = static_cast<std::uint64_t>(mr.send_state);
           const auto k = static_cast<std::uint64_t>(next[p]) + 2;
@@ -172,18 +185,19 @@ TraceStore TraceStore::build(const Computation& c) {
     scratch += static_cast<std::int64_t>(sizeof(col) +
                                          col.capacity() * sizeof(std::uint64_t));
 
-  s.clock_offsets_.assign(N * N + 1, 0);
+  clock_offsets.assign(N * N + 1, 0);
   std::size_t total_entries = 0;
   for (std::size_t i = 0; i < N * N; ++i) {
     total_entries += cols[i].size();
-    s.clock_offsets_[i + 1] = total_entries;
+    clock_offsets[i + 1] = total_entries;
   }
-  s.clock_entries_.reserve(total_entries);
+  clock_entries.reserve(total_entries);
   for (const auto& col : cols)
-    s.clock_entries_.insert(s.clock_entries_.end(), col.begin(), col.end());
+    clock_entries.insert(clock_entries.end(), col.begin(), col.end());
 
+  s.bind_owned();
   s.stats_.clocks_interned = s.total_states();
-  s.stats_.delta_entries = static_cast<std::int64_t>(s.clock_entries_.size());
+  s.stats_.delta_entries = static_cast<std::int64_t>(clock_entries.size());
   s.stats_.peak_bytes = s.resident_bytes() + scratch;
   s.stats_.delta_ratio =
       static_cast<double>(static_cast<std::int64_t>(N) * s.total_states()) /
@@ -191,17 +205,28 @@ TraceStore TraceStore::build(const Computation& c) {
   return s;
 }
 
+void TraceStore::bind_owned() {
+  state_counts_ = state_counts_own_;
+  pred_procs_ = pred_procs_own_;
+  events_ = events_own_;
+  pred_bits_ = pred_bits_own_;
+  messages_ = messages_own_;
+  clock_offsets_ = clock_offsets_own_;
+  clock_entries_ = clock_entries_own_;
+}
+
 std::int64_t TraceStore::resident_bytes() const {
-  return static_cast<std::int64_t>(
-      sizeof(*this) + state_counts_.size() * sizeof(std::uint64_t) +
-      pred_procs_.size() * sizeof(std::uint32_t) +
-      event_offsets_.size() * sizeof(std::uint64_t) +
-      events_.size() * sizeof(std::uint32_t) +
-      pred_word_offsets_.size() * sizeof(std::uint64_t) +
-      pred_bits_.size() * sizeof(std::uint64_t) +
-      messages_.size() * sizeof(std::uint32_t) +
-      clock_offsets_.size() * sizeof(std::uint64_t) +
-      clock_entries_.size() * sizeof(std::uint64_t));
+  // Owned storage only: a mapped store's columns live in the page cache and
+  // are not charged to this process's heap.
+  const auto vec_bytes = [](const auto& v) {
+    return static_cast<std::int64_t>(v.size() *
+                                     sizeof(typename std::decay_t<decltype(v)>::value_type));
+  };
+  return static_cast<std::int64_t>(sizeof(*this)) + vec_bytes(event_offsets_) +
+         vec_bytes(pred_word_offsets_) + vec_bytes(state_counts_own_) +
+         vec_bytes(pred_procs_own_) + vec_bytes(events_own_) +
+         vec_bytes(pred_bits_own_) + vec_bytes(messages_own_) +
+         vec_bytes(clock_offsets_own_) + vec_bytes(clock_entries_own_);
 }
 
 std::int64_t TraceStore::total_states() const {
@@ -220,6 +245,12 @@ Event TraceStore::event(ProcessId p, std::size_t t) const {
   const std::uint32_t w = events_[event_offsets_[p.idx()] + t];
   return Event{(w & kReceiveBit) != 0 ? EventKind::kReceive : EventKind::kSend,
                static_cast<MessageId>(w & ~kReceiveBit)};
+}
+
+std::span<const std::uint32_t> TraceStore::packed_events(ProcessId p) const {
+  WCP_REQUIRE(p.valid() && p.idx() < num_processes(), "bad process id " << p);
+  return events_.subspan(event_offsets_[p.idx()],
+                         event_offsets_[p.idx() + 1] - event_offsets_[p.idx()]);
 }
 
 bool TraceStore::local_pred(ProcessId p, StateIndex k) const {
@@ -325,17 +356,22 @@ void TraceStore::save(std::ostream& os) const {
   WCP_REQUIRE(os.good(), "trace store write failed");
 }
 
-TraceStore TraceStore::load(std::istream& is) {
-  return load_impl(is, nullptr);
+TraceStore TraceStore::load(std::istream& is, const TraceLoadOptions& opts) {
+  return from_source(ByteSource::read_stream(is), opts);
 }
 
-TraceStore TraceStore::load_impl(std::istream& is, Computation* comp_out) {
-  const std::string buf(std::istreambuf_iterator<char>(is), {});
+TraceStore TraceStore::from_source(std::shared_ptr<const ByteSource> src,
+                                   const TraceLoadOptions& opts) {
+  WCP_REQUIRE(src != nullptr, "cannot load a trace from a null byte source");
+  const std::span<const std::byte> buf = src->bytes();
+  src->advise_sequential();  // validation below scans front to back
+
   WCP_REQUIRE(buf.size() >= kHeaderBytes,
               "wcp-tracebin parse error: stream shorter than the "
                   << kHeaderBytes << "-byte header (" << buf.size()
                   << " bytes)");
-  WCP_REQUIRE(buf.compare(0, kTracebinMagic.size(), kTracebinMagic) == 0,
+  WCP_REQUIRE(std::memcmp(buf.data(), kTracebinMagic.data(),
+                          kTracebinMagic.size()) == 0,
               "wcp-tracebin parse error: bad magic (not a wcp-tracebin file)");
   const std::uint32_t version = get_u32(buf, 8);
   WCP_REQUIRE(version == kTracebinVersion,
@@ -372,7 +408,10 @@ TraceStore TraceStore::load_impl(std::istream& is, Computation* comp_out) {
                   << " + N " << N << " != total states " << total_states);
 
   // Sections are laid out sequentially, 8-byte aligned, exactly as the
-  // writer emits them; anything else is rejected.
+  // writer emits them; anything else is rejected. This is the offsets-
+  // within-file check that makes the mapped views below memory-safe: once
+  // every section provably lies inside [0, file_size), no accessor can
+  // touch a page past the mapping.
   const std::uint64_t offs[7] = {get_u64(buf, 72),  get_u64(buf, 80),
                                  get_u64(buf, 88),  get_u64(buf, 96),
                                  get_u64(buf, 104), get_u64(buf, 112),
@@ -393,6 +432,9 @@ TraceStore TraceStore::load_impl(std::istream& is, Computation* comp_out) {
     WCP_REQUIRE(offs[i] == expect,
                 "wcp-tracebin parse error: section " << kSectionNames[i]
                     << " at offset " << offs[i] << ", expected " << expect);
+    WCP_REQUIRE(offs[i] % 8 == 0,
+                "wcp-tracebin parse error: section " << kSectionNames[i]
+                    << " offset " << offs[i] << " not 8-byte aligned");
     expect += sizes[i];
     WCP_REQUIRE(expect <= file_size,
                 "wcp-tracebin parse error: section " << kSectionNames[i]
@@ -403,27 +445,55 @@ TraceStore TraceStore::load_impl(std::istream& is, Computation* comp_out) {
                                            << " trailing bytes after sections");
 
   TraceStore s;
-  s.pred_procs_.resize(num_preds);
-  for (std::uint64_t i = 0; i < num_preds; ++i)
-    s.pred_procs_[i] = get_u32(buf, offs[0] + i * 4);
-  s.state_counts_.resize(N);
-  for (std::uint64_t p = 0; p < N; ++p)
-    s.state_counts_[p] = get_u64(buf, offs[1] + p * 8);
-  s.events_.resize(total_events);
-  for (std::uint64_t i = 0; i < total_events; ++i)
-    s.events_[i] = get_u32(buf, offs[2] + i * 4);
-  s.pred_bits_.resize(total_pred_words);
-  for (std::uint64_t i = 0; i < total_pred_words; ++i)
-    s.pred_bits_[i] = get_u64(buf, offs[3] + i * 8);
-  s.messages_.resize(num_msgs * 4);
-  for (std::uint64_t i = 0; i < num_msgs * 4; ++i)
-    s.messages_[i] = get_u32(buf, offs[4] + i * 4);
-  s.clock_offsets_.resize(N * N + 1);
-  for (std::uint64_t i = 0; i < N * N + 1; ++i)
-    s.clock_offsets_[i] = get_u64(buf, offs[5] + i * 8);
-  s.clock_entries_.resize(total_entries);
-  for (std::uint64_t i = 0; i < total_entries; ++i)
-    s.clock_entries_[i] = get_u64(buf, offs[6] + i * 8);
+
+  // Bind the columns. On a little-endian host with an aligned buffer (mmap
+  // is page-aligned; OwnedBytes is word-aligned) the views point straight
+  // into the source: zero copies, columns served from the page cache. Any
+  // other host decodes element-wise into owned vectors.
+  const bool zero_copy =
+      std::endian::native == std::endian::little &&
+      reinterpret_cast<std::uintptr_t>(buf.data()) % 8 == 0;
+  if (zero_copy) {
+    s.backing_ = src;
+    s.pred_procs_ = {reinterpret_cast<const std::uint32_t*>(buf.data() + offs[0]),
+                     num_preds};
+    s.state_counts_ = {reinterpret_cast<const std::uint64_t*>(buf.data() + offs[1]),
+                       N};
+    s.events_ = {reinterpret_cast<const std::uint32_t*>(buf.data() + offs[2]),
+                 total_events};
+    s.pred_bits_ = {reinterpret_cast<const std::uint64_t*>(buf.data() + offs[3]),
+                    total_pred_words};
+    s.messages_ = {reinterpret_cast<const std::uint32_t*>(buf.data() + offs[4]),
+                   num_msgs * 4};
+    s.clock_offsets_ = {
+        reinterpret_cast<const std::uint64_t*>(buf.data() + offs[5]), N * N + 1};
+    s.clock_entries_ = {
+        reinterpret_cast<const std::uint64_t*>(buf.data() + offs[6]),
+        total_entries};
+  } else {
+    s.pred_procs_own_.resize(num_preds);
+    for (std::uint64_t i = 0; i < num_preds; ++i)
+      s.pred_procs_own_[i] = get_u32(buf, offs[0] + i * 4);
+    s.state_counts_own_.resize(N);
+    for (std::uint64_t p = 0; p < N; ++p)
+      s.state_counts_own_[p] = get_u64(buf, offs[1] + p * 8);
+    s.events_own_.resize(total_events);
+    for (std::uint64_t i = 0; i < total_events; ++i)
+      s.events_own_[i] = get_u32(buf, offs[2] + i * 4);
+    s.pred_bits_own_.resize(total_pred_words);
+    for (std::uint64_t i = 0; i < total_pred_words; ++i)
+      s.pred_bits_own_[i] = get_u64(buf, offs[3] + i * 8);
+    s.messages_own_.resize(num_msgs * 4);
+    for (std::uint64_t i = 0; i < num_msgs * 4; ++i)
+      s.messages_own_[i] = get_u32(buf, offs[4] + i * 4);
+    s.clock_offsets_own_.resize(N * N + 1);
+    for (std::uint64_t i = 0; i < N * N + 1; ++i)
+      s.clock_offsets_own_[i] = get_u64(buf, offs[5] + i * 8);
+    s.clock_entries_own_.resize(total_entries);
+    for (std::uint64_t i = 0; i < total_entries; ++i)
+      s.clock_entries_own_[i] = get_u64(buf, offs[6] + i * 8);
+    s.bind_owned();
+  }
 
   // Per-process shape: derive event/predicate offsets and re-check the
   // header totals against the state counts.
@@ -573,29 +643,35 @@ TraceStore TraceStore::load_impl(std::istream& is, Computation* comp_out) {
     }
   }
 
-  // Semantic verification: replay the event columns into a Computation and
-  // rebuild the clock deltas from scratch. The change lists are a canonical
-  // function of the causal structure (independent of message numbering), so
-  // any disagreement means the stored clock section lies about the events.
-  Computation replayed = s.to_computation();
-  TraceStore rebuilt = TraceStore::build(replayed);
-  WCP_REQUIRE(rebuilt.clock_offsets_ == s.clock_offsets_ &&
-                  rebuilt.clock_entries_ == s.clock_entries_,
-              "wcp-tracebin parse error: clock section is inconsistent with "
-              "the event structure");
-
   s.stats_.clocks_interned = s.total_states();
   s.stats_.delta_entries = static_cast<std::int64_t>(s.clock_entries_.size());
-  s.stats_.peak_bytes = s.resident_bytes();
   s.stats_.delta_ratio =
       static_cast<double>(static_cast<std::int64_t>(N) * s.total_states()) /
       static_cast<double>(std::max<std::int64_t>(1, s.stats_.delta_entries));
 
-  if (comp_out != nullptr) {
-    replayed.adopt_trace_store(
-        std::make_shared<const TraceStore>(std::move(rebuilt)));
-    *comp_out = std::move(replayed);
+  if (opts.verify_replay) {
+    // Semantic verification: replay the event columns into a Computation and
+    // rebuild the clock deltas from scratch. The change lists are a
+    // canonical function of the causal structure (independent of message
+    // numbering), so any disagreement means the stored clock section lies
+    // about the events. Report the rebuild's peak (build scratch included)
+    // so a verified binary load and a from-scratch build of the same
+    // computation expose identical storage counters.
+    const Computation replayed = s.to_computation();
+    const TraceStore rebuilt = TraceStore::build(replayed);
+    WCP_REQUIRE(
+        std::ranges::equal(rebuilt.clock_offsets_, s.clock_offsets_) &&
+            std::ranges::equal(rebuilt.clock_entries_, s.clock_entries_),
+        "wcp-tracebin parse error: clock section is inconsistent with "
+        "the event structure");
+    s.stats_.peak_bytes = rebuilt.stats_.peak_bytes;
+  } else {
+    s.stats_.peak_bytes = s.resident_bytes();
   }
+
+  // Validation scanned everything once; from here on access is random
+  // (binary searches into the clock index, per-process column walks).
+  src->advise_random();
   return s;
 }
 
@@ -657,31 +733,41 @@ void save_tracebin_file(const std::string& path, const Computation& c) {
   std::ofstream f(path, std::ios::binary);
   WCP_REQUIRE(f.good(), "cannot open '" << path << "' for writing");
   save_tracebin(f, c);
+  // A short write (ENOSPC, quota, dying disk) can sit in the stream buffer
+  // and "succeed" silently; force it out and check before reporting success.
+  f.flush();
+  WCP_REQUIRE(f.good(),
+              "write to '" << path << "' failed (disk full or I/O error)");
 }
 
-Computation load_tracebin(std::istream& is) {
-  Computation c;
-  TraceStore::load_impl(is, &c);
-  return c;
+Computation load_tracebin(std::istream& is, const TraceLoadOptions& opts) {
+  return Computation::from_store(std::make_shared<const TraceStore>(
+      TraceStore::from_source(ByteSource::read_stream(is), opts)));
 }
 
-Computation load_tracebin_file(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  WCP_REQUIRE(f.good(), "cannot open '" << path << "' for reading");
-  return load_tracebin(f);
+Computation load_tracebin_file(const std::string& path,
+                               const TraceLoadOptions& opts) {
+  return Computation::from_store(std::make_shared<const TraceStore>(
+      TraceStore::from_source(ByteSource::map_file(path), opts)));
 }
 
-Computation load_any_trace_file(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  WCP_REQUIRE(f.good(), "cannot open '" << path << "' for reading");
-  char magic[8] = {};
-  f.read(magic, sizeof magic);
+Computation load_any_trace_file(const std::string& path,
+                                const TraceLoadOptions& opts) {
+  // One open, one inspection: sniff the magic straight from the (usually
+  // mapped) bytes; the binary path parses them in place and the text path
+  // streams them through a zero-copy streambuf.
+  const auto src = ByteSource::map_file(path);
+  const auto bytes = src->bytes();
   const bool binary =
-      f.gcount() == sizeof magic &&
-      kTracebinMagic.compare(0, kTracebinMagic.size(), magic, sizeof magic) == 0;
-  f.clear();
-  f.seekg(0);
-  return binary ? load_tracebin(f) : read_trace(f);
+      bytes.size() >= kTracebinMagic.size() &&
+      std::memcmp(bytes.data(), kTracebinMagic.data(),
+                  kTracebinMagic.size()) == 0;
+  if (binary) {
+    return Computation::from_store(std::make_shared<const TraceStore>(
+        TraceStore::from_source(src, opts)));
+  }
+  ByteSourceStream s(*src);
+  return read_trace(s);
 }
 
 }  // namespace wcp

@@ -4,6 +4,8 @@
 // and every corrupt input must die with a descriptive parse error.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -79,11 +81,12 @@ TEST(TraceFuzz, RandomComputationsRoundTripBothFormats) {
         std::istringstream is(os.str());
         const auto from_bin = load_tracebin(is);
         expect_same_clocks(original, from_bin);
-        // Loading replays the columns and renumbers messages in replay
-        // order, so the first regeneration may permute ids; that order is
-        // a fixed point, so generations 2 and 3 are byte-identical.
+        // The loader serves columns straight from the parsed bytes (message
+        // ids keep their file order), so save-then-load is a byte-level
+        // fixed point from the very first generation.
         std::ostringstream os2;
         save_tracebin(os2, from_bin);
+        ASSERT_EQ(os.str(), os2.str());
         std::istringstream is2(os2.str());
         const auto gen2 = load_tracebin(is2);
         std::ostringstream os3;
@@ -141,6 +144,52 @@ TEST(TraceFuzz, VerdictsAndWitnessesAreThreadInvariant) {
       ASSERT_EQ(dt.witness_path, d1.witness_path) << threads << " threads";
     }
   }
+}
+
+TEST(TraceFuzz, MappedLoaderMatchesHeapLoaderAtAllThreadCounts) {
+  // The mmap fast path must be invisible to the detectors: verdicts,
+  // explored-cut counts, and witness paths are byte-for-byte identical
+  // whether the columns live in heap vectors or in the page cache, with
+  // and without the replay check, at every thread count.
+  const std::string path =
+      ::testing::TempDir() + "/wcp_fuzz_mapped.tracebin";
+  TraceLoadOptions trusted;
+  trusted.verify_replay = false;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    workload::RandomSpec spec;
+    spec.num_processes = 5;
+    spec.num_predicate = 3;
+    spec.events_per_process = 9;
+    spec.local_pred_prob = seed % 2 ? 0.5 : 0.25;
+    spec.drain_prob = 0.7;
+    spec.seed = 1300 + seed;
+    const auto original = workload::make_random(spec);
+    SCOPED_TRACE("seed " + std::to_string(spec.seed));
+    save_tracebin_file(path, original);
+
+    const auto verified = load_any_trace_file(path);
+    const auto fast = load_any_trace_file(path, trusted);
+    expect_same_clocks(original, verified);
+    expect_same_clocks(original, fast);
+
+    const auto l1 = detect::detect_lattice(original, kCutCap, 1);
+    const auto d1 = detect::detect_definitely(original, kCutCap, 1);
+    for (const Computation* c : {&verified, &fast}) {
+      for (const std::size_t threads :
+           {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+        const auto lt = detect::detect_lattice(*c, kCutCap, threads);
+        ASSERT_EQ(lt.detected, l1.detected) << threads << " threads";
+        ASSERT_EQ(lt.cut, l1.cut);
+        ASSERT_EQ(lt.cuts_explored, l1.cuts_explored);
+        ASSERT_EQ(lt.witness_path, l1.witness_path);
+        const auto dt = detect::detect_definitely(*c, kCutCap, threads);
+        ASSERT_EQ(dt.definitely, d1.definitely) << threads << " threads";
+        ASSERT_EQ(dt.witness, d1.witness);
+        ASSERT_EQ(dt.witness_path, d1.witness_path);
+      }
+    }
+  }
+  std::remove(path.c_str());
 }
 
 TEST(TraceFuzz, MalformedTraceCorpusFailsWithLineErrors) {

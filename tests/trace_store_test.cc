@@ -6,10 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 #include "detect/lattice.h"
@@ -280,6 +283,200 @@ TEST_F(TracebinCorruption, RejectsCorruptedColumns) {
       EXPECT_NE(std::string(e.what()).find("wcp-tracebin"), std::string::npos)
           << "pos " << pos << ": " << e.what();
     }
+  }
+}
+
+// ---- zero-copy mapped loading ---------------------------------------------
+
+// Exercises the mmap fast path end to end: files are loaded through
+// load_tracebin_file / load_any_trace_file, which map the bytes and point
+// the store's columns straight into the mapping.
+class MappedTracebin : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    comp_ = random_comp(7, 5, 3, 0.7);
+    std::ostringstream os;
+    save_tracebin(os, comp_);
+    bytes_ = os.str();
+    path_ = ::testing::TempDir() + "/wcp_mapped_test.tracebin";
+    write_file(bytes_);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void write_file(const std::string& data) {
+    std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+    f.write(data.data(), static_cast<std::streamsize>(data.size()));
+    ASSERT_TRUE(f.good());
+  }
+
+  static std::uint64_t rd_u64(const std::string& b, std::size_t off) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[off + i]))
+           << (8 * i);
+    return v;
+  }
+  static void wr_u64(std::string& b, std::size_t off, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      b[off + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+
+  /// Both the verifying and the trusted loader must reject `data` with a
+  /// parse error — structural validation is not opt-out — and must never
+  /// fault while doing so.
+  void expect_mapped_parse_error(const std::string& data) {
+    write_file(data);
+    for (const bool trusted : {false, true}) {
+      TraceLoadOptions opts;
+      opts.verify_replay = !trusted;
+      try {
+        (void)load_tracebin_file(path_, opts);
+        FAIL() << "expected parse error (trusted=" << trusted << ")";
+      } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("wcp-tracebin parse error:"),
+                  std::string::npos)
+            << e.what();
+      }
+    }
+  }
+
+  Computation comp_;
+  std::string bytes_;
+  std::string path_;
+};
+
+TEST_F(MappedTracebin, MappedLoadMatchesHeapLoadExactly) {
+  const auto mapped = load_any_trace_file(path_);
+  std::istringstream is(bytes_);
+  const auto heap = load_tracebin(is);
+
+  ASSERT_TRUE(mapped.store_backed());
+  if constexpr (std::endian::native == std::endian::little) {
+    EXPECT_TRUE(mapped.trace_store().mapped());
+  }
+  EXPECT_FALSE(heap.trace_store().mapped());
+
+  for (std::size_t p = 0; p < comp_.num_processes(); ++p) {
+    const ProcessId pid(static_cast<int>(p));
+    ASSERT_EQ(mapped.num_states(pid), comp_.num_states(pid));
+    for (StateIndex k = 1; k <= comp_.num_states(pid); ++k) {
+      ASSERT_EQ(mapped.local_pred(pid, k), comp_.local_pred(pid, k));
+      ASSERT_EQ(mapped.ground_truth_clock(pid, k),
+                comp_.ground_truth_clock(pid, k));
+    }
+  }
+  EXPECT_EQ(mapped.first_wcp_cut(), comp_.first_wcp_cut());
+
+  // Saving the mapped store must reproduce the file byte for byte, and the
+  // heap-loaded store must agree (same bytes through a different backing).
+  std::ostringstream saved_mapped, saved_heap;
+  mapped.trace_store().save(saved_mapped);
+  heap.trace_store().save(saved_heap);
+  EXPECT_EQ(saved_mapped.str(), bytes_);
+  EXPECT_EQ(saved_heap.str(), bytes_);
+}
+
+TEST_F(MappedTracebin, TrustedLoadSkipsOnlyTheReplayCheck) {
+  TraceLoadOptions trusted;
+  trusted.verify_replay = false;
+
+  // A trusted load must stay cheap: its reported peak is the O(N) owned
+  // metadata, not the rebuild's O(file) replay scratch.
+  const auto verified = load_tracebin_file(path_);
+  const auto fast = load_tracebin_file(path_, trusted);
+  EXPECT_EQ(verified.first_wcp_cut(), fast.first_wcp_cut());
+  EXPECT_LT(fast.trace_store_stats().peak_bytes,
+            verified.trace_store_stats().peak_bytes);
+
+  // Now make the clock section structurally pristine but semantically a
+  // lie: lower the value of some change-list entry (monotonicity and range
+  // checks still pass). Only the replay verification can catch that, so
+  // the verifying loader must throw and the trusted loader must not.
+  const std::uint64_t N = rd_u64(bytes_, 16);
+  const std::uint64_t off_clock_offsets = rd_u64(bytes_, 112);
+  const std::uint64_t off_clock_entries = rd_u64(bytes_, 120);
+  std::size_t victim = 0;
+  bool found = false;
+  for (std::uint64_t i = 0; i < N * N && !found; ++i) {
+    const std::uint64_t lo = rd_u64(bytes_, off_clock_offsets + i * 8);
+    const std::uint64_t hi = rd_u64(bytes_, off_clock_offsets + (i + 1) * 8);
+    if (lo >= hi) continue;
+    const std::uint64_t first = rd_u64(bytes_, off_clock_entries + lo * 8);
+    if ((first & 0xffff'ffffull) >= 2) {
+      victim = static_cast<std::size_t>(off_clock_entries + lo * 8);
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no change-list entry with value >= 2 in this trace";
+  auto lying = bytes_;
+  wr_u64(lying, victim, rd_u64(lying, victim) - 1);  // value -= 1
+  write_file(lying);
+
+  EXPECT_THROW((void)load_tracebin_file(path_), std::invalid_argument);
+  const auto unchecked = load_tracebin_file(path_, trusted);
+  EXPECT_EQ(unchecked.total_states(), comp_.total_states());
+}
+
+TEST_F(MappedTracebin, CorruptionCorpusNeverFaults) {
+  // Truncated mid-section (events column).
+  const std::uint64_t off_events = rd_u64(bytes_, 88);
+  expect_mapped_parse_error(
+      bytes_.substr(0, static_cast<std::size_t>(off_events) + 4));
+
+  // Section offset pointing past EOF.
+  auto bad = bytes_;
+  wr_u64(bad, 120, bytes_.size() + 4096);  // clock_entries offset
+  expect_mapped_parse_error(bad);
+
+  // Misaligned section offset.
+  bad = bytes_;
+  wr_u64(bad, 80, rd_u64(bad, 80) + 4);  // state_counts offset
+  expect_mapped_parse_error(bad);
+
+  // Header length lying about the file size (both directions).
+  bad = bytes_;
+  wr_u64(bad, 128, bytes_.size() + 4096);
+  expect_mapped_parse_error(bad);
+  bad = bytes_;
+  wr_u64(bad, 128, 136);
+  expect_mapped_parse_error(bad);
+
+  // Counts inflated so sections would extend past the mapping.
+  bad = bytes_;
+  wr_u64(bad, 64, rd_u64(bad, 64) + (1u << 20));  // total clock entries
+  expect_mapped_parse_error(bad);
+}
+
+TEST_F(MappedTracebin, TrustedCliPathStillValidatesStructure) {
+  // The exact bytes the --trusted CLI path would map: flip one event word
+  // to a huge message id. Structural validation must still reject it.
+  const std::uint64_t off_events = rd_u64(bytes_, 88);
+  auto bad = bytes_;
+  bad[static_cast<std::size_t>(off_events)] = '\x7f';
+  bad[static_cast<std::size_t>(off_events) + 3] = '\x07';
+  expect_mapped_parse_error(bad);
+}
+
+// Satellite regression: save_tracebin_file must not report success when the
+// bytes never reached the disk.
+TEST(TraceStoreWrite, StreamFailureIsNotSilent) {
+  const auto c = random_comp(2, 3, 2);
+  std::ostringstream os;
+  os.setstate(std::ios::badbit);
+  EXPECT_THROW(save_tracebin(os, c), std::invalid_argument);
+}
+
+TEST(TraceStoreWrite, FullDeviceFailureNamesThePath) {
+  // /dev/full accepts the open and swallows buffered writes; only the
+  // flush-and-check in save_tracebin_file can see the ENOSPC.
+  if (::access("/dev/full", W_OK) != 0) GTEST_SKIP() << "no /dev/full here";
+  const auto c = random_comp(2, 3, 2);
+  try {
+    save_tracebin_file("/dev/full", c);
+    FAIL() << "expected a write failure on /dev/full";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("/dev/full"), std::string::npos)
+        << e.what();
   }
 }
 
